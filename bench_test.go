@@ -1,0 +1,166 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation (section
+// 7). Each benchmark regenerates its artifact end to end — compiling the
+// 23-program suite, tracing it on the cycle-accurate simulator, and
+// driving the policy simulator — and reports the experiment's headline
+// numbers as custom metrics. Sweeps run in their reduced ("quick")
+// configuration so the full harness finishes in minutes; the
+// cmd/clank-experiments tool runs the full-size versions.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Quick: true, Seeds: []int64{11}, Verify: true}
+}
+
+// BenchmarkTable1 regenerates Table 1: per-benchmark running time, image
+// size, and the Clank support-code size increase.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var totalCycles uint64
+		var avgInc float64
+		for _, r := range d.Rows {
+			totalCycles += r.Cycles
+			avgInc += r.SizeIncrease
+		}
+		b.ReportMetric(float64(totalCycles)/float64(len(d.Rows)), "avg-cycles")
+		b.ReportMetric(avgInc/float64(len(d.Rows))*100, "avg-size-increase-%")
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5: the buffer-capacity vs checkpoint
+// overhead Pareto frontiers for R, R+W, R+W+B, R+W+B+A, and +C.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Figure5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range d.Families {
+			best := f.Frontier[len(f.Frontier)-1].Overhead
+			b.ReportMetric(best*100, "best-"+f.Name+"-%")
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates Figure 6: the per-policy-optimization
+// frontiers including the profiled (best-per-benchmark) line.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Figure6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range d.Settings {
+			best := f.Frontier[len(f.Frontier)-1].Overhead
+			if f.Name == "All Optimizations" || f.Name == "No Optimizations" || f.Name == "Profiled" {
+				b.ReportMetric(best*100, "best-"+strings.ReplaceAll(f.Name[:4], " ", "")+"-%")
+			}
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: hardware overheads (analytical
+// area model) plus measured average software overhead per configuration.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Table2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(d.Rows[0].AvgSW*100, "sw-R-only-%")
+		b.ReportMetric(d.Rows[4].AvgSW*100, "sw-full+C+WDT-%")
+		b.ReportMetric(d.Rows[4].Avg, "hw-full-%")
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7: total run-time overhead per
+// benchmark for the five Table 2 configurations.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Figure7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for ci, name := range d.Configs {
+			_ = name
+			b.ReportMetric(1+d.Average[ci], "avg-x-baseline-cfg"+string(rune('1'+ci)))
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates Figure 8: the Performance Watchdog's
+// checkpoint / re-execution tradeoff with infinite buffers.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Figure8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := d.Minimum()
+		b.ReportMetric(float64(m.Watchdog), "optimal-watchdog-cycles")
+		b.ReportMetric(m.Combined*100, "min-combined-%")
+		b.ReportMetric(float64(d.Optimal), "analytic-optimum-cycles")
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: Clank versus Mementos, Hibernus,
+// Hibernus++, and Ratchet on fft.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Table3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range d.Rows {
+			if r.Overhead >= 0 {
+				name := strings.ReplaceAll(r.Approach, " ", "-")
+				b.ReportMetric(r.Overhead*100, name+"-%")
+			}
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4: mixed-volatility versus wholly
+// non-volatile Clank on DINO's DS benchmark.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Table4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(d.Rows[0].Overhead*100, "mixed-30bit-%")
+		b.ReportMetric(d.Rows[3].Overhead*100, "whollyNV-30bit-%")
+	}
+}
+
+// BenchmarkAblation quantifies the compiler-quality substitution and the
+// Clank feature knockouts (see EXPERIMENTS.md).
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Ablation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg := func(row []float64) float64 {
+			s := 0.0
+			for _, v := range row {
+				s += v
+			}
+			return s / float64(len(row))
+		}
+		b.ReportMetric(avg(d.Compiler[0])*100, "full-codegen-%")
+		b.ReportMetric(avg(d.Compiler[2])*100, "stack-machine-%")
+		b.ReportMetric(avg(d.Knockout[4])*100, "no-writeback-%")
+	}
+}

@@ -1,0 +1,69 @@
+// Command ccc compiles a mini-C source file into a bootable ARMv6-M image
+// and optionally runs it to completion on the continuous (always-powered)
+// simulator, printing the output-port words.
+//
+// Usage:
+//
+//	ccc [-run] [-dis] [-o image.bin] prog.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/armsim"
+	"repro/internal/ccc"
+)
+
+func main() {
+	run := flag.Bool("run", false, "run the compiled program and print outputs")
+	dis := flag.Bool("dis", false, "disassemble the text section")
+	out := flag.String("o", "", "write the raw memory image to this file")
+	maxCycles := flag.Uint64("max-cycles", 500_000_000, "cycle budget for -run")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ccc [-run] [-dis] [-o image.bin] prog.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	img, err := ccc.Compile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("image: %d bytes (text %#x-%#x, data %#x-%#x, entry %#x)\n",
+		len(img.Bytes), img.TextStart, img.TextEnd, img.DataStart, img.DataEnd, img.Entry)
+	fmt.Printf("clank support: %d bytes (+%.2f%%)\n", img.ClankCodeBytes, img.SizeIncrease()*100)
+	if *out != "" {
+		if err := os.WriteFile(*out, img.Bytes, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *dis {
+		for _, line := range armsim.DisassembleRange(img.Bytes, img.TextStart, img.TextEnd) {
+			fmt.Println(line)
+		}
+	}
+	if *run {
+		m := armsim.NewMachine()
+		if err := m.Boot(img.Bytes); err != nil {
+			fatal(err)
+		}
+		cycles, err := m.Run(*maxCycles)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("halted after %d cycles\n", cycles)
+		for i, v := range m.Mem.Outputs {
+			fmt.Printf("output[%d] = %d (%#x)\n", i, v, v)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,130 @@
+// Command clank-explore sweeps Clank buffer configurations for one
+// benchmark (or a user program) and prints the hardware-size-vs-overhead
+// tradeoff, including the Pareto frontier — the per-program version of the
+// paper's design-space exploration.
+//
+// Usage:
+//
+//	clank-explore [-bench fft | prog.c] [-max-rf 32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/armsim"
+	"repro/internal/ccc"
+	"repro/internal/clank"
+	"repro/internal/mibench"
+	"repro/internal/policysim"
+)
+
+func main() {
+	benchName := flag.String("bench", "fft", "MiBench2 benchmark to sweep")
+	maxRF := flag.Int("max-rf", 32, "largest Read-first Buffer size swept")
+	saveTrace := flag.String("save-trace", "", "write the collected access log to this file")
+	loadTrace := flag.String("load-trace", "", "replay a previously saved access log instead of re-simulating")
+	flag.Parse()
+
+	var src, name string
+	if flag.NArg() == 1 {
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src, name = string(data), flag.Arg(0)
+	} else {
+		b, ok := mibench.ByName(*benchName)
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q", *benchName))
+		}
+		src, name = b.Source, b.Name
+	}
+
+	img, err := ccc.Compile(src)
+	if err != nil {
+		fatal(err)
+	}
+	var trace []armsim.Access
+	var cycles uint64
+	if *loadTrace != "" {
+		f, err := os.Open(*loadTrace)
+		if err != nil {
+			fatal(err)
+		}
+		trace, cycles, err = armsim.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		trace, cycles, err = armsim.CollectTrace(img.Bytes, 2_000_000_000)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *saveTrace != "" {
+		f, err := os.Create(*saveTrace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := armsim.WriteTrace(f, trace, cycles); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	exempt := ccc.ProgramIdempotentPCs(trace)
+	fmt.Printf("%s: %d cycles, %d memory accesses, %d Program Idempotent PCs\n\n",
+		name, cycles, len(trace), len(exempt))
+
+	type point struct {
+		cfg  clank.Config
+		bits int
+		ovr  float64
+	}
+	var pts []point
+	for rf := 1; rf <= *maxRF; rf *= 2 {
+		for _, wf := range []int{0, rf / 2} {
+			for _, wb := range []int{0, 1, 2, 4} {
+				for _, ap := range []int{0, 4} {
+					cfg := clank.Config{ReadFirst: rf, WriteFirst: wf, WriteBack: wb,
+						AddrPrefix: ap, Opts: clank.OptAll,
+						TextStart: img.TextStart, TextEnd: img.TextEnd, ExemptPCs: exempt}
+					if ap > 0 {
+						cfg.PrefixLowBits = 6
+					}
+					res, err := policysim.Simulate(trace, cycles, cfg, policysim.Options{Verify: true})
+					if err != nil {
+						fatal(err)
+					}
+					pts = append(pts, point{cfg, cfg.BufferBits(), res.CheckpointOverhead()})
+				}
+			}
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].bits != pts[j].bits {
+			return pts[i].bits < pts[j].bits
+		}
+		return pts[i].ovr < pts[j].ovr
+	})
+	fmt.Printf("%-14s %6s %10s  %s\n", "config", "bits", "overhead", "pareto")
+	best := 1e18
+	for _, p := range pts {
+		mark := ""
+		if p.ovr < best {
+			best = p.ovr
+			mark = "*"
+		}
+		fmt.Printf("%-14s %6d %9.2f%%  %s\n", p.cfg, p.bits, p.ovr*100, mark)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clank-explore:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of "Clank: Architectural
+// Support for Intermittent Computation" (Matthew Hicks, ISCA 2017).
+//
+// The entire system lives under internal/: the ARMv6-M instruction-set
+// simulator (internal/armsim), the ccc mini-C compiler (internal/ccc), the
+// Clank idempotency-tracking hardware model (internal/clank), the
+// infinite-resource reference monitor (internal/refmon), the bounded
+// exhaustive verification harness (internal/verify), the trace-driven
+// policy simulator (internal/policysim), the full-system intermittent
+// machine (internal/intermittent), the MiBench2 benchmark suite
+// (internal/mibench), the prior-approach baselines (internal/baselines),
+// the hardware area model (internal/hwcost), and the experiment generators
+// (internal/experiments). See README.md and DESIGN.md.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; run them with
+//
+//	go test -bench=. -benchmem
+package repro

@@ -1,0 +1,397 @@
+package armsim
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// asmImage builds a bootable image: vector table (SP, entry), then the given
+// 16-bit opcodes starting at offset 8.
+func asmImage(ops ...uint16) []byte {
+	img := make([]byte, 8+2*len(ops))
+	binary.LittleEndian.PutUint32(img[0:], MemSize-16) // initial SP
+	binary.LittleEndian.PutUint32(img[4:], 8|1)        // entry (thumb bit)
+	for i, op := range ops {
+		binary.LittleEndian.PutUint16(img[8+2*i:], op)
+	}
+	return img
+}
+
+const opBKPT = 0xBE00
+
+func runOps(t *testing.T, ops ...uint16) *Machine {
+	t.Helper()
+	m := NewMachine()
+	if err := m.Boot(asmImage(ops...)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(100000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+// movImm8 encodes MOVS Rd, #imm8.
+func movImm8(rd, imm int) uint16 { return uint16(0b00100<<11 | rd<<8 | imm) }
+
+// addImm8 encodes ADDS Rd, #imm8.
+func addImm8(rd, imm int) uint16 { return uint16(0b00110<<11 | rd<<8 | imm) }
+
+// subImm8 encodes SUBS Rd, #imm8.
+func subImm8(rd, imm int) uint16 { return uint16(0b00111<<11 | rd<<8 | imm) }
+
+// dp encodes a data-processing (register) instruction.
+func dp(opc, rm, rd int) uint16 { return uint16(0b010000<<10 | opc<<6 | rm<<3 | rd) }
+
+func TestMovAddSubImmediate(t *testing.T) {
+	m := runOps(t, movImm8(0, 5), addImm8(0, 7), subImm8(0, 2), opBKPT)
+	if got := m.CPU.R[0]; got != 10 {
+		t.Errorf("r0 = %d, want 10", got)
+	}
+}
+
+func TestAddRegisterAndFlags(t *testing.T) {
+	// r0 = 0xFF; r1 = 1; lsls r0, r0, #24 ; adds r0, r0, r0 -> carry/overflow
+	ops := []uint16{
+		movImm8(0, 0xFF),
+		uint16(0b00000<<11 | 24<<6 | 0<<3 | 0), // LSLS r0, r0, #24
+		uint16(0b0001100<<9 | 0<<6 | 0<<3 | 0), // ADDS r0, r0, r0
+		opBKPT,
+	}
+	m := runOps(t, ops...)
+	if got := m.CPU.R[0]; got != 0xFE000000 {
+		t.Errorf("r0 = %#x, want 0xFE000000", got)
+	}
+	if !m.CPU.C {
+		t.Error("carry not set by 0xFF000000 + 0xFF000000")
+	}
+	if m.CPU.V {
+		t.Error("overflow wrongly set (negative + negative = negative)")
+	}
+}
+
+func TestSubSetsBorrowSemantics(t *testing.T) {
+	// ARM subtraction: C is set when NO borrow occurs.
+	m := runOps(t, movImm8(0, 5), subImm8(0, 3), opBKPT)
+	if !m.CPU.C {
+		t.Error("5-3 should set C (no borrow)")
+	}
+	m = runOps(t, movImm8(0, 3), subImm8(0, 5), opBKPT)
+	if m.CPU.C {
+		t.Error("3-5 should clear C (borrow)")
+	}
+	if m.CPU.R[0] != 0xFFFFFFFE {
+		t.Errorf("3-5 = %#x, want 0xFFFFFFFE", m.CPU.R[0])
+	}
+}
+
+func TestDataProcessing(t *testing.T) {
+	cases := []struct {
+		name string
+		ops  []uint16
+		reg  int
+		want uint32
+	}{
+		{"and", []uint16{movImm8(0, 0xF0), movImm8(1, 0x3C), dp(0b0000, 1, 0), opBKPT}, 0, 0x30},
+		{"eor", []uint16{movImm8(0, 0xF0), movImm8(1, 0x3C), dp(0b0001, 1, 0), opBKPT}, 0, 0xCC},
+		{"orr", []uint16{movImm8(0, 0xF0), movImm8(1, 0x0C), dp(0b1100, 1, 0), opBKPT}, 0, 0xFC},
+		{"bic", []uint16{movImm8(0, 0xFF), movImm8(1, 0x0F), dp(0b1110, 1, 0), opBKPT}, 0, 0xF0},
+		{"mvn", []uint16{movImm8(1, 0), dp(0b1111, 1, 0), opBKPT}, 0, 0xFFFFFFFF},
+		{"mul", []uint16{movImm8(0, 7), movImm8(1, 6), dp(0b1101, 1, 0), opBKPT}, 0, 42},
+		{"neg", []uint16{movImm8(1, 5), dp(0b1001, 1, 0), opBKPT}, 0, 0xFFFFFFFB},
+		{"lslr", []uint16{movImm8(0, 1), movImm8(1, 4), dp(0b0010, 1, 0), opBKPT}, 0, 16},
+		{"lsrr", []uint16{movImm8(0, 64), movImm8(1, 3), dp(0b0011, 1, 0), opBKPT}, 0, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := runOps(t, tc.ops...)
+			if got := m.CPU.R[tc.reg]; got != tc.want {
+				t.Errorf("r%d = %#x, want %#x", tc.reg, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestAsrSigned(t *testing.T) {
+	// r0 = -8 (via NEG), ASR #2 -> -2
+	ops := []uint16{
+		movImm8(1, 8),
+		dp(0b1001, 1, 0),                      // NEG r0, r1
+		uint16(0b00010<<11 | 2<<6 | 0<<3 | 0), // ASRS r0, r0, #2
+		opBKPT,
+	}
+	m := runOps(t, ops...)
+	if got := int32(m.CPU.R[0]); got != -2 {
+		t.Errorf("asr(-8,2) = %d, want -2", got)
+	}
+}
+
+func TestLoadStoreWordByteHalf(t *testing.T) {
+	// Store 0x12345678-ish pattern built from immediates, read back with
+	// different widths. Address held in r2 = 0x1000.
+	ops := []uint16{
+		movImm8(2, 0x10),
+		uint16(0b00000<<11 | 8<<6 | 2<<3 | 2), // LSLS r2, r2, #8 -> 0x1000
+		movImm8(0, 0xAB),
+		uint16(0b0111<<12 | 0<<11 | 0<<6 | 2<<3 | 0), // STRB r0, [r2]
+		movImm8(1, 0xCD),
+		uint16(0b0111<<12 | 0<<11 | 1<<6 | 2<<3 | 1), // STRB r1, [r2, #1]
+		uint16(0b1000<<12 | 1<<11 | 0<<6 | 2<<3 | 3), // LDRH r3, [r2]
+		uint16(0b0110<<12 | 1<<11 | 0<<6 | 2<<3 | 4), // LDR r4, [r2]
+		opBKPT,
+	}
+	m := runOps(t, ops...)
+	if got := m.CPU.R[3]; got != 0xCDAB {
+		t.Errorf("ldrh = %#x, want 0xCDAB", got)
+	}
+	if got := m.CPU.R[4]; got != 0xCDAB {
+		t.Errorf("ldr = %#x, want 0xCDAB", got)
+	}
+}
+
+func TestSignedLoads(t *testing.T) {
+	// STRB 0x80 then LDRSB should give -128.
+	ops := []uint16{
+		movImm8(2, 0x40), // address 0x40
+		movImm8(0, 0x80),
+		uint16(0b0111<<12 | 0<<11 | 0<<6 | 2<<3 | 0), // STRB r0, [r2]
+		movImm8(3, 0),
+		uint16(0b0101<<12 | 0b011<<9 | 3<<6 | 2<<3 | 5), // LDRSB r5, [r2, r3]
+		opBKPT,
+	}
+	m := runOps(t, ops...)
+	if got := int32(m.CPU.R[5]); got != -128 {
+		t.Errorf("ldrsb = %d, want -128", got)
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	ops := []uint16{
+		movImm8(0, 11),
+		movImm8(1, 22),
+		uint16(0b1011010<<9 | 0<<8 | 0b11), // PUSH {r0, r1}
+		movImm8(0, 0),
+		movImm8(1, 0),
+		uint16(0b1011110<<9 | 0<<8 | 0b11), // POP {r0, r1}
+		opBKPT,
+	}
+	m := runOps(t, ops...)
+	if m.CPU.R[0] != 11 || m.CPU.R[1] != 22 {
+		t.Errorf("pop got r0=%d r1=%d, want 11, 22", m.CPU.R[0], m.CPU.R[1])
+	}
+	if m.CPU.R[SP] != MemSize-16 {
+		t.Errorf("sp = %#x, want %#x", m.CPU.R[SP], uint32(MemSize-16))
+	}
+}
+
+func TestBranchConditional(t *testing.T) {
+	// r0=5; cmp r0,#5; beq +2 (skip mov r1,#1); mov r1,#2... taken path
+	ops := []uint16{
+		movImm8(0, 5),
+		uint16(0b00101<<11 | 0<<8 | 5),  // CMP r0, #5
+		uint16(0b1101<<12 | 0x0<<8 | 0), // BEQ .+4 (skips one instr)
+		movImm8(1, 1),
+		movImm8(2, 7),
+		opBKPT,
+	}
+	m := runOps(t, ops...)
+	if m.CPU.R[1] != 0 {
+		t.Errorf("branch not taken: r1 = %d, want 0", m.CPU.R[1])
+	}
+	if m.CPU.R[2] != 7 {
+		t.Errorf("r2 = %d, want 7", m.CPU.R[2])
+	}
+}
+
+func TestBranchUnconditionalAndBL(t *testing.T) {
+	// B over a trap; then BL to a leaf that sets r3 and returns via BX LR.
+	// Layout (offset from entry=8):
+	//  0: B .+4          (skip trap)
+	//  2: BKPT           (trap: should be skipped)
+	//  4: BL .+6         (to leaf at 10) -- 32-bit
+	//  8: BKPT           (return lands here -> halt)
+	// 10: MOVS r3,#9
+	// 12: BX LR
+	bl1, bl2 := encodeBL(10 - (4 + 4)) // from pc+4 of the BL at offset 4
+	ops := []uint16{
+		0xE000, // B pc+4 (skips the trap BKPT)
+		opBKPT,
+		bl1, bl2,
+		opBKPT,
+		movImm8(3, 9),
+		uint16(0b010001<<10 | 0b11<<8 | LR<<3), // BX LR
+	}
+	m := runOps(t, ops...)
+	if m.CPU.R[3] != 9 {
+		t.Errorf("r3 = %d, want 9 (BL/BX roundtrip failed)", m.CPU.R[3])
+	}
+}
+
+// encodeBL encodes a 32-bit BL with the given byte offset (from PC+4).
+func encodeBL(off int32) (uint16, uint16) {
+	imm := uint32(off)
+	s := (imm >> 24) & 1
+	i1 := (imm >> 23) & 1
+	i2 := (imm >> 22) & 1
+	imm10 := (imm >> 12) & 0x3FF
+	imm11 := (imm >> 1) & 0x7FF
+	j1 := (^(i1 ^ s)) & 1
+	j2 := (^(i2 ^ s)) & 1
+	return uint16(0b11110<<11 | s<<10 | imm10),
+		uint16(0b11<<14 | j1<<13 | 1<<12 | j2<<11 | imm11)
+}
+
+func TestLdmStm(t *testing.T) {
+	ops := []uint16{
+		movImm8(0, 0x80), // base address
+		movImm8(1, 10),
+		movImm8(2, 20),
+		movImm8(3, 30),
+		uint16(0b11000<<11 | 0<<8 | 0b1110), // STM r0!, {r1,r2,r3}
+		movImm8(0, 0x80),
+		movImm8(4, 0),
+		uint16(0b11001<<11 | 0<<8 | 0b10000),  // LDM r0!, {r4}
+		uint16(0b11001<<11 | 0<<8 | 0b100000), // LDM r0!, {r5}
+		opBKPT,
+	}
+	m := runOps(t, ops...)
+	if m.CPU.R[4] != 10 || m.CPU.R[5] != 20 {
+		t.Errorf("ldm got r4=%d r5=%d, want 10, 20", m.CPU.R[4], m.CPU.R[5])
+	}
+	if m.CPU.R[0] != 0x88 {
+		t.Errorf("writeback r0 = %#x, want 0x88", m.CPU.R[0])
+	}
+}
+
+func TestHiRegisterOps(t *testing.T) {
+	// MOV r8, r0; ADD r0, r8.
+	ops := []uint16{
+		movImm8(0, 21),
+		uint16(0b010001<<10 | 0b10<<8 | 1<<7 | 0<<3 | 0), // MOV r8, r0
+		uint16(0b010001<<10 | 0b00<<8 | 1<<6 | 0 | 0<<3), // placeholder
+		opBKPT,
+	}
+	// ADD r0, r8: op=010001 00 DN=0 Rm=8 Rdn=0 -> 0100 0100 0100 0000
+	ops[2] = 0x4440
+	m := runOps(t, ops...)
+	if m.CPU.R[0] != 42 {
+		t.Errorf("r0 = %d, want 42", m.CPU.R[0])
+	}
+	if m.CPU.R[8] != 21 {
+		t.Errorf("r8 = %d, want 21", m.CPU.R[8])
+	}
+}
+
+func TestExtendOps(t *testing.T) {
+	ops := []uint16{
+		movImm8(0, 0xFF),
+		uint16(0b1011001001<<6 | 0<<3 | 1), // SXTB r1, r0
+		uint16(0b1011001011<<6 | 0<<3 | 2), // UXTB r2, r0
+		opBKPT,
+	}
+	m := runOps(t, ops...)
+	if int32(m.CPU.R[1]) != -1 {
+		t.Errorf("sxtb(0xFF) = %d, want -1", int32(m.CPU.R[1]))
+	}
+	if m.CPU.R[2] != 0xFF {
+		t.Errorf("uxtb(0xFF) = %#x, want 0xFF", m.CPU.R[2])
+	}
+}
+
+func TestMulCycleCost(t *testing.T) {
+	m := NewMachine()
+	if err := m.Boot(asmImage(movImm8(0, 3), movImm8(1, 4), dp(0b1101, 1, 0), opBKPT)); err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := m.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 + 1 + 32 = 34 cycles (BKPT not counted).
+	if cycles != 34 {
+		t.Errorf("cycles = %d, want 34 (32-cycle multiplier)", cycles)
+	}
+}
+
+func TestLoadCycleCost(t *testing.T) {
+	m := NewMachine()
+	img := asmImage(
+		movImm8(2, 0x40),
+		uint16(0b0110<<12|1<<11|0<<6|2<<3|0), // LDR r0, [r2]
+		opBKPT,
+	)
+	if err := m.Boot(img); err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := m.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 3 { // 1 (mov) + 2 (ldr)
+		t.Errorf("cycles = %d, want 3", cycles)
+	}
+}
+
+func TestOutputPort(t *testing.T) {
+	// Build address 0x40000000 via MOV+LSL, store a word there.
+	ops := []uint16{
+		movImm8(0, 0x40),
+		uint16(0b00000<<11 | 24<<6 | 0<<3 | 0), // LSLS r0, r0, #24
+		movImm8(1, 0x5A),
+		uint16(0b0110<<12 | 0<<11 | 0<<6 | 0<<3 | 1), // STR r1, [r0]
+		opBKPT,
+	}
+	m := runOps(t, ops...)
+	if len(m.Mem.Outputs) != 1 || m.Mem.Outputs[0] != 0x5A {
+		t.Errorf("outputs = %v, want [0x5A]", m.Mem.Outputs)
+	}
+}
+
+func TestLdrLiteral(t *testing.T) {
+	// LDR r0, [pc, #0] reads the word 4 bytes past the (aligned) pc.
+	// entry=8: ldr r0,[pc,#0] ; bkpt ; .word 0xDEAD (little pieces)
+	img := asmImage(
+		uint16(0b01001<<11|0<<8|0), // LDR r0, [pc, #0] -> addr = align(8+4)=12
+		opBKPT,
+		0xBEEF, 0x00DE, // word at offset 12 = 0x00DEBEEF
+	)
+	m := NewMachine()
+	if err := m.Boot(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.CPU.R[0] != 0x00DEBEEF {
+		t.Errorf("ldr literal = %#x, want 0x00DEBEEF", m.CPU.R[0])
+	}
+}
+
+func TestAdcSbc(t *testing.T) {
+	// Set carry with a subtraction that doesn't borrow, then ADC.
+	ops := []uint16{
+		movImm8(0, 5),
+		subImm8(0, 3), // C=1
+		movImm8(1, 10),
+		dp(0b0101, 1, 0), // ADC r0, r1 -> 2+10+1=13
+		opBKPT,
+	}
+	m := runOps(t, ops...)
+	if m.CPU.R[0] != 13 {
+		t.Errorf("adc = %d, want 13", m.CPU.R[0])
+	}
+}
+
+func TestRevOps(t *testing.T) {
+	ops := []uint16{
+		movImm8(0, 0x12),
+		uint16(0b00000<<11 | 8<<6 | 0<<3 | 0), // LSLS r0, #8 -> 0x1200
+		addImm8(0, 0x34),                      // 0x1234
+		uint16(0b1011101000<<6 | 0<<3 | 1),    // REV r1, r0
+		opBKPT,
+	}
+	m := runOps(t, ops...)
+	if m.CPU.R[1] != 0x34120000 {
+		t.Errorf("rev(0x1234) = %#x, want 0x34120000", m.CPU.R[1])
+	}
+}

@@ -1,0 +1,212 @@
+package armsim
+
+import "fmt"
+
+// Disassemble decodes the 16-bit instruction op (with op2 as the following
+// halfword for 32-bit encodings) into ARM UAL-style assembly text. It
+// returns the text and the instruction size in bytes (2 or 4). pc is the
+// instruction's address, used to resolve PC-relative targets.
+func Disassemble(op, op2 uint16, pc uint32) (string, int) {
+	r := func(i int) string {
+		switch i {
+		case 13:
+			return "sp"
+		case 14:
+			return "lr"
+		case 15:
+			return "pc"
+		}
+		return fmt.Sprintf("r%d", i)
+	}
+	lo := func(shift int) int { return int(op>>shift) & 7 }
+
+	switch {
+	case op>>11 == 0b00000:
+		imm := int(op>>6) & 31
+		if imm == 0 {
+			return fmt.Sprintf("movs %s, %s", r(lo(0)), r(lo(3))), 2
+		}
+		return fmt.Sprintf("lsls %s, %s, #%d", r(lo(0)), r(lo(3)), imm), 2
+	case op>>11 == 0b00001:
+		imm := int(op>>6) & 31
+		if imm == 0 {
+			imm = 32
+		}
+		return fmt.Sprintf("lsrs %s, %s, #%d", r(lo(0)), r(lo(3)), imm), 2
+	case op>>11 == 0b00010:
+		imm := int(op>>6) & 31
+		if imm == 0 {
+			imm = 32
+		}
+		return fmt.Sprintf("asrs %s, %s, #%d", r(lo(0)), r(lo(3)), imm), 2
+	case op>>9 == 0b0001100:
+		return fmt.Sprintf("adds %s, %s, %s", r(lo(0)), r(lo(3)), r(lo(6))), 2
+	case op>>9 == 0b0001101:
+		return fmt.Sprintf("subs %s, %s, %s", r(lo(0)), r(lo(3)), r(lo(6))), 2
+	case op>>9 == 0b0001110:
+		return fmt.Sprintf("adds %s, %s, #%d", r(lo(0)), r(lo(3)), lo(6)), 2
+	case op>>9 == 0b0001111:
+		return fmt.Sprintf("subs %s, %s, #%d", r(lo(0)), r(lo(3)), lo(6)), 2
+	case op>>11 == 0b00100:
+		return fmt.Sprintf("movs %s, #%d", r(lo(8)), int(op&0xFF)), 2
+	case op>>11 == 0b00101:
+		return fmt.Sprintf("cmp %s, #%d", r(lo(8)), int(op&0xFF)), 2
+	case op>>11 == 0b00110:
+		return fmt.Sprintf("adds %s, #%d", r(lo(8)), int(op&0xFF)), 2
+	case op>>11 == 0b00111:
+		return fmt.Sprintf("subs %s, #%d", r(lo(8)), int(op&0xFF)), 2
+	case op>>10 == 0b010000:
+		names := [...]string{
+			"ands", "eors", "lsls", "lsrs", "asrs", "adcs", "sbcs", "rors",
+			"tst", "rsbs", "cmp", "cmn", "orrs", "muls", "bics", "mvns"}
+		return fmt.Sprintf("%s %s, %s", names[(op>>6)&0xF], r(lo(0)), r(lo(3))), 2
+	case op>>10 == 0b010001:
+		rd := int(op)&7 | int(op>>4)&8
+		rm := int(op>>3) & 0xF
+		switch (op >> 8) & 3 {
+		case 0b00:
+			return fmt.Sprintf("add %s, %s", r(rd), r(rm)), 2
+		case 0b01:
+			return fmt.Sprintf("cmp %s, %s", r(rd), r(rm)), 2
+		case 0b10:
+			return fmt.Sprintf("mov %s, %s", r(rd), r(rm)), 2
+		default:
+			if op&0x80 != 0 {
+				return fmt.Sprintf("blx %s", r(rm)), 2
+			}
+			return fmt.Sprintf("bx %s", r(rm)), 2
+		}
+	case op>>11 == 0b01001:
+		target := ((pc + 4) &^ 3) + uint32(op&0xFF)*4
+		return fmt.Sprintf("ldr %s, [pc, #%d] ; 0x%x", r(lo(8)), int(op&0xFF)*4, target), 2
+	case op>>12 == 0b0101:
+		names := [...]string{"str", "strh", "strb", "ldrsb", "ldr", "ldrh", "ldrb", "ldrsh"}
+		return fmt.Sprintf("%s %s, [%s, %s]", names[(op>>9)&7], r(lo(0)), r(lo(3)), r(lo(6))), 2
+	case op>>13 == 0b011:
+		imm := int(op>>6) & 31
+		if op&(1<<12) == 0 {
+			imm *= 4
+		}
+		name := map[bool]map[bool]string{
+			false: {false: "str", true: "ldr"},
+			true:  {false: "strb", true: "ldrb"},
+		}[op&(1<<12) != 0][op&(1<<11) != 0]
+		return fmt.Sprintf("%s %s, [%s, #%d]", name, r(lo(0)), r(lo(3)), imm), 2
+	case op>>12 == 0b1000:
+		name := "strh"
+		if op&(1<<11) != 0 {
+			name = "ldrh"
+		}
+		return fmt.Sprintf("%s %s, [%s, #%d]", name, r(lo(0)), r(lo(3)), (int(op>>6)&31)*2), 2
+	case op>>12 == 0b1001:
+		name := "str"
+		if op&(1<<11) != 0 {
+			name = "ldr"
+		}
+		return fmt.Sprintf("%s %s, [sp, #%d]", name, r(lo(8)), int(op&0xFF)*4), 2
+	case op>>11 == 0b10100:
+		return fmt.Sprintf("adr %s, pc, #%d", r(lo(8)), int(op&0xFF)*4), 2
+	case op>>11 == 0b10101:
+		return fmt.Sprintf("add %s, sp, #%d", r(lo(8)), int(op&0xFF)*4), 2
+	case op>>7 == 0b101100000:
+		return fmt.Sprintf("add sp, #%d", int(op&0x7F)*4), 2
+	case op>>7 == 0b101100001:
+		return fmt.Sprintf("sub sp, #%d", int(op&0x7F)*4), 2
+	case op>>6 == 0b1011001000:
+		return fmt.Sprintf("sxth %s, %s", r(lo(0)), r(lo(3))), 2
+	case op>>6 == 0b1011001001:
+		return fmt.Sprintf("sxtb %s, %s", r(lo(0)), r(lo(3))), 2
+	case op>>6 == 0b1011001010:
+		return fmt.Sprintf("uxth %s, %s", r(lo(0)), r(lo(3))), 2
+	case op>>6 == 0b1011001011:
+		return fmt.Sprintf("uxtb %s, %s", r(lo(0)), r(lo(3))), 2
+	case op>>9 == 0b1011010:
+		return fmt.Sprintf("push {%s}", regList(int(op&0xFF), op&0x100 != 0, "lr")), 2
+	case op>>9 == 0b1011110:
+		return fmt.Sprintf("pop {%s}", regList(int(op&0xFF), op&0x100 != 0, "pc")), 2
+	case op>>6 == 0b1011101000:
+		return fmt.Sprintf("rev %s, %s", r(lo(0)), r(lo(3))), 2
+	case op>>6 == 0b1011101001:
+		return fmt.Sprintf("rev16 %s, %s", r(lo(0)), r(lo(3))), 2
+	case op>>6 == 0b1011101011:
+		return fmt.Sprintf("revsh %s, %s", r(lo(0)), r(lo(3))), 2
+	case op>>8 == 0b10111110:
+		return fmt.Sprintf("bkpt #%d", int(op&0xFF)), 2
+	case op == opNop:
+		return "nop", 2
+	case op>>12 == 0b1100:
+		name := "stmia"
+		if op&(1<<11) != 0 {
+			name = "ldmia"
+		}
+		return fmt.Sprintf("%s %s!, {%s}", name, r(lo(8)), regList(int(op&0xFF), false, "")), 2
+	case op>>12 == 0b1101:
+		cond := int(op>>8) & 0xF
+		switch cond {
+		case 0xE:
+			return fmt.Sprintf("udf #%d", int(op&0xFF)), 2
+		case 0xF:
+			return fmt.Sprintf("svc #%d", int(op&0xFF)), 2
+		}
+		names := [...]string{"beq", "bne", "bcs", "bcc", "bmi", "bpl", "bvs", "bvc",
+			"bhi", "bls", "bge", "blt", "bgt", "ble"}
+		off := int32(int8(op&0xFF)) * 2
+		return fmt.Sprintf("%s 0x%x", names[cond], uint32(int32(pc+4)+off)), 2
+	case op>>11 == 0b11100:
+		off := int32(op&0x7FF) << 21 >> 20
+		return fmt.Sprintf("b 0x%x", uint32(int32(pc+4)+off)), 2
+	case op>>11 == 0b11110 && op2>>14 == 0b11 && op2&(1<<12) != 0:
+		s := uint32(op>>10) & 1
+		imm10 := uint32(op) & 0x3FF
+		j1 := uint32(op2>>13) & 1
+		j2 := uint32(op2>>11) & 1
+		imm11 := uint32(op2) & 0x7FF
+		i1 := ^(j1 ^ s) & 1
+		i2 := ^(j2 ^ s) & 1
+		imm := s<<24 | i1<<23 | i2<<22 | imm10<<12 | imm11<<1
+		off := int32(imm<<7) >> 7
+		return fmt.Sprintf("bl 0x%x", uint32(int32(pc+4)+off)), 4
+	case op>>11 == 0b11110 || op>>11 == 0b11101 || op>>11 == 0b11111:
+		return fmt.Sprintf(".word 0x%04x%04x", op2, op), 4
+	}
+	return fmt.Sprintf(".hword 0x%04x", op), 2
+}
+
+const opNop = 0xBF00
+
+func regList(mask int, extra bool, extraName string) string {
+	s := ""
+	for i := 0; i < 8; i++ {
+		if mask&(1<<i) != 0 {
+			if s != "" {
+				s += ", "
+			}
+			s += fmt.Sprintf("r%d", i)
+		}
+	}
+	if extra {
+		if s != "" {
+			s += ", "
+		}
+		s += extraName
+	}
+	return s
+}
+
+// DisassembleRange renders [start, end) of the image as one line per
+// instruction.
+func DisassembleRange(image []byte, start, end uint32) []string {
+	var out []string
+	pc := start
+	for pc+1 < end && int(pc+1) < len(image) {
+		op := uint16(image[pc]) | uint16(image[pc+1])<<8
+		var op2 uint16
+		if int(pc+3) < len(image) {
+			op2 = uint16(image[pc+2]) | uint16(image[pc+3])<<8
+		}
+		text, size := Disassemble(op, op2, pc)
+		out = append(out, fmt.Sprintf("%06x: %s", pc, text))
+		pc += uint32(size)
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+// Package armsim implements a cycle-accurate instruction-set simulator for
+// the ARMv6-M architecture with a Cortex-M0+ timing model. It is the
+// execution substrate for the Clank reproduction: programs compiled by the
+// ccc mini-C compiler run on this simulator, every data-memory access is
+// visible to attached hardware models (the Clank buffers), and the cycle
+// counter drives the power-failure model.
+package armsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Memory geometry. The modeled device mirrors the paper's target: a 256 KB
+// wholly non-volatile main memory starting at address zero, holding vectors,
+// text, data, heap, and stack. Writes outside this range hit the output port
+// (the output-commit problem, paper section 3.3).
+const (
+	MemBase = 0x00000000
+	MemSize = 256 * 1024
+
+	// OutputBase is the word-wide memory-mapped output port. Any store to
+	// this region is an externally visible output.
+	OutputBase = 0x40000000
+	OutputSize = 0x100
+)
+
+// ErrBusFault reports an access outside every mapped region.
+var ErrBusFault = errors.New("armsim: bus fault")
+
+// Access describes one data-memory access as seen by attached hardware.
+// Addresses are byte addresses; Clank itself tracks word granularity.
+type Access struct {
+	Write bool
+	Addr  uint32
+	Size  uint8  // 1, 2, or 4 bytes
+	Value uint32 // value read, or value being written
+	Prev  uint32 // for writes: prior value of the containing word
+	PC    uint32 // address of the accessing instruction
+	Cycle uint64 // CPU cycle counter when the access issued
+}
+
+// WordAddr returns the 30-bit word address of the access (paper section
+// 3.1.1: Clank tracks memory at word granularity; a byte access marks the
+// whole containing word).
+func (a Access) WordAddr() uint32 { return a.Addr >> 2 }
+
+// Bus is the CPU's view of the memory system. A Bus implementation may veto
+// an access by returning an error; the CPU then aborts the current
+// instruction without architectural side effects and leaves PC pointing at
+// it, so the instruction re-executes after the veto cause (typically a
+// checkpoint) is handled.
+type Bus interface {
+	Load(addr uint32, size uint8, pc uint32) (uint32, error)
+	Store(addr uint32, size uint8, value uint32, pc uint32) error
+	// Fetch16 reads one halfword of instruction stream. Instruction fetch
+	// is not a tracked data access.
+	Fetch16(addr uint32) (uint16, error)
+}
+
+// Memory is the flat non-volatile main memory plus the output port. The
+// zero value is not usable; call NewMemory.
+type Memory struct {
+	data []byte
+
+	// Outputs accumulates every word written to the output port, in order.
+	Outputs []uint32
+
+	// OnOutput, when non-nil, observes each output word as it is written.
+	OnOutput func(v uint32)
+}
+
+// NewMemory returns a zeroed 256 KB memory.
+func NewMemory() *Memory {
+	return &Memory{data: make([]byte, MemSize)}
+}
+
+// Reset zeroes memory contents and clears recorded outputs.
+func (m *Memory) Reset() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+	m.Outputs = m.Outputs[:0]
+}
+
+// LoadImage copies img into memory starting at addr.
+func (m *Memory) LoadImage(addr uint32, img []byte) error {
+	if int(addr)+len(img) > len(m.data) {
+		return fmt.Errorf("armsim: image of %d bytes at %#x exceeds memory", len(img), addr)
+	}
+	copy(m.data[addr:], img)
+	return nil
+}
+
+// Snapshot returns a copy of the full memory contents.
+func (m *Memory) Snapshot() []byte {
+	s := make([]byte, len(m.data))
+	copy(s, m.data)
+	return s
+}
+
+// Restore overwrites memory contents from a snapshot taken with Snapshot.
+func (m *Memory) Restore(s []byte) {
+	copy(m.data, s)
+}
+
+// Bytes exposes the raw backing store (for checkpoint slots and loaders).
+func (m *Memory) Bytes() []byte { return m.data }
+
+func (m *Memory) inRAM(addr uint32, size uint8) bool {
+	return addr >= MemBase && addr+uint32(size) <= MemBase+MemSize && addr+uint32(size) > addr
+}
+
+func (m *Memory) isOutput(addr uint32) bool {
+	return addr >= OutputBase && addr < OutputBase+OutputSize
+}
+
+// ReadWord reads an aligned word without any access tracking.
+func (m *Memory) ReadWord(addr uint32) uint32 {
+	a := addr &^ 3
+	if !m.inRAM(a, 4) {
+		return 0
+	}
+	return uint32(m.data[a]) | uint32(m.data[a+1])<<8 | uint32(m.data[a+2])<<16 | uint32(m.data[a+3])<<24
+}
+
+// WriteWord writes an aligned word without any access tracking.
+func (m *Memory) WriteWord(addr uint32, v uint32) {
+	a := addr &^ 3
+	if !m.inRAM(a, 4) {
+		return
+	}
+	m.data[a] = byte(v)
+	m.data[a+1] = byte(v >> 8)
+	m.data[a+2] = byte(v >> 16)
+	m.data[a+3] = byte(v >> 24)
+}
+
+// Load implements Bus.
+func (m *Memory) Load(addr uint32, size uint8, pc uint32) (uint32, error) {
+	if m.isOutput(addr) {
+		return 0, nil
+	}
+	if !m.inRAM(addr, size) {
+		return 0, fmt.Errorf("%w: load%d at %#x (pc %#x)", ErrBusFault, size*8, addr, pc)
+	}
+	switch size {
+	case 1:
+		return uint32(m.data[addr]), nil
+	case 2:
+		return uint32(m.data[addr]) | uint32(m.data[addr+1])<<8, nil
+	case 4:
+		return uint32(m.data[addr]) | uint32(m.data[addr+1])<<8 |
+			uint32(m.data[addr+2])<<16 | uint32(m.data[addr+3])<<24, nil
+	}
+	return 0, fmt.Errorf("%w: bad size %d", ErrBusFault, size)
+}
+
+// Store implements Bus.
+func (m *Memory) Store(addr uint32, size uint8, value uint32, pc uint32) error {
+	if m.isOutput(addr) {
+		m.Outputs = append(m.Outputs, value)
+		if m.OnOutput != nil {
+			m.OnOutput(value)
+		}
+		return nil
+	}
+	if !m.inRAM(addr, size) {
+		return fmt.Errorf("%w: store%d at %#x (pc %#x)", ErrBusFault, size*8, addr, pc)
+	}
+	switch size {
+	case 1:
+		m.data[addr] = byte(value)
+	case 2:
+		m.data[addr] = byte(value)
+		m.data[addr+1] = byte(value >> 8)
+	case 4:
+		m.data[addr] = byte(value)
+		m.data[addr+1] = byte(value >> 8)
+		m.data[addr+2] = byte(value >> 16)
+		m.data[addr+3] = byte(value >> 24)
+	default:
+		return fmt.Errorf("%w: bad size %d", ErrBusFault, size)
+	}
+	return nil
+}
+
+// Fetch16 implements Bus.
+func (m *Memory) Fetch16(addr uint32) (uint16, error) {
+	if !m.inRAM(addr, 2) {
+		return 0, fmt.Errorf("%w: fetch at %#x", ErrBusFault, addr)
+	}
+	return uint16(m.data[addr]) | uint16(m.data[addr+1])<<8, nil
+}

@@ -1,0 +1,102 @@
+package armsim
+
+// Recorder is a Bus that records a word-normalized, cycle-stamped memory
+// access log while forwarding to real memory — the analog of the paper's
+// instruction-set-simulator trace output that feeds the Clank policy
+// simulator. Accesses to main memory are normalized to their containing
+// word (Clank tracks word granularity): Addr is word-aligned, Value/Prev
+// are whole-word values. Output-port stores are recorded with their
+// original out-of-range address so the policy simulator can model the
+// output-commit protocol.
+type Recorder struct {
+	Mem     *Memory
+	CycleFn func() uint64
+	Trace   []Access
+}
+
+// NewRecorder wires a recorder around mem. Set CycleFn before running
+// (typically func() uint64 { return cpu.Cycle }).
+func NewRecorder(mem *Memory) *Recorder {
+	return &Recorder{Mem: mem}
+}
+
+func (r *Recorder) cycle() uint64 {
+	if r.CycleFn == nil {
+		return 0
+	}
+	return r.CycleFn()
+}
+
+// Load implements Bus.
+func (r *Recorder) Load(addr uint32, size uint8, pc uint32) (uint32, error) {
+	v, err := r.Mem.Load(addr, size, pc)
+	if err != nil {
+		return 0, err
+	}
+	if addr < MemSize {
+		r.Trace = append(r.Trace, Access{
+			Addr:  addr &^ 3,
+			Size:  4,
+			Value: r.Mem.ReadWord(addr),
+			PC:    pc,
+			Cycle: r.cycle(),
+		})
+	}
+	return v, nil
+}
+
+// Store implements Bus.
+func (r *Recorder) Store(addr uint32, size uint8, value uint32, pc uint32) error {
+	if addr >= MemSize {
+		// Output: record the raw event for output-commit modeling.
+		if err := r.Mem.Store(addr, size, value, pc); err != nil {
+			return err
+		}
+		r.Trace = append(r.Trace, Access{
+			Write: true,
+			Addr:  addr,
+			Size:  size,
+			Value: value,
+			PC:    pc,
+			Cycle: r.cycle(),
+		})
+		return nil
+	}
+	prev := r.Mem.ReadWord(addr)
+	if err := r.Mem.Store(addr, size, value, pc); err != nil {
+		return err
+	}
+	r.Trace = append(r.Trace, Access{
+		Write: true,
+		Addr:  addr &^ 3,
+		Size:  4,
+		Value: r.Mem.ReadWord(addr),
+		Prev:  prev,
+		PC:    pc,
+		Cycle: r.cycle(),
+	})
+	return nil
+}
+
+// Fetch16 implements Bus (instruction fetches are not tracked).
+func (r *Recorder) Fetch16(addr uint32) (uint16, error) { return r.Mem.Fetch16(addr) }
+
+// CollectTrace boots the image on a fresh machine with a recorder attached,
+// runs it to completion, and returns the access log plus the total cycle
+// count.
+func CollectTrace(image []byte, maxCycles uint64) ([]Access, uint64, error) {
+	mem := NewMemory()
+	if err := mem.LoadImage(0, image); err != nil {
+		return nil, 0, err
+	}
+	rec := NewRecorder(mem)
+	cpu := NewCPU(rec)
+	rec.CycleFn = func() uint64 { return cpu.Cycle }
+	cpu.ResetInto(mem.ReadWord(0), mem.ReadWord(4))
+	m := &Machine{CPU: cpu, Mem: mem}
+	total, err := m.Run(maxCycles)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rec.Trace, total, nil
+}

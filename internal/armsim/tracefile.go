@@ -1,0 +1,106 @@
+package armsim
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trace files store a memory-access log plus the run's total cycle count,
+// so expensive instruction-set simulations can be captured once and
+// replayed through the policy simulator many times — the workflow of the
+// paper's artifact, which passed Thumbulator logs to the Clank policy
+// simulator.
+//
+// Format (little-endian):
+//
+//	magic "CLNKTRC1" | uint64 totalCycles | uint64 count | count records
+//
+// Each record is 25 bytes: flags(1) addr(4) value(4) prev(4) pc(4) cycle(8).
+
+var traceMagic = [8]byte{'C', 'L', 'N', 'K', 'T', 'R', 'C', '1'}
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("armsim: malformed trace file")
+
+const traceRecordSize = 1 + 4 + 4 + 4 + 4 + 8
+
+// WriteTrace serializes a trace and its total cycle count to w.
+func WriteTrace(w io.Writer, trace []Access, totalCycles uint64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], totalCycles)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(trace)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [traceRecordSize]byte
+	for _, a := range trace {
+		rec[0] = 0
+		if a.Write {
+			rec[0] = 1
+		}
+		binary.LittleEndian.PutUint32(rec[1:], a.Addr)
+		binary.LittleEndian.PutUint32(rec[5:], a.Value)
+		binary.LittleEndian.PutUint32(rec[9:], a.Prev)
+		binary.LittleEndian.PutUint32(rec[13:], a.PC)
+		binary.LittleEndian.PutUint64(rec[17:], a.Cycle)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]Access, uint64, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if magic != traceMagic {
+		return nil, 0, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic[:])
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("%w: truncated header", ErrBadTrace)
+	}
+	total := binary.LittleEndian.Uint64(hdr[0:])
+	count := binary.LittleEndian.Uint64(hdr[8:])
+	const maxRecords = 1 << 31
+	if count > maxRecords {
+		return nil, 0, fmt.Errorf("%w: implausible record count %d", ErrBadTrace, count)
+	}
+	trace := make([]Access, 0, count)
+	var rec [traceRecordSize]byte
+	var prevCycle uint64
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, 0, fmt.Errorf("%w: truncated at record %d", ErrBadTrace, i)
+		}
+		a := Access{
+			Write: rec[0]&1 != 0,
+			Addr:  binary.LittleEndian.Uint32(rec[1:]),
+			Size:  4,
+			Value: binary.LittleEndian.Uint32(rec[5:]),
+			Prev:  binary.LittleEndian.Uint32(rec[9:]),
+			PC:    binary.LittleEndian.Uint32(rec[13:]),
+			Cycle: binary.LittleEndian.Uint64(rec[17:]),
+		}
+		if a.Cycle < prevCycle {
+			return nil, 0, fmt.Errorf("%w: cycle stamps not monotonic at record %d", ErrBadTrace, i)
+		}
+		prevCycle = a.Cycle
+		trace = append(trace, a)
+	}
+	if prevCycle > total {
+		return nil, 0, fmt.Errorf("%w: last stamp %d beyond total %d", ErrBadTrace, prevCycle, total)
+	}
+	return trace, total, nil
+}

@@ -1,0 +1,107 @@
+package armsim
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	ops := []uint16{
+		movImm8(2, 0x40),
+		movImm8(0, 9),
+		uint16(0b0110<<12 | 0<<11 | 0<<6 | 2<<3 | 0), // STR r0, [r2]
+		uint16(0b0110<<12 | 1<<11 | 0<<6 | 2<<3 | 1), // LDR r1, [r2]
+		opBKPT,
+	}
+	trace, total, err := CollectTrace(asmImage(ops...), 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, trace, total); err != nil {
+		t.Fatal(err)
+	}
+	got, gotTotal, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTotal != total || len(got) != len(trace) {
+		t.Fatalf("round trip: %d/%d records, %d/%d cycles", len(got), len(trace), gotTotal, total)
+	}
+	for i := range trace {
+		if got[i] != trace[i] {
+			t.Errorf("record %d: %+v != %+v", i, got[i], trace[i])
+		}
+	}
+}
+
+func TestTraceRoundTripQuick(t *testing.T) {
+	prop := func(raw []uint32, total16 uint16) bool {
+		trace := make([]Access, len(raw))
+		var cyc uint64
+		for i, v := range raw {
+			cyc += uint64(v % 7)
+			trace[i] = Access{
+				Write: v&1 != 0,
+				Addr:  v &^ 3 % MemSize,
+				Size:  4,
+				Value: v * 3,
+				Prev:  v ^ 0xAAAA,
+				PC:    v % 0x10000,
+				Cycle: cyc,
+			}
+		}
+		total := cyc + uint64(total16)
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, trace, total); err != nil {
+			return false
+		}
+		got, gotTotal, err := ReadTrace(&buf)
+		if err != nil || gotTotal != total || len(got) != len(trace) {
+			return false
+		}
+		for i := range trace {
+			if got[i] != trace[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceRejectsCorruption(t *testing.T) {
+	trace := []Access{{Write: true, Addr: 4, Value: 1, Cycle: 10}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, trace, 100); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, good...)
+	bad[0] ^= 0xFF
+	if _, _, err := ReadTrace(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated records.
+	if _, _, err := ReadTrace(bytes.NewReader(good[:len(good)-3])); err == nil {
+		t.Error("truncated trace accepted")
+	}
+	// Non-monotonic stamps.
+	two := []Access{{Addr: 4, Cycle: 10}, {Addr: 8, Cycle: 5}}
+	buf.Reset()
+	if err := WriteTrace(&buf, two, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadTrace(&buf); err == nil {
+		t.Error("non-monotonic trace accepted")
+	}
+	// Empty input.
+	if _, _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}

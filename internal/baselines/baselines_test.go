@@ -1,0 +1,84 @@
+package baselines
+
+import "testing"
+
+const (
+	testCycles = 2_000_000
+	meanOn     = 100_000
+)
+
+func TestOrderingMatchesLiterature(t *testing.T) {
+	mem := Simulate(Mementos(300), testCycles, meanOn, 1)
+	hib := Simulate(Hibernus(5600), testCycles, meanOn, 1)
+	hpp := Simulate(HibernusPP(5200), testCycles, meanOn, 1)
+	rat := Simulate(Ratchet(130), testCycles, meanOn, 1)
+	if !(rat.Overhead() < hib.Overhead() && hib.Overhead() < mem.Overhead()) {
+		t.Errorf("ordering broken: ratchet %.3f, hibernus %.3f, mementos %.3f",
+			rat.Overhead(), hib.Overhead(), mem.Overhead())
+	}
+	if hpp.Overhead() >= hib.Overhead() {
+		t.Errorf("Hibernus++ (%.3f) not better than Hibernus (%.3f)", hpp.Overhead(), hib.Overhead())
+	}
+	// Bands from the cited papers at 100 ms (paper Table 3).
+	if mem.Overhead() < 0.8 || mem.Overhead() > 2.0 {
+		t.Errorf("Mementos overhead %.3f outside the 117-145%% band's neighborhood", mem.Overhead())
+	}
+	if hib.Overhead() < 0.2 || hib.Overhead() > 0.6 {
+		t.Errorf("Hibernus overhead %.3f far from the 38%% figure", hib.Overhead())
+	}
+	if rat.Overhead() < 0.15 || rat.Overhead() > 0.55 {
+		t.Errorf("Ratchet overhead %.3f far from the 32%% figure", rat.Overhead())
+	}
+}
+
+func TestCompletesAndConserves(t *testing.T) {
+	for _, m := range []Model{Mementos(300), Hibernus(4096), HibernusPP(2048), Ratchet(130)} {
+		r := Simulate(m, testCycles, meanOn, 3)
+		if r.UsefulCycles != testCycles {
+			t.Errorf("%s: useful cycles %d", m.Name, r.UsefulCycles)
+		}
+		if r.WallCycles < testCycles {
+			t.Errorf("%s: wall %d below useful %d", m.Name, r.WallCycles, testCycles)
+		}
+		if r.Restarts == 0 {
+			t.Errorf("%s: no power cycles at 100k mean over 2M cycles", m.Name)
+		}
+	}
+}
+
+func TestMoreFrequentPowerFailuresHurt(t *testing.T) {
+	for _, m := range []Model{Mementos(300), Hibernus(4096), Ratchet(130)} {
+		rare := Simulate(m, testCycles, 500_000, 5)
+		often := Simulate(m, testCycles, 20_000, 5)
+		if often.Overhead() <= rare.Overhead() {
+			t.Errorf("%s: overhead did not grow with failure frequency (%.3f vs %.3f)",
+				m.Name, often.Overhead(), rare.Overhead())
+		}
+	}
+}
+
+func TestHibernusSnapshotScalesWithRAM(t *testing.T) {
+	small := Simulate(Hibernus(1024), testCycles, meanOn, 9)
+	big := Simulate(Hibernus(8192), testCycles, meanOn, 9)
+	if big.Overhead() <= small.Overhead() {
+		t.Errorf("bigger SRAM snapshot should cost more: %.3f vs %.3f",
+			big.Overhead(), small.Overhead())
+	}
+}
+
+func TestRatchetSectionLengthTradeoff(t *testing.T) {
+	short := Simulate(Ratchet(40), testCycles, meanOn, 2)
+	long := Simulate(Ratchet(1000), testCycles, meanOn, 2)
+	if short.CkptCycles <= long.CkptCycles {
+		t.Errorf("shorter sections must checkpoint more: %d vs %d cycles",
+			short.CkptCycles, long.CkptCycles)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := Simulate(Mementos(300), testCycles, meanOn, 7)
+	b := Simulate(Mementos(300), testCycles, meanOn, 7)
+	if a != b {
+		t.Error("same seed produced different results")
+	}
+}

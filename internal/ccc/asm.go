@@ -1,0 +1,323 @@
+package ccc
+
+import "fmt"
+
+// The assembler works on a list of abstract items (opcodes, labels,
+// branches, literal loads, pool entries) and performs iterative branch
+// relaxation: every branch starts in its short form and is widened when a
+// layout pass finds its target out of range. Widening is sticky, so the
+// loop terminates.
+//
+// Long forms:
+//   - conditional branch: B<!cond> over a 32-bit BL to the target
+//   - unconditional branch: a 32-bit BL (LR is dead inside function bodies:
+//     it is saved in the prologue and restored from the stack)
+//
+// Literal loads (LDR rt, [pc, #imm]) reference pool entries that the code
+// generator flushes near their uses; the assembler checks the ±1 KB range.
+
+type itemKind int
+
+const (
+	itOp itemKind = iota
+	itOp32
+	itLabel
+	itBCond
+	itB
+	itBL
+	itLdrLit
+	itAlign4
+	itPoolEntry
+	itBytes // raw data blob (rodata), 4-aligned by a preceding itAlign4
+)
+
+// litVal is a literal pool value: either an absolute constant or the
+// address of a symbol plus an offset, resolved after data layout.
+type litVal struct {
+	value uint32
+	sym   *symbol
+	add   uint32
+	// thumb marks function addresses that need the Thumb bit set.
+	thumb bool
+}
+
+type item struct {
+	kind  itemKind
+	op    uint16
+	op2   uint16
+	label int // label id: target for branches, own id for itLabel
+	cond  int
+	rt    int
+	lit   litVal
+	wide  bool
+	bytes []byte
+
+	addr uint32 // assigned during layout
+	size uint32
+}
+
+type asm struct {
+	items   []item
+	nlabels int
+
+	// literal pool bookkeeping
+	pending      []pendingLit
+	bytesPending uint32 // worst-case bytes emitted since first pending literal
+}
+
+type pendingLit struct {
+	lit     litVal
+	labelID int // label placed on the pool entry
+}
+
+func newAsm() *asm { return &asm{} }
+
+func (a *asm) newLabel() int {
+	a.nlabels++
+	return a.nlabels - 1
+}
+
+func (a *asm) place(id int) { a.items = append(a.items, item{kind: itLabel, label: id}) }
+
+func (a *asm) op(w uint16) {
+	a.items = append(a.items, item{kind: itOp, op: w})
+	a.bytesPending += 2
+}
+
+func (a *asm) bcond(cond, target int) {
+	a.items = append(a.items, item{kind: itBCond, cond: cond, label: target})
+	a.bytesPending += 6
+}
+
+func (a *asm) b(target int) {
+	a.items = append(a.items, item{kind: itB, label: target})
+	a.bytesPending += 4
+}
+
+func (a *asm) bl(target int) {
+	a.items = append(a.items, item{kind: itBL, label: target})
+	a.bytesPending += 4
+}
+
+// ldrLit emits a PC-relative literal load of v into rt, registering the
+// literal in the pending pool (deduplicated).
+func (a *asm) ldrLit(rt int, v litVal) {
+	id := -1
+	for _, p := range a.pending {
+		if p.lit == v {
+			id = p.labelID
+			break
+		}
+	}
+	if id < 0 {
+		id = a.newLabel()
+		a.pending = append(a.pending, pendingLit{lit: v, labelID: id})
+	}
+	a.items = append(a.items, item{kind: itLdrLit, rt: rt, label: id})
+	a.bytesPending += 2
+}
+
+// maybeFlushPool dumps the pending literal pool if it is at risk of going
+// out of LDR-literal range, jumping over the pool.
+func (a *asm) maybeFlushPool() {
+	if len(a.pending) == 0 {
+		return
+	}
+	if a.bytesPending > 400 || len(a.pending) >= 40 {
+		a.flushPool(true)
+	}
+}
+
+// flushPool emits all pending pool entries. If jumpOver is true a branch is
+// emitted around the pool (use false immediately after unconditional
+// control flow such as the epilogue).
+func (a *asm) flushPool(jumpOver bool) {
+	if len(a.pending) == 0 {
+		return
+	}
+	var skip int
+	if jumpOver {
+		skip = a.newLabel()
+		a.b(skip)
+	}
+	a.items = append(a.items, item{kind: itAlign4})
+	for _, p := range a.pending {
+		a.place(p.labelID)
+		a.items = append(a.items, item{kind: itPoolEntry, lit: p.lit})
+	}
+	if jumpOver {
+		a.place(skip)
+	}
+	a.pending = a.pending[:0]
+	a.bytesPending = 0
+}
+
+// data emits a raw 4-aligned byte blob with a label on it.
+func (a *asm) data(label int, blob []byte) {
+	a.items = append(a.items, item{kind: itAlign4})
+	a.place(label)
+	a.items = append(a.items, item{kind: itBytes, bytes: blob})
+}
+
+// patch records a pool slot whose value depends on a symbol address
+// assigned after layout.
+type patch struct {
+	off   uint32 // byte offset into the assembled output
+	sym   *symbol
+	add   uint32
+	thumb bool
+}
+
+// assemble lays out all items starting at base, resolves branches, and
+// returns the image bytes plus symbol patches for pool entries and the
+// byte addresses of every label.
+func (a *asm) assemble(base uint32) ([]byte, []patch, map[int]uint32, error) {
+	if len(a.pending) > 0 {
+		return nil, nil, nil, fmt.Errorf("ccc: unflushed literal pool (%d entries)", len(a.pending))
+	}
+	labelAddr := make(map[int]uint32)
+	// Iterative layout with sticky widening.
+	for pass := 0; ; pass++ {
+		if pass > 64 {
+			return nil, nil, nil, fmt.Errorf("ccc: branch relaxation did not converge")
+		}
+		addr := base
+		for i := range a.items {
+			it := &a.items[i]
+			it.addr = addr
+			switch it.kind {
+			case itOp:
+				it.size = 2
+			case itOp32, itBL:
+				it.size = 4
+			case itLabel:
+				it.size = 0
+			case itBCond:
+				if it.wide {
+					it.size = 6
+				} else {
+					it.size = 2
+				}
+			case itB:
+				if it.wide {
+					it.size = 4
+				} else {
+					it.size = 2
+				}
+			case itLdrLit:
+				it.size = 2
+			case itAlign4:
+				it.size = addr & 2
+			case itPoolEntry:
+				it.size = 4
+			case itBytes:
+				it.size = uint32(len(it.bytes))
+			}
+			if it.kind == itLabel {
+				labelAddr[it.label] = addr
+			}
+			addr += it.size
+		}
+		changed := false
+		for i := range a.items {
+			it := &a.items[i]
+			target, ok := labelAddr[it.label]
+			switch it.kind {
+			case itBCond:
+				if !ok {
+					return nil, nil, nil, fmt.Errorf("ccc: undefined label %d", it.label)
+				}
+				if !it.wide {
+					off := int64(target) - int64(it.addr) - 4
+					if off < -256 || off > 254 {
+						it.wide = true
+						changed = true
+					}
+				}
+			case itB:
+				if !ok {
+					return nil, nil, nil, fmt.Errorf("ccc: undefined label %d", it.label)
+				}
+				if !it.wide {
+					off := int64(target) - int64(it.addr) - 4
+					if off < -2048 || off > 2046 {
+						it.wide = true
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Emit.
+	var out []byte
+	var patches []patch
+	emit16 := func(w uint16) { out = append(out, byte(w), byte(w>>8)) }
+	for i := range a.items {
+		it := &a.items[i]
+		if uint32(len(out))+base != it.addr {
+			return nil, nil, nil, fmt.Errorf("ccc: layout drift at item %d", i)
+		}
+		switch it.kind {
+		case itOp:
+			emit16(it.op)
+		case itOp32:
+			emit16(it.op)
+			emit16(it.op2)
+		case itLabel:
+		case itBCond:
+			target := labelAddr[it.label]
+			if it.wide {
+				// B<!cond> over a BL to the target: the BL occupies
+				// [addr+2, addr+6), so the skip target is addr+6 and the
+				// encoded offset is (addr+6)-(addr+4) = 2.
+				emit16(encBcond(invCond(it.cond), 2))
+				hi, lo := encBL(int32(target) - int32(it.addr+2) - 4)
+				emit16(hi)
+				emit16(lo)
+			} else {
+				off := int(target) - int(it.addr) - 4
+				emit16(encBcond(it.cond, off))
+			}
+		case itB:
+			target := labelAddr[it.label]
+			if it.wide {
+				hi, lo := encBL(int32(target) - int32(it.addr) - 4)
+				emit16(hi)
+				emit16(lo)
+			} else {
+				emit16(encB(int(target) - int(it.addr) - 4))
+			}
+		case itBL:
+			target := labelAddr[it.label]
+			hi, lo := encBL(int32(target) - int32(it.addr) - 4)
+			emit16(hi)
+			emit16(lo)
+		case itLdrLit:
+			target := labelAddr[it.label]
+			pcBase := (it.addr + 4) &^ 3
+			off := int64(target) - int64(pcBase)
+			if off < 0 || off > 1020 || off%4 != 0 {
+				return nil, nil, nil, fmt.Errorf("ccc: literal out of range (%d bytes) at %#x", off, it.addr)
+			}
+			emit16(encLdrLit(it.rt, int(off)))
+		case itAlign4:
+			if it.size == 2 {
+				emit16(opNOP)
+			}
+		case itPoolEntry:
+			if it.lit.sym != nil {
+				patches = append(patches, patch{off: uint32(len(out)), sym: it.lit.sym, add: it.lit.add, thumb: it.lit.thumb})
+				out = append(out, 0, 0, 0, 0)
+			} else {
+				v := it.lit.value
+				out = append(out, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+		case itBytes:
+			out = append(out, it.bytes...)
+		}
+	}
+	return out, patches, labelAddr, nil
+}

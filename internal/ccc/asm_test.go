@@ -1,0 +1,178 @@
+package ccc
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func assemble(t *testing.T, build func(a *asm)) []byte {
+	t.Helper()
+	a := newAsm()
+	build(a)
+	out, _, _, err := a.assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestShortForwardBranch(t *testing.T) {
+	out := assemble(t, func(a *asm) {
+		l := a.newLabel()
+		a.b(l)
+		a.op(opNOP)
+		a.place(l)
+		a.op(opNOP)
+	})
+	// B over one halfword: offset 0 from PC+4 relative encoding.
+	op := binary.LittleEndian.Uint16(out[0:])
+	if op>>11 != 0b11100 {
+		t.Fatalf("not an unconditional branch: %#04x", op)
+	}
+	if off := int16(op<<5) >> 5; off != 0 {
+		t.Errorf("offset = %d halfwords, want 0 (target 2 past pc+4=4... )", off)
+	}
+}
+
+func TestBackwardBranch(t *testing.T) {
+	out := assemble(t, func(a *asm) {
+		l := a.newLabel()
+		a.place(l)
+		a.op(opNOP)
+		a.b(l)
+	})
+	op := binary.LittleEndian.Uint16(out[2:])
+	if off := int16(op<<5) >> 5; off != -3 { // target 0, branch at 2: 0-(2+4) = -6 bytes
+		t.Errorf("offset = %d halfwords, want -3", off)
+	}
+}
+
+func TestConditionalRelaxation(t *testing.T) {
+	// A conditional branch over more than 256 bytes must widen to the
+	// inverted-condition + BL form and still resolve.
+	out := assemble(t, func(a *asm) {
+		l := a.newLabel()
+		a.bcond(condEQ, l)
+		for i := 0; i < 200; i++ {
+			a.op(opNOP)
+		}
+		a.place(l)
+		a.op(opBKPT)
+	})
+	op := binary.LittleEndian.Uint16(out[0:])
+	// Wide form starts with B<NE> +2.
+	if op>>12 != 0b1101 || (op>>8)&0xF != condNE {
+		t.Fatalf("wide conditional prefix wrong: %#04x", op)
+	}
+	// Total size: 6 (wide bcond) + 400 + 2.
+	if len(out) != 6+400+2 {
+		t.Errorf("assembled %d bytes, want %d", len(out), 6+400+2)
+	}
+}
+
+func TestUnconditionalRelaxation(t *testing.T) {
+	// Beyond ±2KB the unconditional branch becomes a BL.
+	out := assemble(t, func(a *asm) {
+		l := a.newLabel()
+		a.b(l)
+		for i := 0; i < 1500; i++ {
+			a.op(opNOP)
+		}
+		a.place(l)
+		a.op(opBKPT)
+	})
+	op := binary.LittleEndian.Uint16(out[0:])
+	if op>>11 != 0b11110 {
+		t.Fatalf("long branch did not widen to BL: %#04x", op)
+	}
+	if len(out) != 4+3000+2 {
+		t.Errorf("assembled %d bytes, want %d", len(out), 4+3000+2)
+	}
+}
+
+func TestLiteralPoolPlacementAndDedup(t *testing.T) {
+	a := newAsm()
+	a.ldrLit(0, litVal{value: 0xDEADBEEF})
+	a.ldrLit(1, litVal{value: 0xDEADBEEF}) // deduplicated
+	a.ldrLit(2, litVal{value: 0x12345678})
+	a.flushPool(false)
+	out, _, _, err := a.assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 LDRs (6 bytes) + alignment pad (2) + 2 pool entries (8) = 16.
+	if len(out) != 16 {
+		t.Fatalf("assembled %d bytes, want 16", len(out))
+	}
+	if v := binary.LittleEndian.Uint32(out[8:]); v != 0xDEADBEEF {
+		t.Errorf("pool[0] = %#x", v)
+	}
+	if v := binary.LittleEndian.Uint32(out[12:]); v != 0x12345678 {
+		t.Errorf("pool[1] = %#x", v)
+	}
+	// Both dedup'd LDRs must reference the same slot.
+	op0 := binary.LittleEndian.Uint16(out[0:])
+	op1 := binary.LittleEndian.Uint16(out[2:])
+	off0 := int(op0&0xFF) * 4
+	off1 := int(op1&0xFF) * 4
+	// LDR literal: addr = align(pc+4,4) + imm. Instruction 0 at 0:
+	// align(4)=4+off0 = 8 -> off0 = 4. Instruction 1 at 2: align(6)=4,
+	// 4+off1 = 8 -> off1 = 4.
+	if 4+off0 != 8 || 4+off1 != 8 {
+		t.Errorf("dedup'd literals point at %d and %d, want 8", 4+off0, 4+off1)
+	}
+}
+
+func TestUnflushedPoolRejected(t *testing.T) {
+	a := newAsm()
+	a.ldrLit(0, litVal{value: 42})
+	if _, _, _, err := a.assemble(0); err == nil {
+		t.Fatal("assembling with a pending literal pool must fail")
+	}
+}
+
+func TestAutoPoolFlushKeepsLiteralsInRange(t *testing.T) {
+	// Emit far more code than the LDR-literal range between uses; the
+	// maybeFlushPool policy must spill pools so assembly succeeds.
+	a := newAsm()
+	for i := 0; i < 50; i++ {
+		a.ldrLit(0, litVal{value: uint32(0x10000 + i)})
+		for j := 0; j < 40; j++ {
+			a.op(opNOP)
+		}
+		a.maybeFlushPool()
+	}
+	a.flushPool(false)
+	if _, _, _, err := a.assemble(0); err != nil {
+		t.Fatalf("auto pool management failed: %v", err)
+	}
+}
+
+func TestSymbolPatches(t *testing.T) {
+	a := newAsm()
+	sym := &symbol{name: "g", global: true, stackArgIdx: -1}
+	a.ldrLit(0, litVal{sym: sym, add: 8})
+	a.flushPool(false)
+	out, patches, _, err := a.assemble(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patches) != 1 {
+		t.Fatalf("got %d patches, want 1", len(patches))
+	}
+	p := patches[0]
+	if p.sym != sym || p.add != 8 {
+		t.Errorf("patch = %+v", p)
+	}
+	if int(p.off)+4 > len(out) {
+		t.Errorf("patch offset %d outside %d-byte output", p.off, len(out))
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	a := newAsm()
+	a.b(a.newLabel()) // never placed
+	if _, _, _, err := a.assemble(0); err == nil {
+		t.Fatal("undefined label must fail assembly")
+	}
+}

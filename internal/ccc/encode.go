@@ -1,0 +1,178 @@
+package ccc
+
+// Thumb-1 (ARMv6-M) opcode builders. Register arguments named rd/rn/rm/rt
+// follow the ARM ARM; all take low registers (0-7) unless stated otherwise.
+
+// Condition codes for Bcond.
+const (
+	condEQ = 0x0
+	condNE = 0x1
+	condHS = 0x2 // unsigned >=
+	condLO = 0x3 // unsigned <
+	condMI = 0x4
+	condPL = 0x5
+	condVS = 0x6
+	condVC = 0x7
+	condHI = 0x8 // unsigned >
+	condLS = 0x9 // unsigned <=
+	condGE = 0xA
+	condLT = 0xB
+	condGT = 0xC
+	condLE = 0xD
+)
+
+// invCond returns the inverse condition.
+func invCond(c int) int { return c ^ 1 }
+
+// Data-processing (register) opcodes (instruction bits 9:6).
+const (
+	dpAND = 0b0000
+	dpEOR = 0b0001
+	dpLSL = 0b0010
+	dpLSR = 0b0011
+	dpASR = 0b0100
+	dpADC = 0b0101
+	dpSBC = 0b0110
+	dpROR = 0b0111
+	dpTST = 0b1000
+	dpNEG = 0b1001
+	dpCMP = 0b1010
+	dpCMN = 0b1011
+	dpORR = 0b1100
+	dpMUL = 0b1101
+	dpBIC = 0b1110
+	dpMVN = 0b1111
+)
+
+const (
+	opNOP  = 0xBF00
+	opBKPT = 0xBE00
+)
+
+func encMovImm(rd, imm int) uint16 { return uint16(0b00100<<11 | rd<<8 | imm&0xFF) }
+func encCmpImm(rn, imm int) uint16 { return uint16(0b00101<<11 | rn<<8 | imm&0xFF) }
+func encAddImm8(rd, imm int) uint16 {
+	return uint16(0b00110<<11 | rd<<8 | imm&0xFF)
+}
+func encSubImm8(rd, imm int) uint16 {
+	return uint16(0b00111<<11 | rd<<8 | imm&0xFF)
+}
+func encAddImm3(rd, rn, imm int) uint16 {
+	return uint16(0b0001110<<9 | (imm&7)<<6 | rn<<3 | rd)
+}
+func encSubImm3(rd, rn, imm int) uint16 {
+	return uint16(0b0001111<<9 | (imm&7)<<6 | rn<<3 | rd)
+}
+func encAddReg(rd, rn, rm int) uint16 {
+	return uint16(0b0001100<<9 | rm<<6 | rn<<3 | rd)
+}
+func encSubReg(rd, rn, rm int) uint16 {
+	return uint16(0b0001101<<9 | rm<<6 | rn<<3 | rd)
+}
+
+// encLslImm/encLsrImm/encAsrImm encode shift-by-immediate. imm must be 1-31
+// for LSL; LSR/ASR use imm 0 to mean 32.
+func encLslImm(rd, rm, imm int) uint16 { return uint16(0b00000<<11 | (imm&31)<<6 | rm<<3 | rd) }
+func encLsrImm(rd, rm, imm int) uint16 { return uint16(0b00001<<11 | (imm&31)<<6 | rm<<3 | rd) }
+func encAsrImm(rd, rm, imm int) uint16 { return uint16(0b00010<<11 | (imm&31)<<6 | rm<<3 | rd) }
+
+func encDP(opc, rdn, rm int) uint16 { return uint16(0b010000<<10 | opc<<6 | rm<<3 | rdn) }
+
+// encHiAdd encodes ADD rd, rm with full 4-bit registers (no flags).
+func encHiAdd(rd, rm int) uint16 {
+	return uint16(0b010001<<10 | 0b00<<8 | (rd>>3)<<7 | rm<<3 | rd&7)
+}
+
+// encHiMov encodes MOV rd, rm with full 4-bit registers.
+func encHiMov(rd, rm int) uint16 {
+	return uint16(0b010001<<10 | 0b10<<8 | (rd>>3)<<7 | rm<<3 | rd&7)
+}
+
+func encBX(rm int) uint16  { return uint16(0b010001<<10 | 0b11<<8 | rm<<3) }
+func encBLX(rm int) uint16 { return uint16(0b010001<<10 | 0b11<<8 | 1<<7 | rm<<3) }
+
+// Loads/stores with immediate offsets. Offsets are in bytes and must be
+// multiples of the access size; the encodable ranges are 0-124 (word),
+// 0-62 (half), 0-31 (byte).
+func encLdrImm(rt, rn, off int) uint16 {
+	return uint16(0b0110<<12 | 1<<11 | (off/4)<<6 | rn<<3 | rt)
+}
+func encStrImm(rt, rn, off int) uint16 {
+	return uint16(0b0110<<12 | 0<<11 | (off/4)<<6 | rn<<3 | rt)
+}
+func encLdrbImm(rt, rn, off int) uint16 {
+	return uint16(0b0111<<12 | 1<<11 | off<<6 | rn<<3 | rt)
+}
+func encStrbImm(rt, rn, off int) uint16 {
+	return uint16(0b0111<<12 | 0<<11 | off<<6 | rn<<3 | rt)
+}
+func encLdrhImm(rt, rn, off int) uint16 {
+	return uint16(0b1000<<12 | 1<<11 | (off/2)<<6 | rn<<3 | rt)
+}
+func encStrhImm(rt, rn, off int) uint16 {
+	return uint16(0b1000<<12 | 0<<11 | (off/2)<<6 | rn<<3 | rt)
+}
+
+// Register-offset loads/stores.
+func encLdrReg(rt, rn, rm int) uint16 {
+	return uint16(0b0101<<12 | 0b100<<9 | rm<<6 | rn<<3 | rt)
+}
+func encStrReg(rt, rn, rm int) uint16 {
+	return uint16(0b0101<<12 | 0b000<<9 | rm<<6 | rn<<3 | rt)
+}
+
+// SP-relative word load/store, offset 0-1020 in multiples of 4.
+func encLdrSp(rt, off int) uint16 { return uint16(0b1001<<12 | 1<<11 | rt<<8 | off/4) }
+func encStrSp(rt, off int) uint16 { return uint16(0b1001<<12 | 0<<11 | rt<<8 | off/4) }
+
+func encAddSp(imm int) uint16 { return uint16(0b101100000<<7 | imm/4) } // imm 0-508
+func encSubSp(imm int) uint16 { return uint16(0b101100001<<7 | imm/4) }
+
+func encSxth(rd, rm int) uint16 { return uint16(0b1011001000<<6 | rm<<3 | rd) }
+func encSxtb(rd, rm int) uint16 { return uint16(0b1011001001<<6 | rm<<3 | rd) }
+func encUxth(rd, rm int) uint16 { return uint16(0b1011001010<<6 | rm<<3 | rd) }
+func encUxtb(rd, rm int) uint16 { return uint16(0b1011001011<<6 | rm<<3 | rd) }
+
+// encPush/encPop take a bitmask over r0-r7 plus the LR/PC flag.
+func encPush(mask int, lr bool) uint16 {
+	v := uint16(0b1011010<<9 | mask&0xFF)
+	if lr {
+		v |= 1 << 8
+	}
+	return v
+}
+func encPop(mask int, pc bool) uint16 {
+	v := uint16(0b1011110<<9 | mask&0xFF)
+	if pc {
+		v |= 1 << 8
+	}
+	return v
+}
+
+// encBcond encodes a conditional branch with a byte offset from PC+4
+// (must be even, in [-256, 254]).
+func encBcond(cond int, off int) uint16 {
+	return uint16(0b1101<<12 | cond<<8 | (off>>1)&0xFF)
+}
+
+// encB encodes an unconditional branch with a byte offset from PC+4
+// (must be even, in [-2048, 2046]).
+func encB(off int) uint16 { return uint16(0b11100<<11 | (off>>1)&0x7FF) }
+
+// encBL encodes the 32-bit BL with a byte offset from PC+4.
+func encBL(off int32) (uint16, uint16) {
+	imm := uint32(off)
+	s := (imm >> 24) & 1
+	i1 := (imm >> 23) & 1
+	i2 := (imm >> 22) & 1
+	imm10 := (imm >> 12) & 0x3FF
+	imm11 := (imm >> 1) & 0x7FF
+	j1 := (^(i1 ^ s)) & 1
+	j2 := (^(i2 ^ s)) & 1
+	return uint16(0b11110<<11 | s<<10 | imm10),
+		uint16(0b11<<14 | j1<<13 | 1<<12 | j2<<11 | imm11)
+}
+
+// encLdrLit encodes LDR rt, [pc, #off] where off is the byte distance from
+// align(PC+4, 4), a multiple of 4 in [0, 1020].
+func encLdrLit(rt, off int) uint16 { return uint16(0b01001<<11 | rt<<8 | off/4) }

@@ -1,0 +1,1121 @@
+package ccc
+
+import "fmt"
+
+// Code generation strategy: a simple, predictable stack machine.
+//   - expression results land in r0
+//   - binary operators evaluate the left operand, push it, evaluate the
+//     right operand, then pop and combine
+//   - r1/r2 are scratch within a single emission sequence, r3 is the
+//     direct-operand scratch, r7 is the frame pointer, and r4-r6/r8-r11
+//     hold register-promoted locals
+//   - every function body runs with sp == r7 at statement boundaries
+//
+// The generated code is larger and slower than an optimizing compiler's,
+// but it is uniform across all benchmarks and all intermittent-computation
+// approaches under test, so the paper's *relative* results are preserved.
+
+const spReg = 13
+
+type genError struct {
+	line int
+	msg  string
+}
+
+func (e *genError) Error() string { return fmt.Sprintf("line %d: %s", e.line, e.msg) }
+
+type gen struct {
+	a    *asm
+	c    *checker
+	fn   *function
+	opts Options
+
+	// savedRegs is how many callee-saved registers (beyond r7) the
+	// current function's prologue pushes; it shifts stack-arg offsets.
+	savedRegs int
+
+	epilogue  int
+	breakLbls []int
+	contLbls  []int
+
+	strSyms []*symbol
+
+	err error // first error, sticky
+}
+
+func newGen(c *checker) *gen {
+	g := &gen{a: newAsm(), c: c}
+	for i, s := range c.strings {
+		g.strSyms = append(g.strSyms, &symbol{
+			name:        fmt.Sprintf("$str%d", i),
+			ty:          &Type{Kind: KArray, Elem: tyChar, Len: len(s) + 1},
+			global:      true,
+			isConst:     true,
+			stackArgIdx: -1,
+		})
+	}
+	return g
+}
+
+func (g *gen) fail(line int, format string, args ...interface{}) {
+	if g.err == nil {
+		g.err = &genError{line, fmt.Sprintf(format, args...)}
+	}
+}
+
+// loadConst materializes a 32-bit constant in rd.
+func (g *gen) loadConst(rd int, v uint32) {
+	switch {
+	case v < 256:
+		g.a.op(encMovImm(rd, int(v)))
+	case ^v < 256:
+		g.a.op(encMovImm(rd, int(^v)))
+		g.a.op(encDP(dpMVN, rd, rd))
+	default:
+		// Byte shifted left?
+		for sh := 1; sh <= 24; sh++ {
+			if v&((1<<sh)-1) == 0 && v>>sh < 256 {
+				g.a.op(encMovImm(rd, int(v>>sh)))
+				g.a.op(encLslImm(rd, rd, sh))
+				return
+			}
+		}
+		g.a.ldrLit(rd, litVal{value: v})
+	}
+}
+
+// addrOfLocal puts r7+off into rd.
+func (g *gen) addrOfLocal(rd, off int) {
+	switch {
+	case off == 0:
+		g.a.op(encHiMov(rd, 7))
+	case off < 256:
+		g.a.op(encHiMov(rd, 7))
+		g.a.op(encAddImm8(rd, off))
+	default:
+		g.loadConst(rd, uint32(off))
+		g.a.op(encHiAdd(rd, 7))
+	}
+}
+
+// frameOff returns the r7-relative offset of a local or stack-arg symbol.
+func (g *gen) frameOff(sym *symbol) int {
+	if sym.stackArgIdx >= 0 {
+		return g.fn.frameSize + 4*(2+g.savedRegs) + 4*sym.stackArgIdx
+	}
+	return sym.frameOff
+}
+
+// loadVia emits rt = load [base, #0] honoring the width and signedness of ty.
+func (g *gen) loadVia(rt, base int, ty *Type) {
+	switch ty.Kind {
+	case KChar:
+		g.a.op(encLdrbImm(rt, base, 0))
+	case KShort:
+		g.a.op(encLdrhImm(rt, base, 0))
+		g.a.op(encSxth(rt, rt))
+	case KUShort:
+		g.a.op(encLdrhImm(rt, base, 0))
+	default:
+		g.a.op(encLdrImm(rt, base, 0))
+	}
+}
+
+// storeVia emits store rt -> [base, #0] with the width of ty.
+func (g *gen) storeVia(rt, base int, ty *Type) {
+	switch ty.Kind {
+	case KChar:
+		g.a.op(encStrbImm(rt, base, 0))
+	case KShort, KUShort:
+		g.a.op(encStrhImm(rt, base, 0))
+	default:
+		g.a.op(encStrImm(rt, base, 0))
+	}
+}
+
+// truncTo narrows r-d to the storage width of ty (value semantics of an
+// assignment or cast).
+func (g *gen) truncTo(rd int, ty *Type) {
+	switch ty.Kind {
+	case KChar:
+		g.a.op(encUxtb(rd, rd))
+	case KShort:
+		g.a.op(encSxth(rd, rd))
+	case KUShort:
+		g.a.op(encUxth(rd, rd))
+	}
+}
+
+func (g *gen) push(rd int) { g.a.op(encPush(1<<rd, false)) }
+func (g *gen) pop(rd int)  { g.a.op(encPop(1<<rd, false)) }
+
+// isLeaf reports whether e can be materialized into any register without
+// disturbing other registers or the stack (the direct-operand fast path:
+// real compilers keep such operands in registers, and routing them through
+// stack temps would manufacture idempotency violations the hardware under
+// test would then have to absorb).
+func (g *gen) isLeaf(e *expr) bool {
+	switch e.kind {
+	case eNum, eSizeof, eStr:
+		return true
+	case eVar:
+		return e.ty == nil || e.ty.Kind != KStruct
+	case eCast:
+		return g.isLeaf(e.x)
+	case eUnary:
+		return (e.op == "-" || e.op == "~") && g.isLeaf(e.x)
+	}
+	return false
+}
+
+// genLeafTo materializes a leaf expression into rt, clobbering only rt.
+func (g *gen) genLeafTo(rt int, e *expr) {
+	switch e.kind {
+	case eNum:
+		g.loadConst(rt, uint32(e.num))
+	case eSizeof:
+		g.loadConst(rt, uint32(e.toTy.Size()))
+	case eStr:
+		g.a.ldrLit(rt, litVal{sym: g.strSyms[e.strID]})
+	case eCast:
+		g.genLeafTo(rt, e.x)
+		g.truncTo(rt, e.toTy)
+	case eUnary:
+		g.genLeafTo(rt, e.x)
+		if e.op == "-" {
+			g.a.op(encDP(dpNEG, rt, rt))
+		} else {
+			g.a.op(encDP(dpMVN, rt, rt))
+		}
+	case eVar:
+		sym := e.sym
+		switch {
+		case sym.global && sym.ty.Kind == KArray:
+			g.a.ldrLit(rt, litVal{sym: sym})
+		case sym.global:
+			g.a.ldrLit(rt, litVal{sym: sym})
+			g.loadVia(rt, rt, sym.ty)
+		case sym.ty.Kind == KArray:
+			g.addrOfLocal(rt, g.frameOff(sym))
+		default:
+			g.loadLocalTo(rt, sym, sym.ty)
+		}
+	default:
+		g.fail(e.line, "internal: genLeafTo on non-leaf")
+	}
+}
+
+// canDirect reports whether e is a leaf or a simple indexed load (leaf
+// base, leaf or constant index, scalar element) that genDirectTo can
+// materialize without stack traffic.
+func (g *gen) canDirect(e *expr) bool {
+	if g.opts.DisableDirectOperands {
+		return false
+	}
+	if g.isLeaf(e) {
+		return true
+	}
+	return e.kind == eIndex && e.ty.Kind != KArray && g.isLeaf(e.x) &&
+		(e.y.kind == eNum || g.isLeaf(e.y))
+}
+
+// genDirectTo materializes a canDirect expression into rt using rs as
+// scratch (element sizes are 1/2/4, so index scaling never needs a third
+// register).
+func (g *gen) genDirectTo(rt, rs int, e *expr) {
+	if g.isLeaf(e) {
+		g.genLeafTo(rt, e)
+		return
+	}
+	base := e.x
+	g.genLeafTo(rt, base) // array address or pointer value
+	elem := decay(base.ty).Elem
+	if e.y.kind == eNum && e.y.num >= 0 {
+		off := int(e.y.num) * elem.Size()
+		if g.loadViaOff(rt, rt, off, e.ty) {
+			return
+		}
+	}
+	g.genLeafTo(rs, e.y)
+	g.scaleReg(rs, elem.Size())
+	g.a.op(encAddReg(rt, rt, rs))
+	g.loadVia(rt, rt, e.ty)
+}
+
+// loadViaOff emits rt = load [base, #off] when the offset fits the
+// immediate forms, reporting success.
+func (g *gen) loadViaOff(rt, base, off int, ty *Type) bool {
+	switch ty.Kind {
+	case KChar:
+		if off >= 0 && off <= 31 {
+			g.a.op(encLdrbImm(rt, base, off))
+			return true
+		}
+	case KShort, KUShort:
+		if off >= 0 && off <= 62 && off%2 == 0 {
+			g.a.op(encLdrhImm(rt, base, off))
+			if ty.Kind == KShort {
+				g.a.op(encSxth(rt, rt))
+			}
+			return true
+		}
+	default:
+		if off >= 0 && off <= 124 && off%4 == 0 {
+			g.a.op(encLdrImm(rt, base, off))
+			return true
+		}
+	}
+	return false
+}
+
+// loadLocalTo loads a local scalar into rt, clobbering only rt.
+func (g *gen) loadLocalTo(rt int, sym *symbol, ty *Type) {
+	if sym.reg != 0 {
+		g.a.op(encHiMov(rt, sym.reg))
+		return
+	}
+	off := g.frameOff(sym)
+	switch {
+	case ty.Kind == KChar && off <= 31:
+		g.a.op(encLdrbImm(rt, 7, off))
+	case (ty.Kind == KShort || ty.Kind == KUShort) && off <= 62 && off%2 == 0:
+		g.a.op(encLdrhImm(rt, 7, off))
+		if ty.Kind == KShort {
+			g.a.op(encSxth(rt, rt))
+		}
+	case (ty.Kind == KInt || ty.Kind == KUInt || ty.Kind == KPtr) && off <= 124 && off%4 == 0:
+		g.a.op(encLdrImm(rt, 7, off))
+	default:
+		g.addrOfLocal(rt, off)
+		g.loadVia(rt, rt, ty)
+	}
+}
+
+// loadLocal loads a local scalar into r0 using a direct offset when it fits.
+func (g *gen) loadLocal(sym *symbol, ty *Type) { g.loadLocalTo(0, sym, ty) }
+
+// storeLocal stores r0 to a local scalar.
+func (g *gen) storeLocal(sym *symbol, ty *Type) { g.storeLocalFrom(0, sym, ty) }
+
+// storeLocalFrom stores rt to a local scalar, clobbering only r2 (and only
+// when the offset needs materializing).
+func (g *gen) storeLocalFrom(rt int, sym *symbol, ty *Type) {
+	if sym.reg != 0 {
+		g.a.op(encHiMov(sym.reg, rt))
+		return
+	}
+	off := g.frameOff(sym)
+	switch {
+	case ty.Kind == KChar && off <= 31:
+		g.a.op(encStrbImm(rt, 7, off))
+	case (ty.Kind == KShort || ty.Kind == KUShort) && off <= 62 && off%2 == 0:
+		g.a.op(encStrhImm(rt, 7, off))
+	case (ty.Kind == KInt || ty.Kind == KUInt || ty.Kind == KPtr) && off <= 124 && off%4 == 0:
+		g.a.op(encStrImm(rt, 7, off))
+	default:
+		g.addrOfLocal(2, off)
+		g.storeVia(rt, 2, ty)
+	}
+}
+
+// isUnsignedOp reports whether a comparison/division involving the two
+// (decayed) operand types uses unsigned semantics.
+func isUnsignedOp(a, b *Type) bool {
+	da, db := decay(a), decay(b)
+	return da.Kind == KUInt || da.Kind == KPtr || db.Kind == KUInt || db.Kind == KPtr
+}
+
+// cmpCond maps a comparison operator to a condition code.
+func cmpCond(op string, unsigned bool) int {
+	switch op {
+	case "==":
+		return condEQ
+	case "!=":
+		return condNE
+	case "<":
+		if unsigned {
+			return condLO
+		}
+		return condLT
+	case "<=":
+		if unsigned {
+			return condLS
+		}
+		return condLE
+	case ">":
+		if unsigned {
+			return condHI
+		}
+		return condGT
+	case ">=":
+		if unsigned {
+			return condHS
+		}
+		return condGE
+	}
+	return condEQ
+}
+
+func isCmpOp(op string) bool {
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+// scaleReg multiplies register rd by size (for pointer arithmetic).
+func (g *gen) scaleReg(rd, size int) {
+	if size == 1 {
+		return
+	}
+	if sh := log2(size); sh > 0 {
+		g.a.op(encLslImm(rd, rd, sh))
+		return
+	}
+	other := 2
+	if rd == 2 {
+		other = 1
+	}
+	g.loadConst(other, uint32(size))
+	g.a.op(encDP(dpMUL, rd, other))
+}
+
+func log2(v int) int {
+	for i := 1; i < 31; i++ {
+		if 1<<i == v {
+			return i
+		}
+	}
+	return 0
+}
+
+// genExpr evaluates e into r0.
+func (g *gen) genExpr(e *expr) {
+	if g.err != nil {
+		return
+	}
+	switch e.kind {
+	case eNum:
+		g.loadConst(0, uint32(e.num))
+	case eStr:
+		g.a.ldrLit(0, litVal{sym: g.strSyms[e.strID]})
+	case eVar:
+		sym := e.sym
+		if sym.global {
+			if sym.ty.Kind == KArray || sym.ty.Kind == KStruct {
+				g.a.ldrLit(0, litVal{sym: sym})
+				return
+			}
+			g.a.ldrLit(2, litVal{sym: sym})
+			g.loadVia(0, 2, sym.ty)
+			return
+		}
+		if sym.ty.Kind == KArray || sym.ty.Kind == KStruct {
+			g.addrOfLocal(0, g.frameOff(sym))
+			return
+		}
+		g.loadLocal(sym, sym.ty)
+	case eUnary:
+		switch e.op {
+		case "-":
+			g.genExpr(e.x)
+			g.a.op(encDP(dpNEG, 0, 0))
+		case "~":
+			g.genExpr(e.x)
+			g.a.op(encDP(dpMVN, 0, 0))
+		case "!":
+			g.genBool(e)
+		case "*":
+			g.genExpr(e.x)
+			if e.ty.Kind == KArray || e.ty.Kind == KStruct {
+				return // aggregate: the address is the value
+			}
+			g.loadVia(0, 0, e.ty)
+		case "&":
+			g.genAddr(e.x)
+		}
+	case eBinary:
+		switch e.op {
+		case "&&", "||":
+			g.genBool(e)
+			return
+		}
+		if isCmpOp(e.op) {
+			g.genBool(e)
+			return
+		}
+		g.genExpr(e.x)
+		// Scale the left side for int + ptr.
+		dx, dy := decay(e.x.ty), decay(e.y.ty)
+		if e.op == "+" && dy.Kind == KPtr && dx.IsInteger() {
+			g.scaleReg(0, dy.Elem.Size())
+		}
+		if g.canDirect(e.y) {
+			// Direct operand: no stack temp.
+			g.genDirectTo(1, 3, e.y)
+		} else {
+			g.push(0)
+			g.genExpr(e.y)
+			g.a.op(encHiMov(1, 0))
+			g.pop(0)
+		}
+		if (e.op == "+" || e.op == "-") && dx.Kind == KPtr && dy.IsInteger() {
+			g.scaleReg(1, dx.Elem.Size())
+		}
+		g.emitBinOp(e.op, e.x.ty, e.y.ty, e.line)
+		if e.op == "-" && dx.Kind == KPtr && dy.Kind == KPtr {
+			if sh := log2(dx.Elem.Size()); sh > 0 {
+				g.a.op(encAsrImm(0, 0, sh))
+			}
+		}
+	case eAssign:
+		g.genAssign(e)
+	case eIncDec:
+		g.genIncDec(e)
+	case eCall:
+		g.genCall(e)
+	case eIndex:
+		g.genAddr(e)
+		if e.ty.Kind == KArray || e.ty.Kind == KStruct {
+			return // aggregate element: the address is the value
+		}
+		g.loadVia(0, 0, e.ty)
+	case eCond:
+		elseL, endL := g.a.newLabel(), g.a.newLabel()
+		g.genBranchFalse(e.x, elseL)
+		g.genExpr(e.y)
+		g.a.b(endL)
+		g.a.place(elseL)
+		g.genExpr(e.z)
+		g.a.place(endL)
+	case eCast:
+		g.genExpr(e.x)
+		g.truncTo(0, e.toTy)
+	case eSizeof:
+		g.loadConst(0, uint32(e.toTy.Size()))
+	case eMember:
+		g.genAddr(e)
+		switch e.ty.Kind {
+		case KArray, KStruct:
+			return // aggregate member: the address is the value
+		}
+		g.loadVia(0, 0, e.ty)
+	default:
+		g.fail(e.line, "cannot generate expression kind %d", e.kind)
+	}
+}
+
+// emitBinOp combines r0 (lhs) and r1 (rhs) into r0. May clobber r2 and, for
+// division, behave as a call.
+func (g *gen) emitBinOp(op string, xt, yt *Type, line int) {
+	switch op {
+	case "+":
+		g.a.op(encAddReg(0, 0, 1))
+	case "-":
+		g.a.op(encSubReg(0, 0, 1))
+	case "*":
+		g.a.op(encDP(dpMUL, 0, 1))
+	case "/":
+		g.emitRuntimeCall(divFnName("/", isUnsignedOp(xt, yt)), line)
+	case "%":
+		g.emitRuntimeCall(divFnName("%", isUnsignedOp(xt, yt)), line)
+	case "&":
+		g.a.op(encDP(dpAND, 0, 1))
+	case "|":
+		g.a.op(encDP(dpORR, 0, 1))
+	case "^":
+		g.a.op(encDP(dpEOR, 0, 1))
+	case "<<":
+		g.a.op(encDP(dpLSL, 0, 1))
+	case ">>":
+		if decay(xt).Signed() {
+			g.a.op(encDP(dpASR, 0, 1))
+		} else {
+			g.a.op(encDP(dpLSR, 0, 1))
+		}
+	default:
+		g.fail(line, "cannot emit operator %q", op)
+	}
+}
+
+func divFnName(op string, unsigned bool) string {
+	switch {
+	case op == "/" && unsigned:
+		return "__udiv"
+	case op == "/":
+		return "__sdiv"
+	case unsigned:
+		return "__umod"
+	default:
+		return "__smod"
+	}
+}
+
+func (g *gen) emitRuntimeCall(name string, line int) {
+	f, ok := g.c.funcs[name]
+	if !ok {
+		g.fail(line, "runtime function %q missing", name)
+		return
+	}
+	g.a.bl(f.labelID)
+}
+
+// genBool evaluates e as 0/1 into r0.
+func (g *gen) genBool(e *expr) {
+	trueL, endL := g.a.newLabel(), g.a.newLabel()
+	g.genBranchTrue(e, trueL)
+	g.a.op(encMovImm(0, 0))
+	g.a.b(endL)
+	g.a.place(trueL)
+	g.a.op(encMovImm(0, 1))
+	g.a.place(endL)
+}
+
+// genBranchFalse branches to lbl when e evaluates to zero.
+func (g *gen) genBranchFalse(e *expr, lbl int) {
+	if g.err != nil {
+		return
+	}
+	switch {
+	case e.kind == eNum:
+		if e.num == 0 {
+			g.a.b(lbl)
+		}
+	case e.kind == eUnary && e.op == "!":
+		g.genBranchTrue(e.x, lbl)
+	case e.kind == eBinary && e.op == "&&":
+		g.genBranchFalse(e.x, lbl)
+		g.genBranchFalse(e.y, lbl)
+	case e.kind == eBinary && e.op == "||":
+		t := g.a.newLabel()
+		g.genBranchTrue(e.x, t)
+		g.genBranchFalse(e.y, lbl)
+		g.a.place(t)
+	case e.kind == eBinary && isCmpOp(e.op):
+		g.genCmpOperands(e)
+		g.a.bcond(invCond(cmpCond(e.op, isUnsignedOp(e.x.ty, e.y.ty))), lbl)
+	default:
+		g.genExpr(e)
+		g.a.op(encCmpImm(0, 0))
+		g.a.bcond(condEQ, lbl)
+	}
+}
+
+// genBranchTrue branches to lbl when e evaluates to non-zero.
+func (g *gen) genBranchTrue(e *expr, lbl int) {
+	if g.err != nil {
+		return
+	}
+	switch {
+	case e.kind == eNum:
+		if e.num != 0 {
+			g.a.b(lbl)
+		}
+	case e.kind == eUnary && e.op == "!":
+		g.genBranchFalse(e.x, lbl)
+	case e.kind == eBinary && e.op == "&&":
+		f := g.a.newLabel()
+		g.genBranchFalse(e.x, f)
+		g.genBranchTrue(e.y, lbl)
+		g.a.place(f)
+	case e.kind == eBinary && e.op == "||":
+		g.genBranchTrue(e.x, lbl)
+		g.genBranchTrue(e.y, lbl)
+	case e.kind == eBinary && isCmpOp(e.op):
+		g.genCmpOperands(e)
+		g.a.bcond(cmpCond(e.op, isUnsignedOp(e.x.ty, e.y.ty)), lbl)
+	default:
+		g.genExpr(e)
+		g.a.op(encCmpImm(0, 0))
+		g.a.bcond(condNE, lbl)
+	}
+}
+
+// genCmpOperands leaves lhs in r0 and rhs in r1 and emits CMP r0, r1.
+func (g *gen) genCmpOperands(e *expr) {
+	g.genExpr(e.x)
+	if g.canDirect(e.y) {
+		g.genDirectTo(1, 3, e.y)
+	} else {
+		g.push(0)
+		g.genExpr(e.y)
+		g.a.op(encHiMov(1, 0))
+		g.pop(0)
+	}
+	g.a.op(encDP(dpCMP, 0, 1))
+}
+
+// genAddr evaluates the address of an lvalue into r0.
+func (g *gen) genAddr(e *expr) {
+	if g.err != nil {
+		return
+	}
+	switch e.kind {
+	case eVar:
+		sym := e.sym
+		if sym.global {
+			g.a.ldrLit(0, litVal{sym: sym})
+			return
+		}
+		if sym.reg != 0 {
+			g.fail(e.line, "internal: address of register-allocated local %q", sym.name)
+			return
+		}
+		g.addrOfLocal(0, g.frameOff(sym))
+	case eUnary:
+		if e.op != "*" {
+			g.fail(e.line, "cannot take address of unary %q", e.op)
+			return
+		}
+		g.genExpr(e.x)
+	case eIndex:
+		base := e.x
+		if base.ty.Kind == KArray {
+			g.genAddr(base)
+		} else {
+			g.genExpr(base)
+		}
+		elem := decay(base.ty).Elem
+		if e.y.kind == eNum && e.y.num >= 0 && e.y.num*int64(elem.Size()) < 256 {
+			// Constant index folded into an immediate add.
+			off := int(e.y.num) * elem.Size()
+			if off > 0 {
+				if off < 8 {
+					g.a.op(encAddImm3(0, 0, off))
+				} else {
+					g.a.op(encAddImm8(0, off))
+				}
+			}
+			return
+		}
+		if g.isLeaf(e.y) {
+			g.genLeafTo(1, e.y)
+			g.scaleReg(1, elem.Size())
+			g.a.op(encAddReg(0, 0, 1))
+			return
+		}
+		g.push(0)
+		g.genExpr(e.y)
+		g.scaleReg(0, elem.Size())
+		g.pop(1)
+		g.a.op(encAddReg(0, 0, 1))
+	case eMember:
+		if e.arrow {
+			g.genExpr(e.x) // pointer value
+		} else {
+			g.genAddr(e.x)
+		}
+		g.addImm(0, e.fieldOff)
+	default:
+		g.fail(e.line, "expression is not addressable")
+	}
+}
+
+// addImm adds a non-negative constant to rd.
+func (g *gen) addImm(rd, v int) {
+	switch {
+	case v == 0:
+	case v < 8:
+		g.a.op(encAddImm3(rd, rd, v))
+	case v < 256:
+		g.a.op(encAddImm8(rd, v))
+	default:
+		other := 1
+		if rd == 1 {
+			other = 2
+		}
+		g.loadConst(other, uint32(v))
+		g.a.op(encAddReg(rd, rd, other))
+	}
+}
+
+func (g *gen) genAssign(e *expr) {
+	xt := e.x.ty
+	if e.op == "=" {
+		// Fast paths for simple variables.
+		if e.x.kind == eVar && !e.x.sym.global {
+			g.genExpr(e.y)
+			g.truncTo(0, xt)
+			g.storeLocal(e.x.sym, xt)
+			return
+		}
+		if e.x.kind == eVar && e.x.sym.global {
+			g.genExpr(e.y)
+			g.truncTo(0, xt)
+			g.a.ldrLit(2, litVal{sym: e.x.sym})
+			g.storeVia(0, 2, xt)
+			return
+		}
+		g.genAddr(e.x)
+		if g.canDirect(e.y) {
+			g.a.op(encHiMov(1, 0)) // address out of the way
+			g.genDirectTo(0, 3, e.y)
+			g.truncTo(0, xt)
+			g.storeVia(0, 1, xt)
+			return
+		}
+		g.push(0)
+		g.genExpr(e.y)
+		g.pop(1)
+		g.truncTo(0, xt)
+		g.storeVia(0, 1, xt)
+		return
+	}
+	// Compound assignment.
+	op := e.op[:len(e.op)-1]
+	ptrScale := 1
+	if decay(xt).Kind == KPtr && (op == "+" || op == "-") {
+		ptrScale = decay(xt).Elem.Size()
+	}
+	if e.x.kind == eVar && e.x.sym.reg != 0 {
+		// Register-resident lhs: no memory traffic at all. Division
+		// calls preserve the promoted registers (every function saves
+		// what it uses).
+		if g.canDirect(e.y) {
+			g.genDirectTo(1, 3, e.y)
+		} else {
+			g.genExpr(e.y)
+			g.a.op(encHiMov(1, 0))
+		}
+		if ptrScale > 1 {
+			g.scaleReg(1, ptrScale)
+		}
+		g.a.op(encHiMov(0, e.x.sym.reg))
+		g.emitBinOp(op, xt, e.y.ty, e.line)
+		g.truncTo(0, xt)
+		g.a.op(encHiMov(e.x.sym.reg, 0))
+		return
+	}
+	if g.canDirect(e.y) && op != "/" && op != "%" && (ptrScale == 1 || log2(ptrScale) > 0) {
+		// Register-only read-modify-write: address stays in r2.
+		g.genAddr(e.x)
+		g.a.op(encHiMov(2, 0))
+		g.loadVia(0, 2, xt)
+		g.genDirectTo(1, 3, e.y)
+		if ptrScale > 1 {
+			g.a.op(encLslImm(1, 1, log2(ptrScale)))
+		}
+		g.emitBinOp(op, xt, e.y.ty, e.line)
+		g.truncTo(0, xt)
+		g.storeVia(0, 2, xt)
+		return
+	}
+	// General form: addr on the stack across the rhs evaluation.
+	g.genAddr(e.x)
+	g.push(0)
+	g.genExpr(e.y)
+	// Scale rhs for pointer += / -=.
+	if decay(xt).Kind == KPtr && (op == "+" || op == "-") {
+		g.scaleReg(0, decay(xt).Elem.Size())
+	}
+	g.a.op(encLdrSp(2, 0)) // addr
+	g.push(0)              // save rhs
+	g.loadVia(0, 2, xt)    // lhs value
+	g.pop(1)               // rhs
+	g.emitBinOp(op, xt, e.y.ty, e.line)
+	g.pop(1) // addr
+	g.truncTo(0, xt)
+	g.storeVia(0, 1, xt)
+}
+
+func (g *gen) genIncDec(e *expr) {
+	xt := e.x.ty
+	delta := 1
+	if decay(xt).Kind == KPtr {
+		delta = decay(xt).Elem.Size()
+	}
+	if e.x.kind == eVar && !e.x.sym.global && xt.Kind != KArray && delta < 256 {
+		// Register-only update of a local.
+		sym := e.x.sym
+		g.loadLocalTo(0, sym, xt) // old value
+		work := 0
+		if e.post {
+			g.a.op(encHiMov(1, 0))
+			work = 1
+		}
+		if e.op == "++" {
+			g.a.op(encAddImm8(work, delta))
+		} else {
+			g.a.op(encSubImm8(work, delta))
+		}
+		g.truncTo(work, xt)
+		g.storeLocalFrom(work, sym, xt)
+		return
+	}
+	g.genAddr(e.x)
+	g.a.op(encHiMov(2, 0))
+	g.loadVia(0, 2, xt)
+	if e.post {
+		g.push(0)
+	}
+	if delta < 256 {
+		if e.op == "++" {
+			g.a.op(encAddImm8(0, delta))
+		} else {
+			g.a.op(encSubImm8(0, delta))
+		}
+	} else {
+		g.loadConst(1, uint32(delta))
+		if e.op == "++" {
+			g.a.op(encAddReg(0, 0, 1))
+		} else {
+			g.a.op(encSubReg(0, 0, 1))
+		}
+	}
+	g.truncTo(0, xt)
+	g.storeVia(0, 2, xt)
+	if e.post {
+		g.pop(0)
+	}
+}
+
+func (g *gen) genCall(e *expr) {
+	name := e.x.name
+	if name == "__output" {
+		g.genExpr(e.args[0])
+		g.a.ldrLit(1, litVal{value: 0x40000000})
+		g.a.op(encStrImm(0, 1, 0))
+		return
+	}
+	f := e.sym.fn
+	n := len(e.args)
+	if n <= 4 {
+		allDirect := true
+		for _, a := range e.args {
+			if !g.canDirect(a) {
+				allDirect = false
+				break
+			}
+		}
+		if allDirect {
+			for i, a := range e.args {
+				g.genDirectTo(i, 3, a)
+			}
+			g.a.bl(f.labelID)
+			return
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		g.genExpr(e.args[i])
+		g.push(0)
+	}
+	k := n
+	if k > 4 {
+		k = 4
+	}
+	if k > 0 {
+		g.a.op(encPop((1<<k)-1, false))
+	}
+	g.a.bl(f.labelID)
+	if n > 4 {
+		g.a.op(encAddSp(4 * (n - 4)))
+	}
+}
+
+// genStmt emits one statement.
+func (g *gen) genStmt(s *stmt) {
+	if g.err != nil {
+		return
+	}
+	switch s.kind {
+	case sEmpty:
+	case sExpr:
+		g.genExpr(s.e)
+	case sDecl:
+		for _, d := range s.decls {
+			if d.init != nil {
+				g.genExpr(d.init)
+				g.truncTo(0, d.ty)
+				g.storeLocal(d.sym, d.ty)
+			}
+		}
+	case sBlock:
+		for _, inner := range s.body {
+			g.genStmt(inner)
+		}
+	case sIf:
+		elseL := g.a.newLabel()
+		g.genBranchFalse(s.e, elseL)
+		g.genStmt(s.body[0])
+		if s.els != nil {
+			endL := g.a.newLabel()
+			g.a.b(endL)
+			g.a.place(elseL)
+			g.genStmt(s.els[0])
+			g.a.place(endL)
+		} else {
+			g.a.place(elseL)
+		}
+	case sWhile:
+		top, brk := g.a.newLabel(), g.a.newLabel()
+		g.a.place(top)
+		g.genBranchFalse(s.e, brk)
+		g.pushLoop(brk, top)
+		g.genStmt(s.body[0])
+		g.popLoop()
+		g.a.b(top)
+		g.a.place(brk)
+	case sDoWhile:
+		top, cont, brk := g.a.newLabel(), g.a.newLabel(), g.a.newLabel()
+		g.a.place(top)
+		g.pushLoop(brk, cont)
+		g.genStmt(s.body[0])
+		g.popLoop()
+		g.a.place(cont)
+		g.genBranchTrue(s.e, top)
+		g.a.place(brk)
+	case sFor:
+		top, cont, brk := g.a.newLabel(), g.a.newLabel(), g.a.newLabel()
+		if s.init != nil {
+			g.genStmt(s.init)
+		}
+		g.a.place(top)
+		if s.e != nil {
+			g.genBranchFalse(s.e, brk)
+		}
+		g.pushLoop(brk, cont)
+		g.genStmt(s.body[0])
+		g.popLoop()
+		g.a.place(cont)
+		if s.post != nil {
+			g.genExpr(s.post)
+		}
+		g.a.b(top)
+		g.a.place(brk)
+	case sReturn:
+		if s.e != nil {
+			g.genExpr(s.e)
+		}
+		g.a.b(g.epilogue)
+	case sSwitch:
+		g.genSwitch(s)
+	case sBreak:
+		g.a.b(g.breakLbls[len(g.breakLbls)-1])
+	case sContinue:
+		g.a.b(g.contLbls[len(g.contLbls)-1])
+	}
+	g.a.maybeFlushPool()
+}
+
+// genSwitch lowers a switch to a compare chain with C fallthrough
+// semantics: arm bodies are emitted contiguously so control runs into the
+// next arm unless it breaks.
+func (g *gen) genSwitch(s *stmt) {
+	end := g.a.newLabel()
+	labels := make([]int, len(s.cases))
+	defaultLbl := end
+	for i, sc := range s.cases {
+		labels[i] = g.a.newLabel()
+		if sc.isDefault {
+			defaultLbl = labels[i]
+		}
+	}
+	g.genExpr(s.e)
+	for i, sc := range s.cases {
+		for _, v := range sc.vals {
+			if v >= 0 && v < 256 {
+				g.a.op(encCmpImm(0, int(v)))
+			} else {
+				g.loadConst(1, uint32(v))
+				g.a.op(encDP(dpCMP, 0, 1))
+			}
+			g.a.bcond(condEQ, labels[i])
+		}
+	}
+	g.a.b(defaultLbl)
+	g.breakLbls = append(g.breakLbls, end)
+	for i, sc := range s.cases {
+		g.a.place(labels[i])
+		for _, inner := range sc.body {
+			g.genStmt(inner)
+		}
+	}
+	g.breakLbls = g.breakLbls[:len(g.breakLbls)-1]
+	g.a.place(end)
+}
+
+func (g *gen) pushLoop(brk, cont int) {
+	g.breakLbls = append(g.breakLbls, brk)
+	g.contLbls = append(g.contLbls, cont)
+}
+
+func (g *gen) popLoop() {
+	g.breakLbls = g.breakLbls[:len(g.breakLbls)-1]
+	g.contLbls = g.contLbls[:len(g.contLbls)-1]
+}
+
+// genFunction emits the complete body of f.
+func (g *gen) genFunction(f *function) {
+	g.fn = f
+	g.epilogue = g.a.newLabel()
+	var promoted []*symbol
+	if !g.opts.DisableRegAlloc {
+		promoted = allocateRegisters(f)
+	}
+	g.savedRegs = len(promoted)
+	saveMask := 1 << 7
+	var hiSaved []int
+	for _, sym := range promoted {
+		if sym.reg < 8 {
+			saveMask |= 1 << sym.reg
+		} else {
+			hiSaved = append(hiSaved, sym.reg)
+		}
+	}
+	g.a.place(f.labelID)
+	g.a.op(encPush(saveMask, true)) // push {r4-r6 as used, r7, lr}
+	// Save promoted high registers via r7 (already saved, and not yet
+	// the frame pointer) so the incoming argument registers r0-r3 stay
+	// intact.
+	for _, hr := range hiSaved {
+		g.a.op(encHiMov(7, hr))
+		g.a.op(encPush(1<<7, false))
+	}
+	for rem := f.frameSize; rem > 0; {
+		chunk := rem
+		if chunk > 508 {
+			chunk = 508
+		}
+		g.a.op(encSubSp(chunk))
+		rem -= chunk
+	}
+	g.a.op(encHiMov(7, spReg)) // mov r7, sp
+	for i, p := range f.params {
+		sym := p.sym
+		switch {
+		case sym.reg != 0 && i < 4:
+			g.a.op(encHiMov(sym.reg, i))
+		case sym.reg != 0:
+			// Stack argument promoted to a register: load it once.
+			off := g.fn.frameSize + 4*(2+g.savedRegs) + 4*sym.stackArgIdx
+			if off <= 124 && off%4 == 0 {
+				g.a.op(encLdrImm(sym.reg, 7, off))
+			} else {
+				g.addrOfLocal(sym.reg, off)
+				g.a.op(encLdrImm(sym.reg, sym.reg, 0))
+			}
+		case i < 4:
+			g.a.op(encStrImm(i, 7, sym.frameOff))
+		}
+	}
+	for _, s := range f.body {
+		g.genStmt(s)
+	}
+	g.a.place(g.epilogue)
+	g.a.op(encHiMov(spReg, 7)) // mov sp, r7
+	for rem := f.frameSize; rem > 0; {
+		chunk := rem
+		if chunk > 508 {
+			chunk = 508
+		}
+		g.a.op(encAddSp(chunk))
+		rem -= chunk
+	}
+	for i := len(hiSaved) - 1; i >= 0; i-- {
+		g.a.op(encPop(1<<1, false))
+		g.a.op(encHiMov(hiSaved[i], 1))
+	}
+	g.a.op(encPop(saveMask, true)) // pop {saved, r7, pc}
+	g.a.flushPool(false)
+}

@@ -1,0 +1,256 @@
+// Package ccc implements a small C-like compiler ("ccc") targeting the
+// ARMv6-M Thumb instruction set as modeled by internal/armsim. It plays the
+// role of Clank's modified compiler (paper section 4): it produces bootable
+// images with the Clank runtime reserve, and its profiler marks
+// Program-Idempotent memory accesses that the hardware may ignore.
+//
+// The language is a C subset sufficient for the MiBench2 ports:
+//
+//   - types: void, int, uint, char (unsigned 8-bit), short, ushort,
+//     pointers, constant-size (possibly multi-dimensional) arrays, and
+//     named structs (member access via . and ->; whole-struct assignment
+//     and struct parameters are not supported)
+//   - globals with constant initializers (scalars, arrays, strings);
+//     `const` globals are placed in the text/rodata region
+//   - functions (no pointers-to-function, no varargs), recursion allowed
+//   - statements: blocks, if/else, while, do-while, for, switch (with C
+//     fallthrough), break, continue, return, declarations, expression
+//     statements
+//   - expressions: full C operator set on integers and pointers, including
+//     short-circuit && and ||, ?:, casts, sizeof(type), and compound
+//     assignment
+//   - intrinsics: __output(x) writes x to the memory-mapped output port
+//
+// char is unsigned (as on ARM ABIs); short is signed.
+package ccc
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokChar
+	tokPunct
+	tokKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+}
+
+var keywords = map[string]bool{
+	"void": true, "int": true, "uint": true, "char": true, "short": true,
+	"ushort": true, "const": true, "if": true, "else": true, "while": true,
+	"for": true, "do": true, "break": true, "continue": true, "return": true,
+	"sizeof": true, "switch": true, "case": true, "default": true,
+	"struct": true,
+}
+
+// lexError carries a lexing/parsing failure with a line number.
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("line %d: %s", e.line, e.msg) }
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= n {
+				return nil, &lexError{line, "unterminated block comment"}
+			}
+			i += 2
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentChar(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			k := tokIdent
+			if keywords[word] {
+				k = tokKeyword
+			}
+			toks = append(toks, token{kind: k, text: word, line: line})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			base := 10
+			if c == '0' && j+1 < n && (src[j+1] == 'x' || src[j+1] == 'X') {
+				base = 16
+				j += 2
+			}
+			start := j
+			for j < n && isNumChar(src[j], base) {
+				j++
+			}
+			var v int64
+			text := src[start:j]
+			if base == 16 {
+				for _, ch := range text {
+					v = v*16 + int64(hexVal(byte(ch)))
+				}
+			} else {
+				for _, ch := range text {
+					v = v*10 + int64(ch-'0')
+				}
+			}
+			// Skip C suffixes.
+			for j < n && (src[j] == 'u' || src[j] == 'U' || src[j] == 'l' || src[j] == 'L') {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, num: v, text: src[i:j], line: line})
+			i = j
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < n && src[j] != '"' {
+				ch, nj, err := unescape(src, j, line)
+				if err != nil {
+					return nil, err
+				}
+				sb.WriteByte(ch)
+				j = nj
+			}
+			if j >= n {
+				return nil, &lexError{line, "unterminated string"}
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), line: line})
+			i = j + 1
+		case c == '\'':
+			j := i + 1
+			if j >= n {
+				return nil, &lexError{line, "unterminated char literal"}
+			}
+			ch, nj, err := unescape(src, j, line)
+			if err != nil {
+				return nil, err
+			}
+			if nj >= n || src[nj] != '\'' {
+				return nil, &lexError{line, "unterminated char literal"}
+			}
+			toks = append(toks, token{kind: tokNumber, num: int64(ch), text: "'" + string(ch) + "'", line: line})
+			i = nj + 1
+		default:
+			p := lexPunct(src[i:])
+			if p == "" {
+				return nil, &lexError{line, fmt.Sprintf("unexpected character %q", c)}
+			}
+			toks = append(toks, token{kind: tokPunct, text: p, line: line})
+			i += len(p)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+var puncts3 = []string{"<<=", ">>="}
+var puncts2 = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
+	"%=", "&=", "|=", "^=", "++", "--", "->",
+}
+
+func lexPunct(s string) string {
+	for _, p := range puncts3 {
+		if strings.HasPrefix(s, p) {
+			return p
+		}
+	}
+	for _, p := range puncts2 {
+		if strings.HasPrefix(s, p) {
+			return p
+		}
+	}
+	if strings.IndexByte("+-*/%<>=!&|^~?:;,.(){}[]", s[0]) >= 0 {
+		return s[:1]
+	}
+	return ""
+}
+
+func unescape(src string, j, line int) (byte, int, error) {
+	if src[j] != '\\' {
+		return src[j], j + 1, nil
+	}
+	if j+1 >= len(src) {
+		return 0, 0, &lexError{line, "dangling escape"}
+	}
+	switch src[j+1] {
+	case 'n':
+		return '\n', j + 2, nil
+	case 't':
+		return '\t', j + 2, nil
+	case 'r':
+		return '\r', j + 2, nil
+	case '0':
+		return 0, j + 2, nil
+	case '\\':
+		return '\\', j + 2, nil
+	case '\'':
+		return '\'', j + 2, nil
+	case '"':
+		return '"', j + 2, nil
+	case 'x':
+		if j+3 >= len(src) {
+			return 0, 0, &lexError{line, "bad hex escape"}
+		}
+		return byte(hexVal(src[j+2])<<4 | hexVal(src[j+3])), j + 4, nil
+	}
+	return 0, 0, &lexError{line, fmt.Sprintf("unknown escape \\%c", src[j+1])}
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return 0
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isNumChar(c byte, base int) bool {
+	if base == 16 {
+		return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+	}
+	return c >= '0' && c <= '9'
+}

@@ -1,0 +1,222 @@
+package ccc
+
+import (
+	"testing"
+
+	"repro/internal/armsim"
+)
+
+func lexKinds(t *testing.T, src string) []token {
+	t.Helper()
+	toks, err := lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return toks
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lexKinds(t, `int x = 0x1F + 42; // comment
+/* block
+comment */ char c = 'a';`)
+	var texts []string
+	for _, tk := range toks {
+		if tk.kind == tokEOF {
+			break
+		}
+		texts = append(texts, tk.text)
+	}
+	want := []string{"int", "x", "=", "0x1F", "+", "42", ";", "char", "c", "=", "'a'", ";"}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens %v, want %v", texts, want)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]int64{
+		"0":          0,
+		"42":         42,
+		"0xFF":       255,
+		"0x80000000": 0x80000000,
+		"1000u":      1000,
+		"7L":         7,
+	}
+	for src, want := range cases {
+		toks := lexKinds(t, src)
+		if toks[0].kind != tokNumber || toks[0].num != want {
+			t.Errorf("lex(%q) = %v (%d), want %d", src, toks[0].kind, toks[0].num, want)
+		}
+	}
+}
+
+func TestLexEscapes(t *testing.T) {
+	toks := lexKinds(t, `"a\n\t\x41\0"`)
+	if toks[0].kind != tokString || toks[0].text != "a\n\tA\x00" {
+		t.Errorf("string = %q", toks[0].text)
+	}
+	toks = lexKinds(t, `'\n'`)
+	if toks[0].num != '\n' {
+		t.Errorf("char literal = %d", toks[0].num)
+	}
+}
+
+func TestLexMultiCharOperators(t *testing.T) {
+	toks := lexKinds(t, "a <<= b >> c <= d == e != f && g || h ++ --")
+	var ops []string
+	for _, tk := range toks {
+		if tk.kind == tokPunct {
+			ops = append(ops, tk.text)
+		}
+	}
+	want := []string{"<<=", ">>", "<=", "==", "!=", "&&", "||", "++", "--"}
+	if len(ops) != len(want) {
+		t.Fatalf("ops %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %q, want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	toks := lexKinds(t, "a\nb\n\nc")
+	lines := map[string]int{}
+	for _, tk := range toks {
+		if tk.kind == tokIdent {
+			lines[tk.text] = tk.line
+		}
+	}
+	if lines["a"] != 1 || lines["b"] != 2 || lines["c"] != 4 {
+		t.Errorf("lines = %v", lines)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, "'x", "/* open", "`"} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestParserPrecedence(t *testing.T) {
+	// 2 + 3 * 4 == 14 and (2+3)*4 == 20 at compile-time constant folding.
+	u, err := parse("int a = 2 + 3 * 4; int b = (2 + 3) * 4; int main(void){return 0;}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := check(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := ck.foldConst(u.globals[0].init)
+	vb, _ := ck.foldConst(u.globals[1].init)
+	if va != 14 || vb != 20 {
+		t.Errorf("folded %d, %d; want 14, 20", va, vb)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	cases := map[string]int64{
+		"1 << 4":         16,
+		"~0":             -1,
+		"!3":             0,
+		"!0":             1,
+		"-5 * -3":        15,
+		"100 / 7":        14,
+		"100 % 7":        2,
+		"0xF0 | 0x0F":    0xFF,
+		"0xFF & 0x18":    0x18,
+		"5 ^ 3":          6,
+		"sizeof(int)":    4,
+		"sizeof(char)":   1,
+		"sizeof(short)":  2,
+		"sizeof(int[7])": 28,
+		"(char)300":      44,
+		"(short)0x8000":  -32768,
+	}
+	for src, want := range cases {
+		u, err := parse("int v = " + src + "; int main(void){return 0;}")
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		ck, err := check(u)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		got, err := ck.foldConst(u.globals[0].init)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if got != want {
+			t.Errorf("fold(%s) = %d, want %d", src, got, want)
+		}
+	}
+}
+
+func TestParserRejectsBadConstructs(t *testing.T) {
+	bad := []string{
+		"int a[x]; int main(void){return 0;}",               // non-constant dimension
+		"int f(void) { return; } int main(void){return 0;}", // missing value
+		"int main(void) { int; return 0; }",
+		"int main(void) { if (1 return 0; }",
+		"int main(void) { do ; while 1; return 0;}",
+	}
+	for _, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestProgramIdempotentProfile(t *testing.T) {
+	// A program with a read-only table (clean), a write-once-read-many
+	// global (clean), and a read-modify-write accumulator (dirty).
+	img, err := Compile(`
+const int table[4] = {1,2,3,4};
+int onceThenRead;
+int rmw;
+int main(void) {
+	int i;
+	int s = 0;
+	onceThenRead = 5;
+	for (i = 0; i < 4; i++) {
+		s += table[i] + onceThenRead;
+		rmw = rmw + i;
+	}
+	__output((uint)s);
+	__output((uint)rmw);
+	return 0;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, _, err := collectTestTrace(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exempt := ProgramIdempotentPCs(trace)
+	if len(exempt) == 0 {
+		t.Fatal("no exempt PCs found")
+	}
+	// Verify the classification per address: clean words may only be
+	// touched by exempt PCs' accesses or violated words never exempt.
+	rmwAddr := img.Symbols["rmw"] >> 2
+	for _, a := range trace {
+		if a.Addr>>2 == rmwAddr && exempt[a.PC] {
+			t.Errorf("PC %#x touching the RMW global marked exempt", a.PC)
+		}
+	}
+}
+
+// collectTestTrace runs an image on a recorder-backed machine.
+func collectTestTrace(img *Image) ([]armsim.Access, uint64, error) {
+	return armsim.CollectTrace(img.Bytes, 100_000_000)
+}

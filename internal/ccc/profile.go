@@ -1,0 +1,48 @@
+package ccc
+
+import "repro/internal/armsim"
+
+// ProgramIdempotentPCs implements the compiler analysis of paper section
+// 4.3: it identifies memory-access instructions that can never cause an
+// idempotency violation under any power cycle, so Clank hardware may ignore
+// them. Following the paper, the analysis is profile-based: an instruction
+// is Program Idempotent when every word it ever touches follows the
+// W*->R* pattern (all writes happen before the first read) across the whole
+// continuous run — such locations can never produce a write-after-read.
+//
+// The returned set maps instruction addresses (PCs) to true. Accesses
+// outside main memory (the output port) are outputs, not tracked state, and
+// do not disqualify a PC.
+func ProgramIdempotentPCs(trace []armsim.Access) map[uint32]bool {
+	const words = armsim.MemSize / 4
+	// phase[w]: 0 = still in the write prefix, 1 = reads have started.
+	phase := make([]uint8, words)
+	violated := make([]bool, words)
+	for _, a := range trace {
+		if a.Addr >= armsim.MemSize {
+			continue
+		}
+		w := a.WordAddr()
+		if a.Write {
+			if phase[w] == 1 {
+				violated[w] = true
+			}
+		} else {
+			phase[w] = 1
+		}
+	}
+	clean := make(map[uint32]bool)
+	dirty := make(map[uint32]bool)
+	for _, a := range trace {
+		if a.Addr >= armsim.MemSize {
+			continue
+		}
+		if violated[a.WordAddr()] {
+			dirty[a.PC] = true
+			delete(clean, a.PC)
+		} else if !dirty[a.PC] {
+			clean[a.PC] = true
+		}
+	}
+	return clean
+}

@@ -1,0 +1,122 @@
+package ccc
+
+import "sort"
+
+// Register allocation: the stack-machine code generator uses r0-r2 as
+// scratch and r3 as assembler scratch, leaving the callee-saved r4-r6 free.
+// Each function's three most-referenced scalar locals that never have their
+// address taken are promoted into those registers. This mirrors what any
+// real compiler does with loop counters and accumulators, and it matters to
+// the system under test: a hot local kept in a frame slot would turn every
+// loop iteration into a memory read-modify-write — a manufactured
+// idempotency violation the paper's hardware never sees.
+
+// allocRegs is the set of registers available for promotion: the low
+// callee-saved registers first, then the high registers r8-r11, which
+// Thumb-1 can only MOV to and from — exactly how real Thumb compilers use
+// them for spill-resistant storage.
+var allocRegs = []int{4, 5, 6, 8, 9, 10, 11}
+
+// allocateRegisters assigns registers to f's hottest eligible locals and
+// returns the list of promoted symbols in register order.
+func allocateRegisters(f *function) []*symbol {
+	counts := make(map[*symbol]int)
+	banned := make(map[*symbol]bool)
+
+	bump := func(sym *symbol, depth int) {
+		w := 1
+		for i := 0; i < depth && i < 5; i++ {
+			w *= 4
+		}
+		counts[sym] += w
+	}
+
+	var walkExpr func(e *expr, depth int)
+	walkExpr = func(e *expr, depth int) {
+		if e == nil {
+			return
+		}
+		if e.kind == eUnary && e.op == "&" && e.x != nil && e.x.kind == eVar {
+			if e.x.sym != nil {
+				banned[e.x.sym] = true
+			}
+		}
+		if e.kind == eVar && e.sym != nil {
+			bump(e.sym, depth)
+		}
+		walkExpr(e.x, depth)
+		walkExpr(e.y, depth)
+		walkExpr(e.z, depth)
+		for _, a := range e.args {
+			walkExpr(a, depth)
+		}
+	}
+	var walkStmt func(s *stmt, depth int)
+	walkStmt = func(s *stmt, depth int) {
+		if s == nil {
+			return
+		}
+		d := depth
+		switch s.kind {
+		case sWhile, sDoWhile, sFor:
+			d = depth + 1
+		}
+		walkExpr(s.e, d)
+		walkExpr(s.post, d)
+		walkStmt(s.init, depth)
+		for _, decl := range s.decls {
+			walkExpr(decl.init, depth)
+			if decl.sym != nil {
+				bump(decl.sym, depth)
+			}
+		}
+		for _, inner := range s.body {
+			walkStmt(inner, d)
+		}
+		for _, inner := range s.els {
+			walkStmt(inner, d)
+		}
+		for _, sc := range s.cases {
+			for _, inner := range sc.body {
+				walkStmt(inner, d)
+			}
+		}
+	}
+	for _, s := range f.body {
+		walkStmt(s, 0)
+	}
+
+	eligible := func(sym *symbol) bool {
+		if sym.global || sym.isFunc || banned[sym] {
+			return false
+		}
+		switch sym.ty.Kind {
+		case KInt, KUInt, KChar, KShort, KUShort, KPtr:
+			return true
+		}
+		return false
+	}
+	var cands []*symbol
+	for sym := range counts {
+		if eligible(sym) {
+			cands = append(cands, sym)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if counts[cands[i]] != counts[cands[j]] {
+			return counts[cands[i]] > counts[cands[j]]
+		}
+		// Deterministic tie-break.
+		if cands[i].frameOff != cands[j].frameOff {
+			return cands[i].frameOff < cands[j].frameOff
+		}
+		return cands[i].name < cands[j].name
+	})
+	if len(cands) > len(allocRegs) {
+		cands = cands[:len(allocRegs)]
+	}
+	for i, sym := range cands {
+		sym.reg = allocRegs[i]
+	}
+	return cands
+}

@@ -1,0 +1,80 @@
+package ccc
+
+// runtimeSource is compiled into every image. It provides software
+// division/modulo (the Cortex-M0+ has no divide instruction) and small
+// memory helpers. None of these use '/' or '%' themselves.
+const runtimeSource = `
+uint __udiv(uint n, uint d) {
+	uint q;
+	uint r;
+	int i;
+	if (d == 0) return 0;
+	q = 0;
+	r = 0;
+	for (i = 31; i >= 0; i--) {
+		r = (r << 1) | ((n >> i) & 1);
+		if (r >= d) {
+			r = r - d;
+			q = q | ((uint)1 << i);
+		}
+	}
+	return q;
+}
+
+uint __umod(uint n, uint d) {
+	uint r;
+	int i;
+	if (d == 0) return 0;
+	r = 0;
+	for (i = 31; i >= 0; i--) {
+		r = (r << 1) | ((n >> i) & 1);
+		if (r >= d) {
+			r = r - d;
+		}
+	}
+	return r;
+}
+
+int __sdiv(int n, int d) {
+	int neg;
+	uint un;
+	uint ud;
+	uint q;
+	neg = 0;
+	if (n < 0) { un = (uint)(-n); neg = !neg; } else { un = (uint)n; }
+	if (d < 0) { ud = (uint)(-d); neg = !neg; } else { ud = (uint)d; }
+	q = __udiv(un, ud);
+	if (neg) return -(int)q;
+	return (int)q;
+}
+
+int __smod(int n, int d) {
+	int neg;
+	uint un;
+	uint ud;
+	uint r;
+	neg = 0;
+	if (n < 0) { un = (uint)(-n); neg = 1; } else { un = (uint)n; }
+	if (d < 0) { ud = (uint)(-d); } else { ud = (uint)d; }
+	r = __umod(un, ud);
+	if (neg) return -(int)r;
+	return (int)r;
+}
+
+void memset(char *p, int v, int n) {
+	int i;
+	for (i = 0; i < n; i++) p[i] = (char)v;
+}
+
+void memcpy(char *d, char *s, int n) {
+	int i;
+	for (i = 0; i < n; i++) d[i] = s[i];
+}
+
+int strlen(char *s) {
+	int n;
+	n = 0;
+	while (s[n]) n++;
+	return n;
+}
+`

@@ -1,0 +1,312 @@
+package clank
+
+import "sort"
+
+// Outcome is the detector's verdict on one access.
+type Outcome struct {
+	// NeedCheckpoint means a checkpoint must be taken BEFORE this access
+	// commits; the driver checkpoints, resets the section, and re-feeds
+	// the access.
+	NeedCheckpoint bool
+	Reason         Reason
+
+	// Buffered means a write was absorbed by the Write-back Buffer and
+	// must NOT be written to non-volatile memory.
+	Buffered bool
+
+	// FromWB means a read was served from the Write-back Buffer;
+	// ReadValue holds the value to use instead of memory's.
+	FromWB    bool
+	ReadValue uint32
+}
+
+type wbEntry struct {
+	val   uint32
+	dirty bool
+}
+
+// Clank is the hardware state: the four buffers plus the untracked-mode
+// flag of the Latest-Checkpoint optimization. All addresses are 30-bit word
+// addresses.
+type Clank struct {
+	cfg Config
+
+	rf  map[uint32]struct{}
+	wf  map[uint32]struct{}
+	wb  map[uint32]wbEntry
+	apb map[uint32]struct{}
+
+	wbDirty   int
+	untracked bool
+	accesses  int // accesses classified since the last Reset
+
+	textStartW, textEndW uint32
+}
+
+// New builds the hardware model for cfg. It panics on an invalid
+// configuration (a construction-time programming error).
+func New(cfg Config) *Clank {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	k := &Clank{
+		cfg:        cfg,
+		rf:         make(map[uint32]struct{}),
+		wf:         make(map[uint32]struct{}),
+		wb:         make(map[uint32]wbEntry),
+		apb:        make(map[uint32]struct{}),
+		textStartW: cfg.TextStart >> 2,
+		textEndW:   (cfg.TextEnd + 3) >> 2,
+	}
+	return k
+}
+
+// Config returns the configuration the hardware was built with.
+func (k *Clank) Config() Config { return k.cfg }
+
+// Reset clears every buffer; it models both the phase-2 checkpoint reset
+// and the volatile-state loss of a power failure.
+func (k *Clank) Reset() {
+	clear(k.rf)
+	clear(k.wf)
+	clear(k.wb)
+	clear(k.apb)
+	k.wbDirty = 0
+	k.untracked = false
+	k.accesses = 0
+}
+
+// SectionAccesses reports how many accesses the current section has
+// classified (used by drivers for output- and TEXT-write bracketing).
+func (k *Clank) SectionAccesses() int { return k.accesses }
+
+// Untracked reports whether the detector is in the post-fill untracked mode
+// of the Latest-Checkpoint optimization.
+func (k *Clank) Untracked() bool { return k.untracked }
+
+// WBDirty returns the number of buffered (idempotency-violating) writes.
+func (k *Clank) WBDirty() int { return k.wbDirty }
+
+// WBEntry is a buffered write pending commit to non-volatile memory.
+type WBEntry struct {
+	Word  uint32
+	Value uint32
+}
+
+// DirtyEntries returns the buffered writes in ascending address order (the
+// checkpoint routine drains these to the scratchpad, then applies them).
+func (k *Clank) DirtyEntries() []WBEntry {
+	out := make([]WBEntry, 0, k.wbDirty)
+	for w, e := range k.wb {
+		if e.dirty {
+			out = append(out, WBEntry{Word: w, Value: e.val})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Word < out[j].Word })
+	return out
+}
+
+// Lookup returns the Write-back Buffer's view of a word, if it holds one.
+// Drivers use it to service loads when the buffer shadows memory.
+func (k *Clank) Lookup(word uint32) (uint32, bool) {
+	if e, ok := k.wb[word]; ok && e.dirty {
+		return e.val, true
+	}
+	return 0, false
+}
+
+func (k *Clank) exempt(pc uint32) bool {
+	return k.cfg.ExemptPCs != nil && k.cfg.ExemptPCs[pc]
+}
+
+func (k *Clank) inText(word uint32) bool {
+	return k.cfg.Opts&OptIgnoreText != 0 && word >= k.textStartW && word < k.textEndW
+}
+
+func (k *Clank) prefix(w uint32) uint32 { return w >> k.cfg.PrefixLowBits }
+
+// ensurePrefix makes sure w's prefix is resident in the Address Prefix
+// Buffer, adding it if there is room. It returns false on APB overflow.
+func (k *Clank) ensurePrefix(w uint32) bool {
+	if k.cfg.AddrPrefix == 0 {
+		return true
+	}
+	p := k.prefix(w)
+	if _, ok := k.apb[p]; ok {
+		return true
+	}
+	if len(k.apb) >= k.cfg.AddrPrefix {
+		return false
+	}
+	k.apb[p] = struct{}{}
+	return true
+}
+
+// Read classifies a read of word (whose current non-volatile value is
+// memValue) performed by the instruction at pc.
+func (k *Clank) Read(word, memValue, pc uint32) Outcome {
+	k.accesses++
+	// The Write-back Buffer shadows memory unconditionally: a buffered
+	// write's value must be visible to subsequent reads.
+	if e, ok := k.wb[word]; ok && e.dirty {
+		return Outcome{FromWB: true, ReadValue: e.val}
+	}
+	if k.exempt(pc) || k.inText(word) || k.untracked {
+		return Outcome{}
+	}
+	if _, ok := k.rf[word]; ok {
+		return Outcome{}
+	}
+	if _, ok := k.wf[word]; ok {
+		return Outcome{}
+	}
+	if _, ok := k.wb[word]; ok { // clean saved-read entry implies tracked
+		return Outcome{}
+	}
+	// Insert into the Read-first Buffer.
+	if len(k.rf) >= k.cfg.ReadFirst {
+		return k.fillOnRead(ReasonRFOverflow)
+	}
+	if !k.ensurePrefix(word) {
+		return k.fillOnRead(ReasonAPOverflow)
+	}
+	k.rf[word] = struct{}{}
+	// Remember the read value for false-write detection, co-opting spare
+	// Write-back capacity (section 3.2.1).
+	if k.cfg.Opts&OptIgnoreFalseWrites != 0 && k.cfg.WriteBack > 0 && len(k.wb) < k.cfg.WriteBack {
+		k.wb[word] = wbEntry{val: memValue}
+	}
+	return Outcome{}
+}
+
+func (k *Clank) fillOnRead(r Reason) Outcome {
+	if k.cfg.Opts&OptLatestCheckpoint != 0 {
+		k.untracked = true
+		return Outcome{}
+	}
+	return Outcome{NeedCheckpoint: true, Reason: r}
+}
+
+// Write classifies a write of value to word (whose current non-volatile
+// value is memValue) performed by the instruction at pc.
+func (k *Clank) Write(word, value, memValue, pc uint32) Outcome {
+	k.accesses++
+	if e, ok := k.wb[word]; ok && e.dirty {
+		// Already buffered: update in place, never touches memory.
+		k.wb[word] = wbEntry{val: value, dirty: true}
+		return Outcome{Buffered: true}
+	}
+	if k.exempt(pc) {
+		return Outcome{}
+	}
+	if k.inText(word) {
+		// Self-modifying code support: a TEXT write forces a checkpoint
+		// first and then passes through as the opening access of the
+		// fresh section (section 3.2.4).
+		if k.accesses > 1 {
+			return Outcome{NeedCheckpoint: true, Reason: ReasonTextWrite}
+		}
+		return Outcome{}
+	}
+	if _, ok := k.wf[word]; ok {
+		// Write-dominated: safe even in untracked mode — reads of this
+		// address were ignored while it sat in the Write-first Buffer,
+		// so no untracked read can depend on its old value.
+		return Outcome{}
+	}
+	if _, ok := k.rf[word]; ok {
+		// Known read-dominated: the violation machinery (Write-back
+		// buffering or checkpoint) handles it, untracked or not; any
+		// untracked reads of it were served consistently.
+		return k.violation(word, value, memValue)
+	}
+	if k.untracked {
+		// Latest-Checkpoint mode (section 3.2.5): a write to an address
+		// we were no longer able to track may overwrite a value an
+		// untracked read depended on — the delayed checkpoint is due.
+		return Outcome{NeedCheckpoint: true, Reason: ReasonWriteInFill}
+	}
+	// Untracked address: record as write-dominated.
+	if k.cfg.WriteFirst == 0 {
+		// No Write-first Buffer: writes to unread addresses pass through.
+		// A later read of this address will classify it read-dominated,
+		// pessimistically, which is safe.
+		return Outcome{}
+	}
+	if len(k.wf) >= k.cfg.WriteFirst {
+		if k.cfg.Opts&OptNoWFOverflow != 0 {
+			return Outcome{}
+		}
+		return k.fillOnWrite(ReasonWFOverflow)
+	}
+	if !k.ensurePrefix(word) {
+		if k.cfg.Opts&OptNoWFOverflow != 0 {
+			return Outcome{}
+		}
+		return k.fillOnWrite(ReasonAPOverflow)
+	}
+	k.wf[word] = struct{}{}
+	return Outcome{}
+}
+
+func (k *Clank) fillOnWrite(r Reason) Outcome {
+	// Even with Latest-Checkpoint the fill-causing access is itself a
+	// write, so the delayed checkpoint is due immediately.
+	return Outcome{NeedCheckpoint: true, Reason: r}
+}
+
+// violation handles a write to a read-dominated word.
+func (k *Clank) violation(word, value, memValue uint32) Outcome {
+	if k.cfg.Opts&OptIgnoreFalseWrites != 0 {
+		if e, ok := k.wb[word]; ok && !e.dirty && e.val == value {
+			// The write does not change the stored value: let it
+			// through (section 3.2.1).
+			return Outcome{}
+		}
+		if _, ok := k.wb[word]; !ok && value == memValue {
+			// No saved copy, but the driver knows the current value
+			// matches; hardware realizes this as a compare against the
+			// read bus. Still safe: memory is unchanged.
+			return Outcome{}
+		}
+	}
+	if k.cfg.WriteBack == 0 {
+		return Outcome{NeedCheckpoint: true, Reason: ReasonViolation}
+	}
+	if e, ok := k.wb[word]; ok && !e.dirty {
+		// Upgrade the saved-read entry in place.
+		k.wb[word] = wbEntry{val: value, dirty: true}
+		k.wbDirty++
+	} else {
+		if len(k.wb) >= k.cfg.WriteBack {
+			if !k.evictClean() {
+				return Outcome{NeedCheckpoint: true, Reason: ReasonWBOverflow}
+			}
+		}
+		k.wb[word] = wbEntry{val: value, dirty: true}
+		k.wbDirty++
+	}
+	if k.cfg.Opts&OptRemoveDuplicates != 0 {
+		// The dirty Write-back entry now answers all future accesses to
+		// this address; free the Read-first slot (section 3.2.2).
+		delete(k.rf, word)
+	}
+	return Outcome{Buffered: true}
+}
+
+// evictClean drops one saved-read (clean) entry to make room for a dirty
+// one, choosing deterministically. Returns false if none exist.
+func (k *Clank) evictClean() bool {
+	victim := uint32(0)
+	found := false
+	for w, e := range k.wb {
+		if !e.dirty && (!found || w < victim) {
+			victim = w
+			found = true
+		}
+	}
+	if found {
+		delete(k.wb, victim)
+	}
+	return found
+}

@@ -1,0 +1,34 @@
+package clank
+
+// CostModel holds the cycle costs of the compiler-inserted runtime routines
+// (paper sections 3.1.2, 4.1, 4.2). Both the full-system intermittent
+// machine and the trace-driven policy simulator charge these costs.
+type CostModel struct {
+	// CheckpointBase is the cost of writing one register checkpoint to a
+	// non-volatile slot (paper: ~40 cycles for 17 words plus the
+	// checkpoint-pointer commit).
+	CheckpointBase uint64
+	// WBFlushPerEntry covers copying one Write-back entry to the
+	// scratchpad and applying it (two NV word writes plus bookkeeping).
+	WBFlushPerEntry uint64
+	// WBFlushExtra is the second checkpoint of the two-phase Write-back
+	// commit.
+	WBFlushExtra uint64
+	// Restart is the start-up routine: read the checkpoint pointer,
+	// reload 17 words, configure the watchdogs.
+	Restart uint64
+	// StackWordSave is the per-word cost of checkpointing modified
+	// volatile stack on mixed-volatility systems (paper section 7.6).
+	StackWordSave uint64
+}
+
+// DefaultCosts matches the paper's implementation numbers.
+func DefaultCosts() CostModel {
+	return CostModel{
+		CheckpointBase:  40,
+		WBFlushPerEntry: 8,
+		WBFlushExtra:    40,
+		Restart:         60,
+		StackWordSave:   2,
+	}
+}

@@ -1,0 +1,235 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (section 7). Each experiment returns a data structure with a
+// Format method producing the table the paper prints; cmd/clank-experiments
+// and the top-level benchmarks drive them.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/clank"
+	"repro/internal/mibench"
+	"repro/internal/policysim"
+	"repro/internal/power"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Quick shrinks the configuration sweeps (used by `go test -bench`);
+	// the full sweeps are the cmd/clank-experiments defaults.
+	Quick bool
+	// MeanOn is the average power-on time in cycles (default: the
+	// paper's 100 ms at the 1 MHz model clock).
+	MeanOn uint64
+	// Seeds are the power-supply seeds averaged over for experiments
+	// with power cycling.
+	Seeds []int64
+	// Verify runs the reference monitor inside every simulation (the
+	// paper dynamically verifies every experimental trial). On by
+	// default; benches may disable it for throughput.
+	Verify bool
+}
+
+// withDefaults fills in unset options.
+func (o Options) withDefaults() Options {
+	if o.MeanOn == 0 {
+		o.MeanOn = power.DefaultMeanOn
+	}
+	if len(o.Seeds) == 0 {
+		o.Seeds = []int64{11, 23, 47}
+	}
+	return o
+}
+
+// Default returns the paper's evaluation settings.
+func Default() Options { return Options{Verify: true}.withDefaults() }
+
+// OptimalPerfWatchdog computes the Performance Watchdog load value that
+// balances checkpoint and re-execution overhead in the ideal
+// no-program-checkpoints case (paper section 3.1.4/7.4): checkpoint
+// overhead per cycle is C/W and expected re-execution is W/(2*meanOn), so
+// the optimum is W* = sqrt(2*C*meanOn).
+func OptimalPerfWatchdog(ckptCost, meanOn uint64) uint64 {
+	return uint64(math.Sqrt(2 * float64(ckptCost) * float64(meanOn)))
+}
+
+// NamedConfig pairs the paper's shorthand with a configuration.
+type NamedConfig struct {
+	Name         string
+	Config       clank.Config
+	Compiler     bool // apply Program Idempotent exemptions
+	PerfWatchdog bool // enable the optimally-seeded Performance Watchdog
+}
+
+// Table2Configs are the paper's five evaluation configurations (Table 2 /
+// Figure 7): comma-separated Read-first, Write-first, Write-back, and
+// Address Prefix entry counts.
+func Table2Configs() []NamedConfig {
+	return []NamedConfig{
+		{Name: "16,0,0,0", Config: clank.Config{ReadFirst: 16, Opts: clank.OptAll}},
+		{Name: "8,8,0,0", Config: clank.Config{ReadFirst: 8, WriteFirst: 8, Opts: clank.OptAll}},
+		{Name: "8,4,2,0", Config: clank.Config{ReadFirst: 8, WriteFirst: 4, WriteBack: 2, Opts: clank.OptAll}},
+		{Name: "16,8,4,4", Config: clank.Config{ReadFirst: 16, WriteFirst: 8, WriteBack: 4,
+			AddrPrefix: 4, PrefixLowBits: 6, Opts: clank.OptAll}},
+		{Name: "16,8,4,4 (+C+WDT)", Config: clank.Config{ReadFirst: 16, WriteFirst: 8, WriteBack: 4,
+			AddrPrefix: 4, PrefixLowBits: 6, Opts: clank.OptAll}, Compiler: true, PerfWatchdog: true},
+	}
+}
+
+// BuildSuite compiles and traces all 23 benchmarks (cached).
+func BuildSuite() ([]*mibench.Compiled, error) {
+	benches := mibench.All()
+	out := make([]*mibench.Compiled, len(benches))
+	errs := make([]error, len(benches))
+	var wg sync.WaitGroup
+	for i := range benches {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = mibench.Build(benches[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// simOne runs the policy simulator for one benchmark under one named
+// configuration, wiring in the image's TEXT bounds and, when requested,
+// the profiler's exemptions and the optimal Performance Watchdog.
+func simOne(c *mibench.Compiled, nc NamedConfig, o Options, supply power.Source) (policysim.Result, error) {
+	cfg := nc.Config
+	cfg.TextStart, cfg.TextEnd = c.Image.TextStart, c.Image.TextEnd
+	if nc.Compiler {
+		cfg.ExemptPCs = c.ExemptPCs
+	}
+	po := policysim.Options{
+		Supply:          supply,
+		ProgressDefault: o.MeanOn / 4,
+		Verify:          o.Verify,
+	}
+	if nc.PerfWatchdog {
+		po.PerfWatchdog = OptimalPerfWatchdog(clank.DefaultCosts().CheckpointBase, o.MeanOn)
+	} else {
+		// Deployment guidance from paper section 3.1.4: sections must
+		// stay well below the power-cycle length or every boot is spent
+		// re-executing a section that can never finish. Configurations
+		// without the tuned Performance Watchdog still ship with a
+		// conservative one at a quarter of the mean on-time.
+		po.PerfWatchdog = o.MeanOn / 4
+	}
+	return policysim.Simulate(c.Trace, c.Cycles, cfg, po)
+}
+
+// simulateWithWatchdog is simOne with an explicit Performance Watchdog
+// load value (used by the Figure 8 sweep).
+func simulateWithWatchdog(c *mibench.Compiled, cfg clank.Config, o Options, supply power.Source, watchdog uint64) (policysim.Result, error) {
+	return policysim.Simulate(c.Trace, c.Cycles, cfg, policysim.Options{
+		Supply:          supply,
+		ProgressDefault: o.MeanOn / 4,
+		PerfWatchdog:    watchdog,
+		Verify:          o.Verify,
+	})
+}
+
+// simPowered averages total overhead across the option seeds.
+func simPowered(c *mibench.Compiled, nc NamedConfig, o Options) (avg policysim.Result, overhead float64, err error) {
+	var sum float64
+	var last policysim.Result
+	for _, seed := range o.Seeds {
+		supply := power.NewSupply(power.Exponential{Mean: o.MeanOn, Min: 500}, seed)
+		res, e := simOne(c, nc, o, supply)
+		if e != nil {
+			return policysim.Result{}, 0, fmt.Errorf("%s on %s (seed %d): %w", nc.Name, c.Bench.Name, seed, e)
+		}
+		sum += res.Overhead()
+		last = res
+	}
+	return last, sum / float64(len(o.Seeds)), nil
+}
+
+// parallelFor runs fn(i) for i in [0, n) on all cores, returning the first
+// error.
+func parallelFor(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		ferr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if ferr != nil || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if ferr == nil {
+						ferr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ferr
+}
+
+// Point is one sample of a hardware-size-vs-overhead tradeoff curve.
+type Point struct {
+	Bits     int
+	Overhead float64
+	Config   clank.Config
+}
+
+// paretoFrontier keeps the lower envelope: for ascending bits, strictly
+// decreasing overhead.
+func paretoFrontier(pts []Point) []Point {
+	// Sort by bits then overhead (insertion sort: the sets are small).
+	sorted := append([]Point(nil), pts...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && less(sorted[j], sorted[j-1]); j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var out []Point
+	best := math.Inf(1)
+	for _, p := range sorted {
+		if p.Overhead < best {
+			best = p.Overhead
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func less(a, b Point) bool {
+	if a.Bits != b.Bits {
+		return a.Bits < b.Bits
+	}
+	return a.Overhead < b.Overhead
+}

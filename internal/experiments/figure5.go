@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/clank"
+	"repro/internal/mibench"
+	"repro/internal/policysim"
+)
+
+// Figure5Data holds the Pareto frontiers of average checkpoint overhead vs
+// total buffer bits for the five cumulative hardware families (paper
+// Figure 5): R, R+W, R+W+B, R+W+B+A, and R+W+B+A+C (compiler exemptions).
+type Figure5Data struct {
+	Families []Family
+}
+
+// Family is one frontier.
+type Family struct {
+	Name     string
+	Frontier []Point
+}
+
+// figure5Families enumerates the config sweep per family. Quick mode
+// shrinks the grids.
+func figure5Families(quick bool) []struct {
+	name     string
+	compiler bool
+	configs  []clank.Config
+} {
+	rfs := []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+	rwRF := []int{1, 2, 4, 8, 16}
+	wfs := []int{1, 2, 4, 8}
+	wbs := []int{1, 2, 4, 8}
+	aps := []int{1, 2, 4}
+	if quick {
+		rfs = []int{1, 2, 4, 8, 16, 32}
+		rwRF = []int{1, 4, 16}
+		wfs = []int{1, 4}
+		wbs = []int{1, 4}
+		aps = []int{2, 4}
+	}
+
+	var famR, famRW, famRWB, famRWBA []clank.Config
+	for _, rf := range rfs {
+		famR = append(famR, clank.Config{ReadFirst: rf, Opts: clank.OptAll})
+	}
+	for _, rf := range rwRF {
+		for _, wf := range wfs {
+			famRW = append(famRW, clank.Config{ReadFirst: rf, WriteFirst: wf, Opts: clank.OptAll})
+		}
+	}
+	for _, rf := range rwRF {
+		for _, wf := range append([]int{0}, wfs[:2]...) {
+			for _, wb := range wbs {
+				famRWB = append(famRWB, clank.Config{ReadFirst: rf, WriteFirst: wf, WriteBack: wb, Opts: clank.OptAll})
+			}
+		}
+	}
+	for _, rf := range rwRF {
+		for _, wf := range []int{0, wfs[len(wfs)-1]} {
+			for _, wb := range wbs[:2] {
+				for _, ap := range aps {
+					famRWBA = append(famRWBA, clank.Config{ReadFirst: rf, WriteFirst: wf, WriteBack: wb,
+						AddrPrefix: ap, PrefixLowBits: 6, Opts: clank.OptAll})
+				}
+			}
+		}
+	}
+	return []struct {
+		name     string
+		compiler bool
+		configs  []clank.Config
+	}{
+		{"R", false, famR},
+		{"R+W", false, famRW},
+		{"R+W+B", false, famRWB},
+		{"R+W+B+A", false, famRWBA},
+		{"R+W+B+A+C", true, famRWBA},
+	}
+}
+
+// avgCheckpointOverhead runs one configuration over the whole suite under
+// continuous power (checkpoint overhead is invariant of power-cycle timing
+// outside runt cycles — paper footnote 4) and averages the checkpoint
+// overhead fraction.
+func avgCheckpointOverhead(suite []*mibench.Compiled, cfg clank.Config, compiler, verify bool) (float64, error) {
+	var sum float64
+	for _, c := range suite {
+		cc := cfg
+		cc.TextStart, cc.TextEnd = c.Image.TextStart, c.Image.TextEnd
+		if compiler {
+			cc.ExemptPCs = c.ExemptPCs
+		}
+		res, err := policysim.Simulate(c.Trace, c.Cycles, cc, policysim.Options{Verify: verify})
+		if err != nil {
+			return 0, fmt.Errorf("config %s on %s: %w", cfg, c.Bench.Name, err)
+		}
+		sum += res.CheckpointOverhead()
+	}
+	return sum / float64(len(suite)), nil
+}
+
+// Figure5 runs the design-space sweep.
+func Figure5(o Options) (*Figure5Data, error) {
+	o = o.withDefaults()
+	suite, err := BuildSuite()
+	if err != nil {
+		return nil, err
+	}
+	fams := figure5Families(o.Quick)
+	data := &Figure5Data{Families: make([]Family, len(fams))}
+	var mu sync.Mutex
+	for fi, fam := range fams {
+		pts := make([]Point, len(fam.configs))
+		fam := fam
+		err := parallelFor(len(fam.configs), func(i int) error {
+			ov, err := avgCheckpointOverhead(suite, fam.configs[i], fam.compiler, o.Verify)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			pts[i] = Point{Bits: fam.configs[i].BufferBits(), Overhead: ov, Config: fam.configs[i]}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		data.Families[fi] = Family{Name: fam.name, Frontier: paretoFrontier(pts)}
+	}
+	return data, nil
+}
+
+// Format renders the frontiers as (bits, overhead%) series.
+func (d *Figure5Data) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: Pareto frontiers of buffer capacity vs average checkpoint overhead\n")
+	for _, f := range d.Families {
+		fmt.Fprintf(&b, "%s:\n", f.Name)
+		for _, p := range f.Frontier {
+			fmt.Fprintf(&b, "  %4d bits  %6.2f%%   (%s)\n", p.Bits, p.Overhead*100, p.Config)
+		}
+	}
+	return b.String()
+}

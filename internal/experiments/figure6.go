@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"repro/internal/clank"
+	"repro/internal/policysim"
+)
+
+// Figure6Data holds Pareto frontiers per policy-optimization setting
+// (paper Figure 6): none, all, each single optimization, and "profiled"
+// (the best setting per benchmark).
+type Figure6Data struct {
+	Settings []Family
+}
+
+// figure6Settings are the eight lines of the paper's figure.
+func figure6Settings() []struct {
+	name string
+	opts clank.Opt
+} {
+	return []struct {
+		name string
+		opts clank.Opt
+	}{
+		{"No Optimizations", 0},
+		{"All Optimizations", clank.OptAll},
+		{"Ignore False Writes", clank.OptIgnoreFalseWrites},
+		{"Remove Duplicates", clank.OptRemoveDuplicates},
+		{"No WF Overflow", clank.OptNoWFOverflow},
+		{"Ignore TEXT", clank.OptIgnoreText},
+		{"Latest Chkpt", clank.OptLatestCheckpoint},
+	}
+}
+
+// figure6Configs is the size grid swept for every setting.
+func figure6Configs(quick bool) []clank.Config {
+	rfs := []int{1, 2, 4, 8, 16}
+	wbs := []int{0, 1, 2, 4}
+	if quick {
+		rfs = []int{2, 8}
+		wbs = []int{0, 2}
+	}
+	var out []clank.Config
+	for _, rf := range rfs {
+		for _, wb := range wbs {
+			out = append(out, clank.Config{ReadFirst: rf, WriteFirst: rf / 2, WriteBack: wb,
+				AddrPrefix: 4, PrefixLowBits: 6})
+		}
+	}
+	return out
+}
+
+// Figure6 sweeps the policy-optimization settings.
+func Figure6(o Options) (*Figure6Data, error) {
+	o = o.withDefaults()
+	suite, err := BuildSuite()
+	if err != nil {
+		return nil, err
+	}
+	settings := figure6Settings()
+	configs := figure6Configs(o.Quick)
+
+	// overheads[s][c][b] for the profiled line.
+	overheads := make([][][]float64, len(settings))
+	for s := range overheads {
+		overheads[s] = make([][]float64, len(configs))
+		for c := range overheads[s] {
+			overheads[s][c] = make([]float64, len(suite))
+		}
+	}
+	type job struct{ s, c int }
+	var jobs []job
+	for s := range settings {
+		for c := range configs {
+			jobs = append(jobs, job{s, c})
+		}
+	}
+	var mu sync.Mutex
+	err = parallelFor(len(jobs), func(i int) error {
+		j := jobs[i]
+		cfg := configs[j.c]
+		cfg.Opts = settings[j.s].opts
+		for bi, bench := range suite {
+			cc := cfg
+			cc.TextStart, cc.TextEnd = bench.Image.TextStart, bench.Image.TextEnd
+			res, err := policysim.Simulate(bench.Trace, bench.Cycles, cc, policysim.Options{Verify: o.Verify})
+			if err != nil {
+				return fmt.Errorf("%s/%s on %s: %w", settings[j.s].name, cfg, bench.Bench.Name, err)
+			}
+			mu.Lock()
+			overheads[j.s][j.c][bi] = res.CheckpointOverhead()
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	data := &Figure6Data{}
+	for s, set := range settings {
+		var pts []Point
+		for c, cfg := range configs {
+			cfg.Opts = set.opts
+			sum := 0.0
+			for _, v := range overheads[s][c] {
+				sum += v
+			}
+			pts = append(pts, Point{Bits: cfg.BufferBits(), Overhead: sum / float64(len(suite)), Config: cfg})
+		}
+		data.Settings = append(data.Settings, Family{Name: set.name, Frontier: paretoFrontier(pts)})
+	}
+	// Profiled: per benchmark, take the best setting, then average.
+	var profiled []Point
+	for c, cfg := range configs {
+		sum := 0.0
+		for bi := range suite {
+			best := math.Inf(1)
+			for s := range settings {
+				if overheads[s][c][bi] < best {
+					best = overheads[s][c][bi]
+				}
+			}
+			sum += best
+		}
+		profiled = append(profiled, Point{Bits: cfg.BufferBits(), Overhead: sum / float64(len(suite)), Config: cfg})
+	}
+	data.Settings = append(data.Settings, Family{Name: "Profiled", Frontier: paretoFrontier(profiled)})
+	return data, nil
+}
+
+// Format renders the per-setting frontiers.
+func (d *Figure6Data) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: policy-optimization Pareto frontiers (avg checkpoint overhead)\n")
+	for _, f := range d.Settings {
+		fmt.Fprintf(&b, "%s:\n", f.Name)
+		for _, p := range f.Frontier {
+			fmt.Fprintf(&b, "  %4d bits  %6.2f%%\n", p.Bits, p.Overhead*100)
+		}
+	}
+	return b.String()
+}

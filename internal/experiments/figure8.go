@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/clank"
+	"repro/internal/mibench"
+	"repro/internal/power"
+)
+
+// Figure8Point is one Performance Watchdog setting's overhead split.
+type Figure8Point struct {
+	Watchdog uint64
+	Ckpt     float64
+	Reexec   float64
+	Combined float64
+}
+
+// Figure8Data mirrors the paper's Figure 8: with effectively infinite
+// buffers, sweep the Performance Watchdog load value and observe the
+// checkpoint / re-execution tradeoff; the combined curve has a minimum
+// where the two balance.
+type Figure8Data struct {
+	Points  []Figure8Point
+	Optimal uint64 // analytic optimum sqrt(2*C*meanOn)
+}
+
+// Figure8 runs the watchdog sweep across the suite.
+func Figure8(o Options) (*Figure8Data, error) {
+	o = o.withDefaults()
+	suite, err := BuildSuite()
+	if err != nil {
+		return nil, err
+	}
+	watchdogs := []uint64{250, 500, 750, 1000, 1500, 2000, 2830, 4000, 5000, 7000, 10000}
+	if o.Quick {
+		watchdogs = []uint64{500, 1000, 2830, 5000, 10000}
+	}
+	cfg := clank.Config{
+		ReadFirst:  clank.Unlimited,
+		WriteFirst: clank.Unlimited,
+		WriteBack:  clank.Unlimited,
+		Opts:       clank.OptAll &^ clank.OptIgnoreText,
+	}
+	d := &Figure8Data{
+		Optimal: OptimalPerfWatchdog(clank.DefaultCosts().CheckpointBase, o.MeanOn),
+	}
+	d.Points = make([]Figure8Point, len(watchdogs))
+	var mu sync.Mutex
+	// The watchdog study concerns long-running programs: restrict the
+	// aggregate to benchmarks that cannot complete within a single mean
+	// power-on period (the paper notes the others are possible to run
+	// intermittently even without Clank).
+	var longRunning []*mibench.Compiled
+	for _, c := range suite {
+		if c.Cycles >= o.MeanOn {
+			longRunning = append(longRunning, c)
+		}
+	}
+	err = parallelFor(len(watchdogs), func(wi int) error {
+		var ckpt, reexec, comb float64
+		n := 0
+		for _, c := range longRunning {
+			nc := NamedConfig{Name: "inf", Config: cfg}
+			for _, seed := range o.Seeds {
+				supply := power.NewSupply(power.Exponential{Mean: o.MeanOn, Min: 500}, seed)
+				// Inline simOne with an explicit watchdog value.
+				cc := nc.Config
+				cc.TextStart, cc.TextEnd = c.Image.TextStart, c.Image.TextEnd
+				res, err := simulateWithWatchdog(c, cc, o, supply, watchdogs[wi])
+				if err != nil {
+					return err
+				}
+				useful := float64(res.UsefulCycles)
+				ckpt += float64(res.CkptCycles+res.RestartCycles) / useful
+				reexec += float64(res.ReexecCycles) / useful
+				comb += res.Overhead()
+				n++
+			}
+		}
+		mu.Lock()
+		d.Points[wi] = Figure8Point{
+			Watchdog: watchdogs[wi],
+			Ckpt:     ckpt / float64(n),
+			Reexec:   reexec / float64(n),
+			Combined: comb / float64(n),
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Minimum returns the watchdog value with the lowest combined overhead.
+func (d *Figure8Data) Minimum() Figure8Point {
+	best := d.Points[0]
+	for _, p := range d.Points[1:] {
+		if p.Combined < best.Combined {
+			best = p
+		}
+	}
+	return best
+}
+
+// Format renders the sweep.
+func (d *Figure8Data) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: Performance Watchdog value vs overhead (infinite buffers)\n")
+	fmt.Fprintf(&b, "%10s %12s %14s %12s\n", "Watchdog", "Checkpoint", "Re-execution", "Combined")
+	for _, p := range d.Points {
+		fmt.Fprintf(&b, "%10d %11.2f%% %13.2f%% %11.2f%%\n",
+			p.Watchdog, p.Ckpt*100, p.Reexec*100, p.Combined*100)
+	}
+	m := d.Minimum()
+	fmt.Fprintf(&b, "measured minimum at %d cycles; analytic optimum sqrt(2*C*T_on) = %d\n",
+		m.Watchdog, d.Optimal)
+	return b.String()
+}

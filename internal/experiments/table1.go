@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table1Row mirrors the paper's Table 1: benchmark running time, image
+// size, and the code-size increase from Clank's support routines.
+type Table1Row struct {
+	Name         string
+	Cycles       uint64
+	Millis       float64 // at the 1 MHz model clock
+	SizeBytes    int
+	SizeIncrease float64
+}
+
+// Table1Data is the full table.
+type Table1Data struct {
+	Rows []Table1Row
+}
+
+// Table1 compiles and runs every benchmark continuously.
+func Table1() (*Table1Data, error) {
+	suite, err := BuildSuite()
+	if err != nil {
+		return nil, err
+	}
+	d := &Table1Data{}
+	for _, c := range suite {
+		d.Rows = append(d.Rows, Table1Row{
+			Name:         c.Bench.Name,
+			Cycles:       c.Cycles,
+			Millis:       float64(c.Cycles) / 1000.0,
+			SizeBytes:    len(c.Image.Bytes),
+			SizeIncrease: c.Image.SizeIncrease(),
+		})
+	}
+	return d, nil
+}
+
+// Format renders the table.
+func (d *Table1Data) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: benchmark running time and code size (1 MHz model clock)\n")
+	fmt.Fprintf(&b, "%-14s %14s %12s %12s %14s\n", "Benchmark", "Cycles", "Time (ms)", "Size (B)", "Size Increase")
+	var sumCycles uint64
+	var sumSize int
+	var sumInc float64
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "%-14s %14d %12.2f %12d %13.2f%%\n",
+			r.Name, r.Cycles, r.Millis, r.SizeBytes, r.SizeIncrease*100)
+		sumCycles += r.Cycles
+		sumSize += r.SizeBytes
+		sumInc += r.SizeIncrease
+	}
+	n := float64(len(d.Rows))
+	fmt.Fprintf(&b, "%-14s %14d %12.2f %12d %13.2f%%\n", "average",
+		sumCycles/uint64(len(d.Rows)), float64(sumCycles)/n/1000.0,
+		sumSize/len(d.Rows), sumInc/n*100)
+	return b.String()
+}

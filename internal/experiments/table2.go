@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/hwcost"
+)
+
+// Table2Row is one hardware configuration's overhead summary.
+type Table2Row struct {
+	Name  string
+	LUT   float64
+	FF    float64
+	Mem   float64
+	Avg   float64
+	AvgSW float64 // average software run-time overhead across the suite
+}
+
+// Table2Data mirrors the paper's Table 2.
+type Table2Data struct {
+	Rows []Table2Row
+}
+
+// Table2 estimates hardware cost (analytical model, see internal/hwcost)
+// and measures software overhead at the configured mean power-on time.
+func Table2(o Options) (*Table2Data, error) {
+	o = o.withDefaults()
+	suite, err := BuildSuite()
+	if err != nil {
+		return nil, err
+	}
+	configs := Table2Configs()
+	rows := make([]Table2Row, len(configs))
+	var mu sync.Mutex
+	err = parallelFor(len(configs)*len(suite), func(i int) error {
+		ci, bi := i/len(suite), i%len(suite)
+		_, ov, err := simPowered(suite[bi], configs[ci], o)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		rows[ci].AvgSW += ov / float64(len(suite))
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, nc := range configs {
+		est := hwcost.ForConfig(nc.Config)
+		rows[ci].Name = nc.Name
+		rows[ci].LUT = est.LUT
+		rows[ci].FF = est.FF
+		rows[ci].Mem = est.Mem
+		rows[ci].Avg = est.Avg()
+	}
+	return &Table2Data{Rows: rows}, nil
+}
+
+// Format renders the table.
+func (d *Table2Data) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: hardware overheads and average software run-time overhead\n")
+	fmt.Fprintf(&b, "%-20s %8s %8s %8s %8s %10s\n", "R, W, WB, AP", "LUT", "FF", "Memory", "Avg", "Avg SW")
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "%-20s %7.2f%% %7.2f%% %7.2f%% %7.2f%% %9.2f%%\n",
+			r.Name, r.LUT, r.FF, r.Mem, r.Avg, r.AvgSW*100)
+	}
+	return b.String()
+}
+
+// Figure7Row is total run-time overhead per benchmark for one config.
+type Figure7Row struct {
+	Benchmark string
+	// Total[i] is (1+hw)(1+sw)-1 for Table2Configs()[i]; the breakdown
+	// fields split the software part.
+	Total   []float64
+	Ckpt    []float64
+	Reexec  []float64
+	Restart []float64
+}
+
+// Figure7Data mirrors the paper's Figure 7 (total overhead bars per
+// benchmark per configuration, hardware energy overhead included).
+type Figure7Data struct {
+	Configs []string
+	Rows    []Figure7Row
+	Average []float64
+}
+
+// Figure7 measures every benchmark under every Table 2 configuration.
+func Figure7(o Options) (*Figure7Data, error) {
+	o = o.withDefaults()
+	suite, err := BuildSuite()
+	if err != nil {
+		return nil, err
+	}
+	configs := Table2Configs()
+	d := &Figure7Data{Average: make([]float64, len(configs))}
+	for _, nc := range configs {
+		d.Configs = append(d.Configs, nc.Name)
+	}
+	d.Rows = make([]Figure7Row, len(suite))
+	var mu sync.Mutex
+	err = parallelFor(len(suite), func(bi int) error {
+		c := suite[bi]
+		row := Figure7Row{
+			Benchmark: c.Bench.Name,
+			Total:     make([]float64, len(configs)),
+			Ckpt:      make([]float64, len(configs)),
+			Reexec:    make([]float64, len(configs)),
+			Restart:   make([]float64, len(configs)),
+		}
+		for ci, nc := range configs {
+			res, sw, err := simPowered(c, nc, o)
+			if err != nil {
+				return err
+			}
+			hw := hwcost.ForConfig(nc.Config)
+			row.Total[ci] = hwcost.TotalOverhead(hw, sw)
+			useful := float64(res.UsefulCycles)
+			row.Ckpt[ci] = float64(res.CkptCycles) / useful
+			row.Reexec[ci] = float64(res.ReexecCycles) / useful
+			row.Restart[ci] = float64(res.RestartCycles) / useful
+		}
+		mu.Lock()
+		d.Rows[bi] = row
+		for ci := range configs {
+			d.Average[ci] += row.Total[ci] / float64(len(suite))
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Format renders the per-benchmark totals.
+func (d *Figure7Data) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: total run-time overhead (x baseline) per benchmark\n")
+	fmt.Fprintf(&b, "%-14s", "Benchmark")
+	for _, c := range d.Configs {
+		fmt.Fprintf(&b, " %18s", c)
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "%-14s", r.Benchmark)
+		for _, t := range r.Total {
+			fmt.Fprintf(&b, " %18.3f", 1+t)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "%-14s", "average")
+	for _, t := range d.Average {
+		fmt.Fprintf(&b, " %18.3f", 1+t)
+	}
+	fmt.Fprintf(&b, "\n")
+	return b.String()
+}

@@ -1,0 +1,294 @@
+package intermittent
+
+import (
+	"testing"
+
+	"repro/internal/armsim"
+	"repro/internal/ccc"
+	"repro/internal/clank"
+	"repro/internal/power"
+)
+
+// testProgram exercises read-modify-write state, arrays, and outputs — the
+// access patterns that break naive intermittent execution.
+const testProgram = `
+int state[16];
+int acc;
+
+int step(int i) {
+	int j;
+	acc = acc * 1103515245 + 12345;
+	j = (acc >> 8) & 15;
+	state[j] = state[j] + i;
+	return state[j];
+}
+
+int main(void) {
+	int i;
+	int sum = 0;
+	acc = 42;
+	for (i = 0; i < 300; i++) {
+		sum += step(i);
+	}
+	__output((uint)sum);
+	for (i = 0; i < 16; i++) __output((uint)state[i]);
+	return 0;
+}
+`
+
+func compileTest(t *testing.T, src string) *ccc.Image {
+	t.Helper()
+	img, err := ccc.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return img
+}
+
+// continuousRun executes the image without power failures.
+func continuousRun(t *testing.T, img *ccc.Image) (outputs []uint32, cycles uint64, data []byte) {
+	t.Helper()
+	m := armsim.NewMachine()
+	if err := m.Boot(img.Bytes); err != nil {
+		t.Fatal(err)
+	}
+	cyc, err := m.Run(500_000_000)
+	if err != nil {
+		t.Fatalf("continuous run: %v", err)
+	}
+	snap := m.Mem.Snapshot()
+	return append([]uint32(nil), m.Mem.Outputs...), cyc, snap[img.DataStart:img.DataEnd]
+}
+
+// outputsEquivalent allows the bounded stuttering the output-commit scheme
+// permits: a power failure between an output and its trailing checkpoint
+// re-emits that output on replay.
+func outputsEquivalent(cont, inter []uint32) bool {
+	i, j := 0, 0
+	for j < len(inter) {
+		switch {
+		case i < len(cont) && inter[j] == cont[i]:
+			i++
+			j++
+		case i > 0 && inter[j] == cont[i-1]:
+			j++ // replayed emission of the last committed output
+		default:
+			return false
+		}
+	}
+	return i == len(cont)
+}
+
+func runIntermittent(t *testing.T, img *ccc.Image, cfg clank.Config, supply power.Source, perfW uint64) Stats {
+	t.Helper()
+	m, err := NewMachine(img, Options{
+		Config:          cfg,
+		Supply:          supply,
+		PerfWatchdog:    perfW,
+		ProgressDefault: 30_000,
+		Verify:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatalf("intermittent run (config %s): %v", cfg, err)
+	}
+	if !st.Completed {
+		t.Fatalf("run did not complete (config %s)", cfg)
+	}
+	return st
+}
+
+func (m *Machine) dataSnapshot(img *ccc.Image) []byte {
+	s := m.mem.Snapshot()
+	return s[img.DataStart:img.DataEnd]
+}
+
+func TestEndToEndEquivalence(t *testing.T) {
+	img := compileTest(t, testProgram)
+	contOut, contCycles, contData := continuousRun(t, img)
+
+	configs := []clank.Config{
+		{ReadFirst: 4},
+		{ReadFirst: 8, WriteFirst: 4},
+		{ReadFirst: 8, WriteFirst: 4, WriteBack: 2},
+		{ReadFirst: 8, WriteFirst: 4, WriteBack: 2, Opts: clank.OptAll},
+		{ReadFirst: 16, WriteFirst: 8, WriteBack: 4, AddrPrefix: 4, PrefixLowBits: 6, Opts: clank.OptAll},
+		{ReadFirst: 2, WriteBack: 1, Opts: clank.OptLatestCheckpoint | clank.OptRemoveDuplicates},
+	}
+	for _, cfg := range configs {
+		for _, seed := range []int64{1, 7, 99} {
+			supply := power.NewSupply(power.Exponential{Mean: 20_000, Min: 500}, seed)
+			m, err := NewMachine(img, Options{
+				Config:          cfg,
+				Supply:          supply,
+				ProgressDefault: 10_000,
+				Verify:          true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := m.Run()
+			if err != nil {
+				t.Fatalf("config %s seed %d: %v", cfg, seed, err)
+			}
+			if !st.Completed {
+				t.Fatalf("config %s seed %d: did not complete", cfg, seed)
+			}
+			if st.UsefulCycles != contCycles {
+				t.Errorf("config %s seed %d: useful cycles %d != continuous %d",
+					cfg, seed, st.UsefulCycles, contCycles)
+			}
+			if !outputsEquivalent(contOut, st.Outputs) {
+				t.Errorf("config %s seed %d: outputs diverge\ncont:  %v\ninter: %v",
+					cfg, seed, contOut, st.Outputs)
+			}
+			got := m.dataSnapshot(img)
+			for i := range contData {
+				if got[i] != contData[i] {
+					t.Errorf("config %s seed %d: data byte %#x differs: %#x vs %#x",
+						cfg, seed, img.DataStart+uint32(i), got[i], contData[i])
+					break
+				}
+			}
+			if st.Restarts == 0 {
+				t.Errorf("config %s seed %d: expected power failures with 20k-cycle mean on-time", cfg, seed)
+			}
+		}
+	}
+}
+
+func TestNoPowerFailuresMatchesContinuous(t *testing.T) {
+	img := compileTest(t, testProgram)
+	contOut, contCycles, _ := continuousRun(t, img)
+	st := runIntermittent(t, img, clank.Config{ReadFirst: 8, WriteFirst: 4, WriteBack: 2, Opts: clank.OptAll},
+		power.Always{}, 0)
+	if st.UsefulCycles != contCycles {
+		t.Errorf("useful cycles %d != continuous %d", st.UsefulCycles, contCycles)
+	}
+	if !outputsEquivalent(contOut, st.Outputs) {
+		t.Errorf("outputs diverge without power failures")
+	}
+	if st.Restarts != 0 {
+		t.Errorf("got %d restarts with an always-on supply", st.Restarts)
+	}
+	if st.ReexecCycles != 0 {
+		t.Errorf("got %d re-executed cycles with an always-on supply", st.ReexecCycles)
+	}
+}
+
+func TestWriteBackBufferReducesCheckpoints(t *testing.T) {
+	img := compileTest(t, testProgram)
+	noWB := runIntermittent(t, img, clank.Config{ReadFirst: 8, WriteFirst: 4}, power.Always{}, 0)
+	withWB := runIntermittent(t, img, clank.Config{ReadFirst: 8, WriteFirst: 4, WriteBack: 4}, power.Always{}, 0)
+	if withWB.Checkpoints >= noWB.Checkpoints {
+		t.Errorf("WB did not reduce checkpoints: %d vs %d", withWB.Checkpoints, noWB.Checkpoints)
+	}
+}
+
+func TestOptimizationsReduceCheckpoints(t *testing.T) {
+	img := compileTest(t, testProgram)
+	cfg := clank.Config{ReadFirst: 8, WriteFirst: 4, WriteBack: 2}
+	plain := runIntermittent(t, img, cfg, power.Always{}, 0)
+	cfg.Opts = clank.OptAll
+	opt := runIntermittent(t, img, cfg, power.Always{}, 0)
+	if opt.Checkpoints > plain.Checkpoints {
+		t.Errorf("optimizations increased checkpoints on this workload: %d vs %d",
+			opt.Checkpoints, plain.Checkpoints)
+	}
+}
+
+func TestPerformanceWatchdogBoundsSections(t *testing.T) {
+	img := compileTest(t, testProgram)
+	cfg := clank.Config{ReadFirst: clank.Unlimited, WriteFirst: clank.Unlimited,
+		WriteBack: clank.Unlimited, Opts: clank.OptAll &^ clank.OptIgnoreText}
+	st := runIntermittent(t, img, cfg, power.Always{}, 5000)
+	if st.PerfWatchdogs == 0 {
+		t.Error("Performance Watchdog never fired with infinite buffers")
+	}
+	// With effectively infinite buffers the only checkpoints besides the
+	// watchdog's should be output-commit brackets and the final commit —
+	// none from buffer pressure.
+	pressure := st.Reasons[clank.ReasonRFOverflow] + st.Reasons[clank.ReasonWFOverflow] +
+		st.Reasons[clank.ReasonAPOverflow] + st.Reasons[clank.ReasonWBOverflow] +
+		st.Reasons[clank.ReasonViolation] + st.Reasons[clank.ReasonWriteInFill]
+	if pressure != 0 {
+		t.Errorf("infinite buffers still produced %d pressure checkpoints (%v)", pressure, st.Reasons)
+	}
+}
+
+func TestProgressWatchdogBreaksRuntCycles(t *testing.T) {
+	// Power-on windows of 3000 cycles; a section longer than that would
+	// never complete without the Progress Watchdog.
+	img := compileTest(t, `
+int buf[64];
+int main(void) {
+	int i;
+	int s = 0;
+	for (i = 0; i < 2000; i++) {
+		s += i * 17;
+		buf[i & 63] = s;
+	}
+	__output((uint)s);
+	return 0;
+}
+`)
+	contOut, _, _ := continuousRun(t, img)
+	cfg := clank.Config{ReadFirst: clank.Unlimited, WriteFirst: clank.Unlimited,
+		WriteBack: clank.Unlimited}
+	m, err := NewMachine(img, Options{
+		Config:          cfg,
+		Supply:          power.NewSupply(power.Fixed{Cycles: 3000}, 5),
+		ProgressDefault: 100_000,
+		Verify:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Completed {
+		t.Fatal("did not complete")
+	}
+	if st.ProgWatchdogs == 0 {
+		t.Error("Progress Watchdog never fired despite runt power cycles")
+	}
+	if !outputsEquivalent(contOut, st.Outputs) {
+		t.Errorf("outputs diverge: %v vs %v", contOut, st.Outputs)
+	}
+}
+
+func TestRuntCyclesTooShortAbort(t *testing.T) {
+	img := compileTest(t, `int main(void) { __output(1); return 0; }`)
+	m, err := NewMachine(img, Options{
+		Config:         clank.Config{ReadFirst: 4},
+		Supply:         power.NewSupply(power.Fixed{Cycles: 10}, 1), // < restart cost
+		MaxBarrenBoots: 50,
+		Verify:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil {
+		t.Error("expected a no-forward-progress error with 10-cycle boots")
+	}
+}
+
+func TestOverheadAccounting(t *testing.T) {
+	img := compileTest(t, testProgram)
+	st := runIntermittent(t, img,
+		clank.Config{ReadFirst: 8, WriteFirst: 4, WriteBack: 2, Opts: clank.OptAll},
+		power.NewSupply(power.Exponential{Mean: 50_000, Min: 1000}, 3), 0)
+	sum := st.UsefulCycles + st.CkptCycles + st.RestartCycles + st.ReexecCycles
+	if sum != st.WallCycles {
+		t.Errorf("accounting identity broken: %d + %d + %d + %d != %d",
+			st.UsefulCycles, st.CkptCycles, st.RestartCycles, st.ReexecCycles, st.WallCycles)
+	}
+	if st.Overhead() <= 0 {
+		t.Errorf("overhead = %v, want > 0 with power failures", st.Overhead())
+	}
+}

@@ -1,0 +1,258 @@
+// Package intermittent is the full-system model: an armsim CPU and
+// non-volatile main memory with the Clank detection hardware on the memory
+// path, executing a compiled program across random power failures. It
+// implements the compiler-inserted runtime of paper section 4 — the
+// double-buffered checkpoint slots, the Write-back scratchpad two-phase
+// commit, the start-up/restore routine, and both watchdog timers — as a
+// modeled runtime with explicit cycle costs, and it runs the reference
+// monitor alongside for dynamic verification of every run.
+package intermittent
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/armsim"
+	"repro/internal/ccc"
+	"repro/internal/clank"
+	"repro/internal/power"
+	"repro/internal/refmon"
+)
+
+// errCheckpoint is the bus veto: the current instruction must abort, a
+// checkpoint must be taken, and the instruction re-executed.
+var errCheckpoint = errors.New("intermittent: checkpoint required")
+
+// CostModel aliases the shared runtime cost model (see clank.CostModel).
+type CostModel = clank.CostModel
+
+// DefaultCosts matches the paper's implementation numbers.
+func DefaultCosts() CostModel { return clank.DefaultCosts() }
+
+// Options configures an intermittent run.
+type Options struct {
+	Config clank.Config
+	Costs  CostModel
+	Supply power.Source
+
+	// PerfWatchdog, when non-zero, checkpoints whenever this many cycles
+	// elapse without one (paper's Performance Watchdog).
+	PerfWatchdog uint64
+	// ProgressDefault is the Progress Watchdog's initial load value; 0
+	// disables the watchdog entirely (risking livelock on runt cycles).
+	ProgressDefault uint64
+
+	// MaxWallCycles bounds the run (0 = a generous default).
+	MaxWallCycles uint64
+	// MaxBarrenBoots aborts after this many consecutive power cycles with
+	// no committed checkpoint (0 = default 10000).
+	MaxBarrenBoots int
+
+	// Verify enables the reference monitor (on by default via Run*
+	// helpers; costly for long programs but always used in tests).
+	Verify bool
+}
+
+// Stats is the outcome of an intermittent run.
+type Stats struct {
+	Completed bool
+
+	UsefulCycles  uint64 // cycles a continuous run needs (CPU work retained)
+	WallCycles    uint64 // total powered cycles consumed
+	CkptCycles    uint64 // cycles spent in checkpoint routines
+	RestartCycles uint64 // cycles spent in start-up/restore routines
+	ReexecCycles  uint64 // re-executed program cycles (wall - useful - ckpt - restart)
+
+	Checkpoints   int
+	Restarts      int
+	BarrenBoots   int // power cycles that made no forward progress
+	ProgWatchdogs int // checkpoints forced by the Progress Watchdog
+	PerfWatchdogs int // checkpoints forced by the Performance Watchdog
+	Outputs       []uint32
+
+	Reasons map[clank.Reason]int
+}
+
+// Overhead returns the total run-time overhead versus continuous execution
+// (paper's "x baseline" minus one).
+func (s Stats) Overhead() float64 {
+	if s.UsefulCycles == 0 {
+		return 0
+	}
+	return float64(s.WallCycles)/float64(s.UsefulCycles) - 1
+}
+
+// checkpointSlot is the committed register checkpoint (conceptually stored
+// in the reserved non-volatile region, double-buffered). The cycle field
+// snapshots the useful-progress counter so rollbacks rewind it; re-executed
+// work is charged to the wall clock, not to program progress.
+type checkpointSlot struct {
+	regs  [16]uint32
+	psr   uint32
+	cycle uint64
+}
+
+// Machine executes one image intermittently.
+type Machine struct {
+	cpu  *armsim.CPU
+	mem  *armsim.Memory
+	k    *clank.Clank
+	mon  *refmon.Monitor
+	opts Options
+
+	ckpt           checkpointSlot
+	cyclesThisBoot uint64
+	sinceCkpt      uint64 // wall cycles since last committed checkpoint
+	powerLeft      uint64
+	ckptThisBoot   bool
+	progLoad       uint64 // current Progress Watchdog load value (0 = off)
+	progEnabled    bool
+
+	pendingReason     clank.Reason // reason behind the current bus veto
+	forceCkptAfter    bool         // output emitted: checkpoint after this instruction
+	consecutiveBarren int
+
+	stats Stats
+	img   *ccc.Image
+}
+
+// NewMachine boots the image on a fresh machine.
+func NewMachine(img *ccc.Image, opts Options) (*Machine, error) {
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Costs == (CostModel{}) {
+		opts.Costs = DefaultCosts()
+	}
+	if opts.Supply == nil {
+		opts.Supply = power.Always{}
+	}
+	if opts.MaxWallCycles == 0 {
+		opts.MaxWallCycles = 2_000_000_000
+	}
+	if opts.MaxBarrenBoots == 0 {
+		opts.MaxBarrenBoots = 10000
+	}
+	cfg := opts.Config
+	if cfg.TextEnd == 0 {
+		cfg.TextStart, cfg.TextEnd = img.TextStart, img.TextEnd
+	}
+	m := &Machine{
+		mem:  armsim.NewMemory(),
+		k:    clank.New(cfg),
+		opts: opts,
+		img:  img,
+	}
+	if opts.Verify {
+		m.mon = refmon.New()
+	}
+	m.stats.Reasons = make(map[clank.Reason]int)
+	if err := m.mem.LoadImage(0, img.Bytes); err != nil {
+		return nil, err
+	}
+	m.cpu = armsim.NewCPU(busAdapter{m})
+	m.cpu.ResetInto(img.InitialSP, img.Entry)
+	// The compiler pre-creates checkpoint 0: boot state entering main
+	// (paper section 4.2), so the start-up routine never special-cases
+	// the first boot.
+	m.ckpt = checkpointSlot{regs: m.cpu.Regs(), psr: m.cpu.PSR(), cycle: m.cpu.Cycle}
+	return m, nil
+}
+
+// busAdapter routes CPU memory traffic through Clank.
+type busAdapter struct{ m *Machine }
+
+func (b busAdapter) Fetch16(addr uint32) (uint16, error) { return b.m.mem.Fetch16(addr) }
+
+func (b busAdapter) Load(addr uint32, size uint8, pc uint32) (uint32, error) {
+	return b.m.load(addr, size, pc)
+}
+
+func (b busAdapter) Store(addr uint32, size uint8, value uint32, pc uint32) error {
+	return b.m.store(addr, size, value, pc)
+}
+
+func (m *Machine) load(addr uint32, size uint8, pc uint32) (uint32, error) {
+	if addr >= armsim.MemSize {
+		// Reads of the output region are not tracked state.
+		return m.mem.Load(addr, size, pc)
+	}
+	word := addr >> 2
+	memWord := m.mem.ReadWord(addr)
+	out := m.k.Read(word, memWord, pc)
+	if out.NeedCheckpoint {
+		m.pendingReason = out.Reason
+		return 0, errCheckpoint
+	}
+	wordVal := memWord
+	if out.FromWB {
+		wordVal = out.ReadValue
+	} else if m.mon != nil {
+		m.mon.ReadNV(word, memWord)
+	}
+	return extract(wordVal, addr, size), nil
+}
+
+func (m *Machine) store(addr uint32, size uint8, value uint32, pc uint32) error {
+	if addr >= armsim.MemSize {
+		// Output commit (paper section 3.3): bracket the output with
+		// checkpoints. If any work happened since the last checkpoint,
+		// commit it first; the instruction then re-executes, emits the
+		// output, and forces a trailing checkpoint.
+		if m.sinceCkpt > 0 {
+			m.pendingReason = clank.ReasonOutput
+			return errCheckpoint
+		}
+		if err := m.mem.Store(addr, size, value, pc); err != nil {
+			return err
+		}
+		m.forceCkptAfter = true
+		return nil
+	}
+	word := addr >> 2
+	memWord := m.mem.ReadWord(addr)
+	// The effective current word folds in a shadowing Write-back entry.
+	cur := memWord
+	if v, ok := m.k.Lookup(word); ok {
+		cur = v
+	}
+	newWord := merge(cur, addr, size, value)
+	out := m.k.Write(word, newWord, memWord, pc)
+	if out.NeedCheckpoint {
+		m.pendingReason = out.Reason
+		return errCheckpoint
+	}
+	if out.Buffered {
+		return nil // absorbed by the Write-back Buffer
+	}
+	if m.mon != nil {
+		if v := m.mon.WriteNV(word, newWord, pc); v != nil {
+			return fmt.Errorf("dynamic verification failed: %w", v)
+		}
+	}
+	return m.mem.Store(addr, size, value, pc)
+}
+
+func extract(word, addr uint32, size uint8) uint32 {
+	sh := (addr & 3) * 8
+	switch size {
+	case 1:
+		return (word >> sh) & 0xFF
+	case 2:
+		return (word >> sh) & 0xFFFF
+	default:
+		return word
+	}
+}
+
+func merge(word, addr uint32, size uint8, value uint32) uint32 {
+	sh := (addr & 3) * 8
+	switch size {
+	case 1:
+		return word&^(0xFF<<sh) | (value&0xFF)<<sh
+	case 2:
+		return word&^(0xFFFF<<sh) | (value&0xFFFF)<<sh
+	default:
+		return value
+	}
+}

@@ -1,0 +1,219 @@
+package intermittent
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/armsim"
+	"repro/internal/clank"
+)
+
+// Run executes the program to completion (BKPT) across power failures and
+// returns the statistics. UsefulCycles is the CPU cycle counter at the
+// final commit, which equals a continuous run's cycle count.
+func (m *Machine) Run() (Stats, error) {
+	m.powerLeft = m.opts.Supply.NextOn()
+	m.cyclesThisBoot = 0
+	m.ckptThisBoot = true // boot 0 behaves like a post-checkpoint cycle
+
+	for {
+		if m.stats.WallCycles > m.opts.MaxWallCycles {
+			return m.stats, fmt.Errorf("intermittent: exceeded %d wall cycles (pc %#x, %d restarts)",
+				m.opts.MaxWallCycles, m.cpu.R[armsim.PC], m.stats.Restarts)
+		}
+
+		// Handle a power outage: roll back, reboot, and pay the start-up
+		// routine; boots too short even for the restart are consumed
+		// whole (runt cycles).
+		if m.powerLeft == 0 {
+			for {
+				m.powerFail()
+				if m.consecutiveBarren > m.opts.MaxBarrenBoots {
+					return m.stats, errors.New("intermittent: no forward progress (runt power cycles shorter than the restart routine)")
+				}
+				if m.chargeRestart() {
+					break
+				}
+			}
+			continue
+		}
+
+		// Watchdogs fire at instruction boundaries.
+		if w := m.opts.PerfWatchdog; w != 0 && m.sinceCkpt >= w {
+			if m.checkpoint(clank.ReasonPerfWatchdog) {
+				m.stats.PerfWatchdogs++
+			}
+			continue
+		}
+		if m.progEnabled && m.cyclesThisBoot >= m.progLoad {
+			// Progress Watchdog: force a superfluous checkpoint so runt
+			// power cycles still advance (paper section 3.1.4).
+			if m.checkpoint(clank.ReasonProgWatchdog) {
+				m.stats.ProgWatchdogs++
+			}
+			continue
+		}
+
+		before := m.cpu.Cycle
+		err := m.cpu.Step()
+		m.account(m.cpu.Cycle - before)
+		if m.powerLeft == 0 {
+			// The outage is handled at the top of the loop. The
+			// just-executed instruction's NV effects persist; the
+			// rollback to the last checkpoint re-executes it safely.
+			continue
+		}
+
+		switch {
+		case err == nil:
+			if m.forceCkptAfter {
+				m.forceCkptAfter = false
+				m.checkpoint(clank.ReasonOutput)
+			}
+		case errors.Is(err, errCheckpoint):
+			m.checkpoint(m.pendingReason)
+			// Retry the vetoed instruction (or handle the outage).
+		case errors.Is(err, armsim.ErrHalted):
+			// Program complete: commit the trailing section.
+			if !m.checkpoint(clank.ReasonNone) {
+				continue // power died during the final commit; redo
+			}
+			m.stats.Completed = true
+			m.stats.UsefulCycles = m.cpu.Cycle
+			m.stats.Outputs = append([]uint32(nil), m.mem.Outputs...)
+			m.finishAccounting()
+			return m.stats, nil
+		default:
+			return m.stats, err
+		}
+	}
+}
+
+// chargeRestart pays the start-up routine at the beginning of a power
+// cycle. It returns false if the boot is too short to finish it.
+func (m *Machine) chargeRestart() bool {
+	cost := m.opts.Costs.Restart
+	if m.powerLeft <= cost {
+		m.stats.WallCycles += m.powerLeft
+		m.stats.RestartCycles += m.powerLeft
+		m.powerLeft = 0
+		return false
+	}
+	m.powerLeft -= cost
+	m.stats.WallCycles += cost
+	m.stats.RestartCycles += cost
+	m.cyclesThisBoot += cost
+	return true
+}
+
+// account charges delta executed cycles against the power budget and the
+// wall clock, clamping at the power boundary.
+func (m *Machine) account(delta uint64) {
+	if delta >= m.powerLeft {
+		m.stats.WallCycles += m.powerLeft
+		m.cyclesThisBoot += m.powerLeft
+		m.powerLeft = 0
+		return
+	}
+	m.powerLeft -= delta
+	m.stats.WallCycles += delta
+	m.cyclesThisBoot += delta
+	m.sinceCkpt += delta
+}
+
+// checkpoint runs the modeled checkpoint routine: drain the Write-back
+// Buffer through the scratchpad (two-phase), save the register file to the
+// inactive slot, flip the checkpoint pointer, reset Clank. Returns false if
+// power failed during the routine — nothing committed; the top of the run
+// loop performs the rollback.
+func (m *Machine) checkpoint(reason clank.Reason) bool {
+	dirty := m.k.DirtyEntries()
+	cost := m.opts.Costs.CheckpointBase
+	if len(dirty) > 0 {
+		cost += m.opts.Costs.WBFlushExtra + uint64(len(dirty))*m.opts.Costs.WBFlushPerEntry
+	}
+	if m.powerLeft <= cost {
+		m.stats.WallCycles += m.powerLeft
+		m.stats.CkptCycles += m.powerLeft
+		m.powerLeft = 0
+		return false
+	}
+	m.powerLeft -= cost
+	m.stats.WallCycles += cost
+	m.stats.CkptCycles += cost
+	m.cyclesThisBoot += cost
+
+	for _, e := range dirty {
+		m.mem.WriteWord(e.Word<<2, e.Value)
+	}
+	m.ckpt = checkpointSlot{regs: m.cpu.Regs(), psr: m.cpu.PSR(), cycle: m.cpu.Cycle}
+	m.k.Reset()
+	if m.mon != nil {
+		m.mon.Reset()
+	}
+	m.sinceCkpt = 0
+	m.ckptThisBoot = true
+	m.consecutiveBarren = 0
+	if reason != clank.ReasonNone {
+		m.stats.Reasons[reason]++
+	}
+	m.stats.Checkpoints++
+	// The first checkpoint of a power cycle disarms the Progress Watchdog
+	// and clears its load value (paper section 3.1.4).
+	m.progEnabled = false
+	m.progLoad = 0
+	return true
+}
+
+// powerFail models the loss of all volatile state: Clank's buffers (with
+// any un-flushed Write-back entries — free rollback via redo logging) and
+// the register file. The CPU resumes from the last committed checkpoint,
+// and the next boot's Progress Watchdog bookkeeping runs.
+func (m *Machine) powerFail() {
+	m.stats.Restarts++
+	m.k.Reset()
+	if m.mon != nil {
+		m.mon.Reset()
+	}
+	m.cpu.R = m.ckpt.regs
+	m.cpu.SetPSR(m.ckpt.psr)
+	m.cpu.Cycle = m.ckpt.cycle
+	m.cpu.Halt = false
+	m.forceCkptAfter = false
+
+	madeProgress := m.ckptThisBoot
+	m.powerLeft = m.opts.Supply.NextOn()
+	m.cyclesThisBoot = 0
+	m.sinceCkpt = 0
+	m.ckptThisBoot = false
+	if !madeProgress {
+		m.consecutiveBarren++
+		m.stats.BarrenBoots++
+	} else {
+		m.consecutiveBarren = 0
+	}
+	if m.opts.ProgressDefault == 0 {
+		return
+	}
+	if madeProgress {
+		m.progEnabled = false
+		return
+	}
+	// No checkpoint last cycle: arm the watchdog, halving the load value
+	// if it was already armed and still made no progress.
+	if m.progLoad == 0 {
+		m.progLoad = m.opts.ProgressDefault
+	} else if m.progLoad > 2 {
+		m.progLoad /= 2
+	}
+	m.progEnabled = true
+}
+
+// finishAccounting derives the re-execution component.
+func (m *Machine) finishAccounting() {
+	w := m.stats.WallCycles
+	sum := m.stats.UsefulCycles + m.stats.CkptCycles + m.stats.RestartCycles
+	if w > sum {
+		m.stats.ReexecCycles = w - sum
+	}
+}

@@ -1,0 +1,463 @@
+package mibench
+
+// Algorithmic benchmarks: crc, dijkstra, lzfx, patricia, qsort,
+// stringsearch.
+
+const srcCRC = `
+// Table-driven CRC-32 (IEEE, reflected) over a generated 3 KB buffer.
+uint table[256];
+char data[3072];
+
+int main(void) {
+	int i;
+	int j;
+	uint crc;
+	for (i = 0; i < 256; i++) {
+		uint c = (uint)i;
+		for (j = 0; j < 8; j++) {
+			if (c & 1) c = (c >> 1) ^ 0xEDB88320;
+			else c >>= 1;
+		}
+		table[i] = c;
+	}
+	{
+		uint seed = 21;
+		for (i = 0; i < 3072; i++) {
+			seed = seed * 1664525 + 1013904223;
+			data[i] = (char)(seed >> 24);
+		}
+	}
+	crc = 0xFFFFFFFF;
+	for (i = 0; i < 3072; i++) {
+		crc = (crc >> 8) ^ table[(crc ^ (uint)data[i]) & 0xFF];
+	}
+	crc = ~crc;
+	__output(crc);
+	// Also CRC the table itself as a second stream.
+	{
+		uint c2 = 0xFFFFFFFF;
+		for (i = 0; i < 256; i++) {
+			c2 = (c2 >> 8) ^ table[(c2 ^ (table[i] & 0xFF)) & 0xFF];
+		}
+		__output(~c2);
+	}
+	return 0;
+}
+`
+
+const srcDijkstra = `
+// All-sources shortest paths on a dense 24-node graph (repeated Dijkstra,
+// as MiBench runs it over many queries).
+int adj[24][24];
+int dist[24];
+int visited[24];
+
+void dijkstra(int src) {
+	int i;
+	int n = 24;
+	for (i = 0; i < n; i++) { dist[i] = 1 << 29; visited[i] = 0; }
+	dist[src] = 0;
+	for (i = 0; i < n; i++) {
+		int best = -1;
+		int bestD = 1 << 30;
+		int u;
+		int v;
+		for (u = 0; u < n; u++) {
+			if (!visited[u] && dist[u] < bestD) { bestD = dist[u]; best = u; }
+		}
+		if (best < 0) break;
+		u = best;
+		visited[u] = 1;
+		for (v = 0; v < n; v++) {
+			if (adj[u][v] > 0 && dist[u] + adj[u][v] < dist[v]) {
+				dist[v] = dist[u] + adj[u][v];
+			}
+		}
+	}
+}
+
+int main(void) {
+	int i;
+	int j;
+	uint seed = 11;
+	uint hash = 2166136261;
+	for (i = 0; i < 24; i++) {
+		for (j = 0; j < 24; j++) {
+			seed = seed * 1664525 + 1013904223;
+			if (i == j) adj[i][j] = 0;
+			else if (((seed >> 20) & 3) == 0) adj[i][j] = 0; // no edge
+			else adj[i][j] = (int)((seed >> 24) & 63) + 1;
+		}
+	}
+	for (i = 0; i < 12; i++) {
+		dijkstra(i);
+		for (j = 0; j < 24; j++) hash = (hash ^ (uint)dist[j]) * 16777619;
+	}
+	__output(hash);
+	__output((uint)dist[23]);
+	return 0;
+}
+`
+
+const srcLZFX = `
+// LZF-style hash-chain compression of a 2 KB repetitive buffer, then
+// decompression and verification (MiBench2 lzfx).
+char src[1536];
+char comp[3072];
+char back[1536];
+int htab[256];
+
+int compress(int n) {
+	int ip = 0;
+	int op = 0;
+	while (ip < n) {
+		if (ip + 2 < n) {
+			int h = (((int)src[ip] << 5) ^ ((int)src[ip+1] << 2) ^ (int)src[ip+2]) & 255;
+			int ref = htab[h];
+			htab[h] = ip;
+			if (ref >= 0 && ref < ip && ip - ref < 1536 &&
+				src[ref] == src[ip] && src[ref+1] == src[ip+1] && src[ref+2] == src[ip+2]) {
+				// Match: extend up to 34 bytes.
+				int len = 3;
+				int maxl = n - ip;
+				if (maxl > 34) maxl = 34;
+				while (len < maxl && src[ref+len] == src[ip+len]) len++;
+				{
+					int off = ip - ref;
+					comp[op] = (char)(0x80 | (len - 3));
+					comp[op+1] = (char)(off >> 8);
+					comp[op+2] = (char)(off & 0xFF);
+					op += 3;
+					ip += len;
+				}
+				continue;
+			}
+		}
+		// Literal run: up to 32 bytes.
+		{
+			int run = 1;
+			int startIp = ip;
+			ip++;
+			while (ip < n && run < 32) {
+				if (ip + 2 < n) {
+					int h2 = (((int)src[ip] << 5) ^ ((int)src[ip+1] << 2) ^ (int)src[ip+2]) & 255;
+					int r2 = htab[h2];
+					if (r2 >= 0 && r2 < ip && src[r2] == src[ip] &&
+						src[r2+1] == src[ip+1] && src[r2+2] == src[ip+2]) break;
+					htab[h2] = ip;
+				}
+				ip++;
+				run++;
+			}
+			comp[op] = (char)(run - 1);
+			op++;
+			{
+				int k;
+				for (k = 0; k < run; k++) comp[op + k] = src[startIp + k];
+			}
+			op += run;
+		}
+	}
+	return op;
+}
+
+int decompress(int clen) {
+	int ip = 0;
+	int op = 0;
+	while (ip < clen) {
+		int ctrl = (int)comp[ip];
+		ip++;
+		if (ctrl & 0x80) {
+			int len = (ctrl & 0x7F) + 3;
+			int off = ((int)comp[ip] << 8) | (int)comp[ip+1];
+			int ref = op - off;
+			int k;
+			ip += 2;
+			for (k = 0; k < len; k++) back[op + k] = back[ref + k];
+			op += len;
+		} else {
+			int run = ctrl + 1;
+			int k;
+			for (k = 0; k < run; k++) back[op + k] = comp[ip + k];
+			ip += run;
+			op += run;
+		}
+	}
+	return op;
+}
+
+int main(void) {
+	int i;
+	uint seed = 17;
+	uint hash = 2166136261;
+	int clen;
+	int dlen;
+	// Repetitive text-like data, generated without divisions.
+	{
+		int region = 0;
+		int r17 = 0;
+		int r5 = 0;
+		for (i = 0; i < 1536; i++) {
+			seed = seed * 1664525 + 1013904223;
+			if ((i & 63) == 0) { region++; if (region == 3) region = 0; }
+			if (region == 0) src[i] = (char)('a' + r17);
+			else if (region == 1) src[i] = (char)('A' + r5);
+			else src[i] = (char)(seed >> 26);
+			r17++; if (r17 == 17) r17 = 0;
+			r5++; if (r5 == 5) r5 = 0;
+		}
+	}
+	for (i = 0; i < 256; i++) htab[i] = -1;
+	clen = compress(1536);
+	dlen = decompress(clen);
+	for (i = 0; i < clen; i++) hash = (hash ^ comp[i]) * 16777619;
+	__output(hash);
+	__output((uint)clen);
+	__output((uint)dlen);
+	{
+		int ok = 1;
+		for (i = 0; i < 1536; i++) {
+			if (back[i] != src[i]) { ok = 0; break; }
+		}
+		__output((uint)ok);
+	}
+	return 0;
+}
+`
+
+const srcPatricia = `
+// PATRICIA trie keyed by 32-bit addresses, with struct nodes allocated
+// from a static pool (MiBench patricia: route-table insert and lookup).
+struct Pnode {
+	uint key;
+	int bit;
+	struct Pnode *left;
+	struct Pnode *right;
+};
+
+struct Pnode pool[512];
+int nnodes;
+struct Pnode *root;
+
+int bitSet(uint key, int b) { return (int)((key >> (31 - b)) & 1); }
+
+struct Pnode *alloc(uint key, int b) {
+	struct Pnode *n = &pool[nnodes];
+	nnodes++;
+	n->key = key;
+	n->bit = b;
+	return n;
+}
+
+struct Pnode *step(struct Pnode *x, uint key) {
+	if (bitSet(key, x->bit)) return x->right;
+	return x->left;
+}
+
+struct Pnode *insert(uint key) {
+	struct Pnode *p;
+	struct Pnode *x;
+	int b;
+	if (nnodes == 0) {
+		root = alloc(key, 0);
+		root->left = root;
+		root->right = root;
+		return root;
+	}
+	// Search to a leaf (upward link: bit index stops increasing).
+	p = root;
+	x = step(root, key);
+	while (x->bit > p->bit) {
+		p = x;
+		x = step(x, key);
+	}
+	if (x->key == key) return x;
+	// First differing bit.
+	b = 0;
+	while (b < 32 && bitSet(key, b) == bitSet(x->key, b)) b++;
+	if (b >= 32) return x;
+	// Find the insertion point and splice the new node in.
+	{
+		struct Pnode *parent = root;
+		struct Pnode *cur = step(root, key);
+		struct Pnode *n;
+		while (cur->bit > parent->bit && cur->bit < b) {
+			parent = cur;
+			cur = step(cur, key);
+		}
+		n = alloc(key, b);
+		if (bitSet(key, b)) { n->left = cur; n->right = n; }
+		else { n->left = n; n->right = cur; }
+		if (bitSet(key, parent->bit)) parent->right = n;
+		else parent->left = n;
+		return n;
+	}
+}
+
+int search(uint key) {
+	struct Pnode *p;
+	struct Pnode *x;
+	if (nnodes == 0) return 0;
+	p = root;
+	x = step(root, key);
+	while (x->bit > p->bit) {
+		p = x;
+		x = step(x, key);
+	}
+	return x->key == key;
+}
+
+int main(void) {
+	int i;
+	uint seed = 41;
+	uint hash = 2166136261;
+	int hits = 0;
+	nnodes = 0;
+	for (i = 0; i < 300; i++) {
+		seed = seed * 1664525 + 1013904223;
+		insert(seed & 0xFFFFFF00);
+	}
+	seed = 41;
+	for (i = 0; i < 300; i++) {
+		seed = seed * 1664525 + 1013904223;
+		hits += search(seed & 0xFFFFFF00);
+	}
+	for (i = 0; i < 300; i++) {
+		seed = seed * 1664525 + 1013904223;
+		hits += search(seed | 1); // almost never present
+	}
+	for (i = 0; i < nnodes; i++) hash = (hash ^ pool[i].key) * 16777619;
+	__output(hash);
+	__output((uint)nnodes);
+	__output((uint)hits);
+	return 0;
+}
+`
+
+const srcQsort = `
+// Quicksort with an insertion-sort base case over 1000 LCG values
+// (MiBench qsort).
+int a[1000];
+
+void isort(int lo, int hi) {
+	int i;
+	for (i = lo + 1; i <= hi; i++) {
+		int v = a[i];
+		int j = i - 1;
+		while (j >= lo && a[j] > v) {
+			a[j + 1] = a[j];
+			j--;
+		}
+		a[j + 1] = v;
+	}
+}
+
+void qs(int lo, int hi) {
+	while (lo < hi) {
+		if (hi - lo < 12) { isort(lo, hi); return; }
+		{
+			int mid = lo + ((hi - lo) >> 1);
+			int pivot;
+			int i = lo;
+			int j = hi;
+			// Median-of-three.
+			if (a[mid] < a[lo]) { int t = a[mid]; a[mid] = a[lo]; a[lo] = t; }
+			if (a[hi] < a[lo]) { int t = a[hi]; a[hi] = a[lo]; a[lo] = t; }
+			if (a[hi] < a[mid]) { int t = a[hi]; a[hi] = a[mid]; a[mid] = t; }
+			pivot = a[mid];
+			while (i <= j) {
+				while (a[i] < pivot) i++;
+				while (a[j] > pivot) j--;
+				if (i <= j) {
+					int t = a[i]; a[i] = a[j]; a[j] = t;
+					i++;
+					j--;
+				}
+			}
+			// Recurse into the smaller side, loop on the larger.
+			if (j - lo < hi - i) {
+				qs(lo, j);
+				lo = i;
+			} else {
+				qs(i, hi);
+				hi = j;
+			}
+		}
+	}
+}
+
+int main(void) {
+	int i;
+	uint seed = 1;
+	uint hash = 2166136261;
+	int sorted = 1;
+	for (i = 0; i < 1000; i++) {
+		seed = seed * 1664525 + 1013904223;
+		a[i] = (int)(seed >> 8) - (1 << 22);
+	}
+	qs(0, 999);
+	for (i = 1; i < 1000; i++) {
+		if (a[i-1] > a[i]) sorted = 0;
+	}
+	for (i = 0; i < 1000; i += 37) hash = (hash ^ (uint)a[i]) * 16777619;
+	__output((uint)sorted);
+	__output(hash);
+	__output((uint)a[0]);
+	__output((uint)a[999]);
+	return 0;
+}
+`
+
+const srcStringsearch = `
+// Boyer-Moore-Horspool over generated text with 12 patterns (MiBench
+// stringsearch).
+char text[2560];
+char pat[16];
+int skip[256];
+
+int searchFrom(int start, int patLen, int n) {
+	int i;
+	for (i = 0; i < 256; i++) skip[i] = patLen;
+	for (i = 0; i < patLen - 1; i++) skip[(int)pat[i]] = patLen - 1 - i;
+	i = start;
+	while (i + patLen <= n) {
+		int j = patLen - 1;
+		while (j >= 0 && text[i + j] == pat[j]) j--;
+		if (j < 0) return i;
+		i += skip[(int)text[i + patLen - 1]];
+	}
+	return -1;
+}
+
+int main(void) {
+	int i;
+	int p;
+	uint seed = 123;
+	uint hash = 2166136261;
+	int found = 0;
+	// Text: words over a small alphabet so patterns really occur.
+	for (i = 0; i < 2560; i++) {
+		seed = seed * 1664525 + 1013904223;
+		if ((i & 7) == 7) text[i] = ' ';
+		else text[i] = (char)('a' + ((seed >> 24) & 7));
+	}
+	for (p = 0; p < 10; p++) {
+		int patLen = 3 + (p % 4);
+		int pos;
+		// Take the pattern from the text itself so hits exist.
+		for (i = 0; i < patLen; i++) pat[i] = text[p * 289 + i];
+		pos = 0;
+		while (pos >= 0 && pos + patLen <= 2560) {
+			pos = searchFrom(pos, patLen, 2560);
+			if (pos >= 0) {
+				found++;
+				hash = (hash ^ (uint)pos) * 16777619;
+				pos++;
+			}
+		}
+	}
+	__output(hash);
+	__output((uint)found);
+	return 0;
+}
+`

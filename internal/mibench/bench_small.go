@@ -1,0 +1,376 @@
+package mibench
+
+// The small control-flow benchmarks of MiBench2: limits, overflow,
+// randmath, regress, vcflags, bitcount, basicmath, plus DINO's ds.
+
+const srcLimits = `
+// print_uint emits v as decimal digit characters plus a newline, the cost
+// shape of the original benchmark's printf.
+void print_uint(uint v) {
+	char buf[12];
+	int n = 0;
+	if (v == 0) { __output('0'); __output(10); return; }
+	while (v) {
+		buf[n] = (char)('0' + v % 10);
+		v = v / 10;
+		n++;
+	}
+	while (n > 0) {
+		n--;
+		__output((uint)buf[n]);
+	}
+	__output(10);
+}
+
+int main(void) {
+	int imax = 2147483647;
+	int imin = (int)0x80000000;
+	uint umax = (uint)0xFFFFFFFF;
+	print_uint((uint)imax);
+	print_uint((uint)imin);
+	print_uint(umax);
+	print_uint((uint)(imax + 1 == imin));
+	print_uint((uint)((char)255));
+	print_uint((uint)(short)0x8000 >> 16);
+	print_uint((uint)(ushort)0xFFFF);
+	print_uint(umax + 1);
+	return 0;
+}
+`
+
+const srcOverflow = `
+// print_uint emits v as decimal digit characters plus a newline, the cost
+// shape of the original benchmark's printf.
+void print_uint(uint v) {
+	char buf[12];
+	int n = 0;
+	if (v == 0) { __output('0'); __output(10); return; }
+	while (v) {
+		buf[n] = (char)('0' + v % 10);
+		v = v / 10;
+		n++;
+	}
+	while (n > 0) {
+		n--;
+		__output((uint)buf[n]);
+	}
+	__output(10);
+}
+
+int main(void) {
+	int a = 2000000000;
+	int b = 2000000000;
+	uint c;
+	int s = a + b;           // wraps
+	print_uint((uint)s);
+	c = (uint)a + (uint)b;
+	print_uint(c);
+	s = a * 3;               // wraps
+	print_uint((uint)s);
+	s = (int)0x80000000;
+	print_uint((uint)(-s));    // INT_MIN negation wraps to itself
+	c = (uint)1 << 31;
+	print_uint(c << 1);
+	print_uint((uint)(s - 1)); // INT_MIN - 1 wraps to INT_MAX
+	return 0;
+}
+`
+
+const srcRandmath = `
+uint seed;
+
+uint next(void) {
+	seed = seed * 1664525 + 1013904223;
+	return seed;
+}
+
+int main(void) {
+	int i;
+	uint acc = 0;
+	seed = 7;
+	for (i = 0; i < 150; i++) {
+		uint a = next();
+		uint b = (next() & 0xFFFF) + 1;
+		acc = acc + a / b;
+		acc = acc ^ (a % b);
+		acc = acc + ((int)a % (int)b);
+	}
+	__output(acc);
+	__output(seed);
+	return 0;
+}
+`
+
+const srcRegress = `
+// Fixed-point (Q16) least-squares line fit over generated samples.
+int xs[128];
+int ys[128];
+
+int main(void) {
+	int n = 128;
+	int i;
+	int sx = 0;
+	int sy = 0;
+	int sxx = 0;
+	int sxy = 0;
+	uint seed = 99;
+	for (i = 0; i < n; i++) {
+		seed = seed * 1664525 + 1013904223;
+		xs[i] = i;
+		ys[i] = 3 * i + 17 + (int)((seed >> 28) & 7);   // slope 3, noise 0..7
+	}
+	for (i = 0; i < n; i++) {
+		sx += xs[i];
+		sy += ys[i];
+		sxx += xs[i] * xs[i];
+		sxy += xs[i] * ys[i];
+	}
+	{
+		int num = n * sxy - sx * sy;
+		int den = n * sxx - sx * sx;
+		int slopeQ8 = num / (den >> 8);  // ~Q8 slope
+		int interc = (sy - ((slopeQ8 * sx) >> 8)) / n;
+		__output((uint)slopeQ8);
+		__output((uint)interc);
+		// Residual sum of squares at Q0.
+		{
+			int rss = 0;
+			for (i = 0; i < n; i++) {
+				int pred = ((slopeQ8 * xs[i]) >> 8) + interc;
+				int e = ys[i] - pred;
+				rss += e * e;
+			}
+			__output((uint)rss);
+		}
+	}
+	return 0;
+}
+`
+
+const srcVCFlags = `
+// Exercises signed/unsigned comparison boundaries (the MiBench2 vcflags
+// condition-code checks).
+// print_uint emits v as decimal digit characters plus a newline, the cost
+// shape of the original benchmark's printf.
+void print_uint(uint v) {
+	char buf[12];
+	int n = 0;
+	if (v == 0) { __output('0'); __output(10); return; }
+	while (v) {
+		buf[n] = (char)('0' + v % 10);
+		v = v / 10;
+		n++;
+	}
+	while (n > 0) {
+		n--;
+		__output((uint)buf[n]);
+	}
+	__output(10);
+}
+
+int main(void) {
+	uint u1 = (uint)0x80000000;
+	int s1 = (int)0x80000000;
+	uint r = 0;
+	r = (r << 1) | (u1 > 1);          // unsigned: huge
+	r = (r << 1) | (s1 < 1);          // signed: very negative
+	r = (r << 1) | ((uint)-1 > 0);
+	r = (r << 1) | (-1 < 0);
+	r = (r << 1) | (u1 - 1 > u1 ? 0 : 1);
+	r = (r << 1) | (s1 - 1 > s1);     // wraps to INT_MAX
+	r = (r << 1) | ((int)(u1 >> 1) > 0);
+	r = (r << 1) | ((int)u1 >> 31 == -1);
+	print_uint(r);
+	{
+		int i;
+		uint acc = 0;
+		for (i = -5; i <= 5; i++) {
+			if (i < 0) acc = acc * 3 + 1;
+			else if (i == 0) acc = acc * 5 + 2;
+			else acc = acc * 7 + 3;
+		}
+		print_uint(acc);
+	}
+	return 0;
+}
+`
+
+const srcBitcount = `
+// Five bit-counting strategies over an LCG stream (MiBench bitcount).
+const char nibbleBits[16] = {0,1,1,2,1,2,2,3,1,2,2,3,2,3,3,4};
+
+int countShift(uint v) {
+	int n = 0;
+	while (v) { n += (int)(v & 1); v >>= 1; }
+	return n;
+}
+
+int countKernighan(uint v) {
+	int n = 0;
+	while (v) { v &= v - 1; n++; }
+	return n;
+}
+
+int countNibble(uint v) {
+	int n = 0;
+	while (v) { n += (int)nibbleBits[v & 15]; v >>= 4; }
+	return n;
+}
+
+int countParallel(uint v) {
+	v = v - ((v >> 1) & 0x55555555);
+	v = (v & 0x33333333) + ((v >> 2) & 0x33333333);
+	v = (v + (v >> 4)) & 0x0F0F0F0F;
+	return (int)((v * 0x01010101) >> 24);
+}
+
+int countBytes(uint v) {
+	int n = 0;
+	int i;
+	for (i = 0; i < 4; i++) {
+		n += (int)nibbleBits[v & 15] + (int)nibbleBits[(v >> 4) & 15];
+		v >>= 8;
+	}
+	return n;
+}
+
+int main(void) {
+	uint seed = 1;
+	int i;
+	int t1 = 0; int t2 = 0; int t3 = 0; int t4 = 0; int t5 = 0;
+	for (i = 0; i < 700; i++) {
+		seed = seed * 1664525 + 1013904223;
+		t1 += countShift(seed);
+		t2 += countKernighan(seed);
+		t3 += countNibble(seed);
+		t4 += countParallel(seed);
+		t5 += countBytes(seed);
+	}
+	__output((uint)t1);
+	__output((uint)t2);
+	__output((uint)t3);
+	__output((uint)t4);
+	__output((uint)t5);
+	__output((uint)(t1 == t2 && t2 == t3 && t3 == t4 && t4 == t5));
+	return 0;
+}
+`
+
+const srcBasicmath = `
+// Integer square roots, GCD/LCM, cube roots by Newton iteration, and
+// degree/radian conversion in Q12 fixed point (MiBench basicmath,
+// fixed-point port).
+uint isqrt(uint v) {
+	uint r = 0;
+	uint bit = (uint)1 << 30;
+	while (bit > v) bit >>= 2;
+	while (bit) {
+		if (v >= r + bit) { v -= r + bit; r = (r >> 1) + bit; }
+		else r >>= 1;
+		bit >>= 2;
+	}
+	return r;
+}
+
+uint gcd(uint a, uint b) {
+	while (b) { uint t = a % b; a = b; b = t; }
+	return a;
+}
+
+int icbrt(int x) {
+	int g = x;
+	int i;
+	if (x <= 0) return 0;
+	if (g > 1290) g = 1290;
+	for (i = 0; i < 10; i++) {
+		int g2 = g * g;
+		if (g2 == 0) { g = 1; g2 = 1; }
+		g = (2 * g + x / g2) / 3;
+	}
+	return g;
+}
+
+int main(void) {
+	uint accQ = 0;
+	uint accG = 0;
+	uint accC = 0;
+	uint accA = 0;
+	int i;
+	for (i = 1; i <= 56; i++) {
+		accQ += isqrt((uint)(i * i * 13 + i));
+		accG += gcd((uint)(i * 84), (uint)(i * 30 + 6));
+		accC += (uint)icbrt(i * i * 11);
+	}
+	// Degrees to radians in Q12 fixed point: rad = deg * pi / 180, with
+	// pi = 12868/4096.
+	for (i = 0; i <= 360; i += 15) {
+		int radQ12 = (i * 12868) / 180;
+		int backQ12 = (radQ12 * 180) / 12868;
+		accA += (uint)(radQ12 + backQ12);
+	}
+	__output(accQ);
+	__output(accG);
+	__output(accC);
+	__output(accA);
+	return 0;
+}
+`
+
+const srcDS = `
+// DINO's DS benchmark (data summarizer): a stream of sensor samples is
+// inserted into a sorted self-organizing list with running statistics and
+// a histogram; summaries are emitted periodically. Ported from the shape
+// of DINO's public benchmark: insertion-sorted buffer + bin counts.
+int sorted[64];
+int count;
+int hist[16];
+int sumLo;
+int nSamples;
+
+void insertSample(int v) {
+	int i;
+	int j;
+	if (count < 64) {
+		i = count;
+		while (i > 0 && sorted[i-1] > v) {
+			sorted[i] = sorted[i-1];
+			i--;
+		}
+		sorted[i] = v;
+		count++;
+	} else {
+		// Evict the median-ish slot, insert in place.
+		for (j = 32; j < 63; j++) sorted[j] = sorted[j+1];
+		i = 62;
+		while (i > 0 && sorted[i-1] > v) {
+			sorted[i] = sorted[i-1];
+			i--;
+		}
+		sorted[i] = v;
+	}
+	hist[(v >> 8) & 15] = hist[(v >> 8) & 15] + 1;
+	sumLo += v & 0xFF;
+	nSamples++;
+}
+
+int main(void) {
+	uint seed = 1234;
+	int t;
+	for (t = 0; t < 400; t++) {
+		seed = seed * 1103515245 + 12345;
+		insertSample((int)((seed >> 12) & 0xFFF));
+		if ((t & 63) == 63) {
+			__output((uint)sorted[count >> 1]);  // running median
+			__output((uint)sumLo);
+		}
+	}
+	{
+		int i;
+		uint h = 0;
+		for (i = 0; i < 16; i++) h = h * 31 + (uint)hist[i];
+		__output(h);
+		__output((uint)nSamples);
+	}
+	return 0;
+}
+`

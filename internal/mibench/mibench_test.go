@@ -1,0 +1,422 @@
+package mibench
+
+import (
+	"crypto/aes"
+	"crypto/rc4"
+	"crypto/sha1"
+	"encoding/binary"
+	"hash/crc32"
+	"math/bits"
+	"sort"
+	"testing"
+)
+
+func build(t *testing.T, name string) *Compiled {
+	t.Helper()
+	b, ok := ByName(name)
+	if !ok {
+		t.Fatalf("no benchmark %q", name)
+	}
+	c, err := Build(b)
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	return c
+}
+
+// TestAllBenchmarksRun compiles and runs every benchmark to completion and
+// checks basic sanity: outputs exist, cycle counts are non-trivial, traces
+// are populated.
+func TestAllBenchmarksRun(t *testing.T) {
+	for _, b := range append(All(), DS()) {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			c, err := Build(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(c.Outputs) == 0 {
+				t.Error("no outputs")
+			}
+			// limits/overflow/vcflags are legitimately tiny (the paper
+			// reports them under 1 ms).
+			if c.Cycles < 50 {
+				t.Errorf("suspiciously short run: %d cycles", c.Cycles)
+			}
+			if len(c.Trace) == 0 {
+				t.Error("empty trace")
+			}
+			t.Logf("%s: %d cycles, %d accesses, %d outputs, %d exempt PCs",
+				b.Name, c.Cycles, len(c.Trace), len(c.Outputs), len(c.ExemptPCs))
+		})
+	}
+}
+
+// TestDeterminism rebuilds a benchmark from scratch and checks outputs and
+// cycle counts are identical.
+func TestDeterminism(t *testing.T) {
+	b, _ := ByName("dijkstra")
+	c1, err := Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bypass the cache with a copied benchmark.
+	b2 := b
+	b2.Name = "dijkstra-again"
+	c2, err := Build(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Cycles != c2.Cycles {
+		t.Errorf("cycles differ: %d vs %d", c1.Cycles, c2.Cycles)
+	}
+	for i := range c1.Outputs {
+		if c1.Outputs[i] != c2.Outputs[i] {
+			t.Errorf("output %d differs", i)
+		}
+	}
+}
+
+// lcg mirrors the benchmarks' in-program generator.
+func lcg(seed uint32) func() uint32 {
+	s := seed
+	return func() uint32 {
+		s = s*1664525 + 1013904223
+		return s
+	}
+}
+
+func fnvMix(hash, v uint32) uint32 { return (hash ^ v) * 16777619 }
+
+// TestCRCReference checks the crc benchmark's first output against Go's
+// hash/crc32 over the identical generated buffer.
+func TestCRCReference(t *testing.T) {
+	c := build(t, "crc")
+	next := lcg(21)
+	data := make([]byte, 3072)
+	for i := range data {
+		data[i] = byte(next() >> 24)
+	}
+	want := crc32.ChecksumIEEE(data)
+	if c.Outputs[0] != want {
+		t.Errorf("crc = %#x, want %#x", c.Outputs[0], want)
+	}
+}
+
+// TestSHAReference checks the sha benchmark against crypto/sha1.
+func TestSHAReference(t *testing.T) {
+	c := build(t, "sha")
+	msg := make([]byte, 1984)
+	for i := range msg {
+		msg[i] = byte(i*13 + 7)
+	}
+	sum := sha1.Sum(msg)
+	for w := 0; w < 5; w++ {
+		want := binary.BigEndian.Uint32(sum[w*4:])
+		if c.Outputs[w] != want {
+			t.Errorf("H[%d] = %#x, want %#x", w, c.Outputs[w], want)
+		}
+	}
+}
+
+// TestAESReference checks the aes benchmark against crypto/aes.
+func TestAESReference(t *testing.T) {
+	c := build(t, "aes")
+	key := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	blocks := make([]byte, 128)
+	for i := range blocks {
+		blocks[i] = byte(i*7 + 3)
+	}
+	ciph, err := aes.NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := uint32(2166136261)
+	for b := 0; b < 8; b++ {
+		ciph.Encrypt(blocks[b*16:(b+1)*16], blocks[b*16:(b+1)*16])
+		for i := 0; i < 16; i++ {
+			hash = fnvMix(hash, uint32(blocks[b*16+i]))
+		}
+	}
+	if c.Outputs[0] != hash {
+		t.Errorf("aes hash = %#x, want %#x", c.Outputs[0], hash)
+	}
+	first := binary.LittleEndian.Uint32(blocks[0:4])
+	if c.Outputs[1] != first {
+		t.Errorf("aes first word = %#x, want %#x", c.Outputs[1], first)
+	}
+}
+
+// TestRC4Reference checks the rc4 benchmark against crypto/rc4.
+func TestRC4Reference(t *testing.T) {
+	c := build(t, "rc4")
+	key := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	buf := make([]byte, 2048)
+	for i := range buf {
+		buf[i] = byte(i*31 + 5)
+	}
+	ciph, err := rc4.NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ciph.XORKeyStream(buf, buf)
+	hash := uint32(2166136261)
+	for _, b := range buf {
+		hash = fnvMix(hash, uint32(b))
+	}
+	if c.Outputs[0] != hash {
+		t.Errorf("rc4 hash = %#x, want %#x", c.Outputs[0], hash)
+	}
+	if c.Outputs[1] != uint32(buf[0])|uint32(buf[1])<<8 {
+		t.Errorf("rc4 first bytes = %#x, want %#x", c.Outputs[1], uint32(buf[0])|uint32(buf[1])<<8)
+	}
+}
+
+// TestQsortReference checks sortedness and the sampled hash against Go's
+// sort over the same input.
+func TestQsortReference(t *testing.T) {
+	c := build(t, "qsort")
+	if c.Outputs[0] != 1 {
+		t.Fatal("qsort did not report a sorted array")
+	}
+	next := lcg(1)
+	a := make([]int32, 1000)
+	for i := range a {
+		a[i] = int32(next()>>8) - (1 << 22)
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	hash := uint32(2166136261)
+	for i := 0; i < 1000; i += 37 {
+		hash = fnvMix(hash, uint32(a[i]))
+	}
+	if c.Outputs[1] != hash {
+		t.Errorf("qsort hash = %#x, want %#x", c.Outputs[1], hash)
+	}
+	if c.Outputs[2] != uint32(a[0]) || c.Outputs[3] != uint32(a[999]) {
+		t.Errorf("qsort extremes = %#x %#x, want %#x %#x",
+			c.Outputs[2], c.Outputs[3], uint32(a[0]), uint32(a[999]))
+	}
+}
+
+// TestBitcountReference recomputes all five totals with math/bits.
+func TestBitcountReference(t *testing.T) {
+	c := build(t, "bitcount")
+	next := lcg(1)
+	total := 0
+	for i := 0; i < 700; i++ {
+		total += bits.OnesCount32(next())
+	}
+	for m := 0; m < 5; m++ {
+		if c.Outputs[m] != uint32(total) {
+			t.Errorf("method %d = %d, want %d", m, c.Outputs[m], total)
+		}
+	}
+	if c.Outputs[5] != 1 {
+		t.Error("methods disagreed in-program")
+	}
+}
+
+// TestDijkstraReference reimplements the benchmark in Go.
+func TestDijkstraReference(t *testing.T) {
+	c := build(t, "dijkstra")
+	const n = 24
+	next := lcg(11)
+	adj := [n][n]int32{}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := next()
+			switch {
+			case i == j:
+				adj[i][j] = 0
+			case (s>>20)&3 == 0:
+				adj[i][j] = 0
+			default:
+				adj[i][j] = int32((s>>24)&63) + 1
+			}
+		}
+	}
+	hash := uint32(2166136261)
+	var last int32
+	for src := 0; src < 12; src++ {
+		dist := [n]int32{}
+		visited := [n]bool{}
+		for i := range dist {
+			dist[i] = 1 << 29
+		}
+		dist[src] = 0
+		for i := 0; i < n; i++ {
+			best, bestD := -1, int32(1<<30)
+			for u := 0; u < n; u++ {
+				if !visited[u] && dist[u] < bestD {
+					bestD, best = dist[u], u
+				}
+			}
+			if best < 0 {
+				break
+			}
+			visited[best] = true
+			for v := 0; v < n; v++ {
+				if adj[best][v] > 0 && dist[best]+adj[best][v] < dist[v] {
+					dist[v] = dist[best] + adj[best][v]
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			hash = fnvMix(hash, uint32(dist[j]))
+		}
+		last = dist[23]
+	}
+	if c.Outputs[0] != hash {
+		t.Errorf("dijkstra hash = %#x, want %#x", c.Outputs[0], hash)
+	}
+	if c.Outputs[1] != uint32(last) {
+		t.Errorf("dijkstra dist[23] = %d, want %d", c.Outputs[1], last)
+	}
+}
+
+// TestLZFXRoundTrip relies on the benchmark's own verification output.
+func TestLZFXRoundTrip(t *testing.T) {
+	c := build(t, "lzfx")
+	clen, dlen, ok := c.Outputs[1], c.Outputs[2], c.Outputs[3]
+	if ok != 1 {
+		t.Error("decompressed data did not match the source")
+	}
+	if dlen != 1536 {
+		t.Errorf("decompressed %d bytes, want 1536", dlen)
+	}
+	if clen >= 1536 {
+		t.Errorf("compression did not shrink the repetitive buffer: %d bytes", clen)
+	}
+}
+
+// parseDecimalOutputs decodes the newline-separated decimal digit stream
+// the print_uint helper emits.
+func parseDecimalOutputs(t *testing.T, out []uint32) []uint64 {
+	t.Helper()
+	var vals []uint64
+	cur := uint64(0)
+	started := false
+	for _, w := range out {
+		switch {
+		case w == 10:
+			if started {
+				vals = append(vals, cur)
+			}
+			cur, started = 0, false
+		case w >= '0' && w <= '9':
+			cur = cur*10 + uint64(w-'0')
+			started = true
+		default:
+			t.Fatalf("unexpected output word %d in decimal stream", w)
+		}
+	}
+	return vals
+}
+
+// TestOverflowSemantics pins two's-complement wrap behavior.
+func TestOverflowSemantics(t *testing.T) {
+	c := build(t, "overflow")
+	var a, b int32 = 2000000000, 2000000000
+	want := []uint64{
+		uint64(uint32(a + b)),
+		4000000000,
+		uint64(uint32(a * 3)),
+		0x80000000,
+		0,
+		0x7FFFFFFF,
+	}
+	got := parseDecimalOutputs(t, c.Outputs)
+	if len(got) != len(want) {
+		t.Fatalf("got %d values, want %d (%v)", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("value %d = %d, want %d", i, got[i], w)
+		}
+	}
+}
+
+// TestLimits pins the type-limit outputs.
+func TestLimits(t *testing.T) {
+	c := build(t, "limits")
+	want := []uint64{0x7FFFFFFF, 0x80000000, 0xFFFFFFFF, 1, 255, 0xFFFF, 0xFFFF, 0}
+	got := parseDecimalOutputs(t, c.Outputs)
+	if len(got) != len(want) {
+		t.Fatalf("got %d values, want %d (%v)", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("value %d = %d, want %d", i, got[i], w)
+		}
+	}
+}
+
+// TestRSAReference recomputes the modular exponentiations in Go.
+func TestRSAReference(t *testing.T) {
+	c := build(t, "rsa")
+	const mod = 2146653799
+	powmod := func(base, e uint64) uint32 {
+		r := uint64(1)
+		base %= mod
+		for e > 0 {
+			if e&1 == 1 {
+				r = r * base % mod
+			}
+			base = base * base % mod
+			e >>= 1
+		}
+		return uint32(r)
+	}
+	hash := uint32(2166136261)
+	var first, second uint32
+	for i := 0; i < 8; i++ {
+		ct := powmod(uint64(1234567*(i+1)+89), 65537)
+		if i == 0 {
+			first = ct
+		}
+		if i == 1 {
+			second = ct
+		}
+		hash = fnvMix(hash, ct)
+	}
+	if c.Outputs[0] != first || c.Outputs[1] != second {
+		t.Errorf("rsa ciphertexts = %v, want %d, %d", c.Outputs[:2], first, second)
+	}
+	if c.Outputs[2] != hash {
+		t.Errorf("rsa hash = %#x, want %#x", c.Outputs[2], hash)
+	}
+}
+
+// TestADPCMRoundTripProperties: the encoder's state outputs must be within
+// the legal ranges and the decoder must track the step table bounds.
+func TestADPCMState(t *testing.T) {
+	enc := build(t, "adpcm_encode")
+	pred := int32(enc.Outputs[1])
+	idx := enc.Outputs[2]
+	if pred < -32768 || pred > 32767 {
+		t.Errorf("encoder predictor %d out of range", pred)
+	}
+	if idx > 88 {
+		t.Errorf("encoder index %d out of range", idx)
+	}
+	dec := build(t, "adpcm_decode")
+	if int32(dec.Outputs[1]) < -32768 || int32(dec.Outputs[1]) > 32767 {
+		t.Errorf("decoder predictor %d out of range", int32(dec.Outputs[1]))
+	}
+	if dec.Outputs[2] > 88 {
+		t.Errorf("decoder index %d out of range", dec.Outputs[2])
+	}
+}
+
+// TestProfileFindsExemptions: every benchmark should have some Program
+// Idempotent accesses (read-only tables at minimum).
+func TestProfileFindsExemptions(t *testing.T) {
+	for _, name := range []string{"aes", "crc", "fft", "sha"} {
+		c := build(t, name)
+		if len(c.ExemptPCs) == 0 {
+			t.Errorf("%s: no Program Idempotent accesses found", name)
+		}
+	}
+}

@@ -1,0 +1,422 @@
+// Package policysim is the reproduction of the paper's Clank policy
+// simulator: it replays a memory-access log captured by the instruction-set
+// simulator against a Clank buffer configuration, a policy-optimization
+// setting, and a power-cycle distribution, and reports the detailed
+// checkpoint / restart / re-execution overhead breakdown. Like the paper's
+// artifact it dynamically verifies idempotence with the reference monitor
+// on every run (paper sections 5 and 7.1).
+package policysim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/armsim"
+	"repro/internal/clank"
+	"repro/internal/power"
+	"repro/internal/refmon"
+)
+
+// MixedVolatility describes a mixed-volatility platform (paper section
+// 7.6): accesses inside the volatile range bypass Clank (SRAM contents are
+// checkpointed wholesale instead), and each checkpoint pays to save the
+// stack modified since the previous one.
+type MixedVolatility struct {
+	VolatileStart uint32 // byte range of volatile SRAM
+	VolatileEnd   uint32
+	StackTop      uint32 // initial stack pointer, for depth accounting
+}
+
+// Options configures a policy simulation.
+type Options struct {
+	Costs  clank.CostModel
+	Supply power.Source // nil = continuous power
+
+	PerfWatchdog    uint64 // 0 = disabled
+	ProgressDefault uint64 // 0 = disabled
+
+	Verify bool
+	Mixed  *MixedVolatility
+
+	// UndoLog switches the Write-back Buffer's redo-logging discipline
+	// for a ReVive-style undo log (paper section 8.3, [32]): violating
+	// writes go through to non-volatile memory after journaling the old
+	// value, checkpoints clear the journal cheaply, and every power
+	// failure pays to roll the journal back. The paper argues redo
+	// logging wins on harvested energy because volatility makes rollback
+	// free; this mode measures the alternative.
+	UndoLog bool
+
+	// MaxWallCycles bounds runaway simulations (0 = 1000x useful).
+	MaxWallCycles uint64
+}
+
+// Result is the simulator's overhead breakdown.
+type Result struct {
+	Completed bool
+
+	UsefulCycles  uint64
+	WallCycles    uint64
+	CkptCycles    uint64
+	RestartCycles uint64
+	ReexecCycles  uint64
+
+	Checkpoints   int
+	Restarts      int
+	BarrenBoots   int
+	PerfWatchdogs int
+	ProgWatchdogs int
+
+	Reasons map[clank.Reason]int
+}
+
+// Overhead is the total run-time overhead versus continuous execution.
+func (r Result) Overhead() float64 {
+	if r.UsefulCycles == 0 {
+		return 0
+	}
+	return float64(r.WallCycles)/float64(r.UsefulCycles) - 1
+}
+
+// CheckpointOverhead is the fraction of useful time spent checkpointing
+// (the paper's Figure 5/6 y-axis) including restart costs.
+func (r Result) CheckpointOverhead() float64 {
+	if r.UsefulCycles == 0 {
+		return 0
+	}
+	return float64(r.CkptCycles+r.RestartCycles) / float64(r.UsefulCycles)
+}
+
+// ReexecOverhead is the fraction of useful time spent re-executing.
+func (r Result) ReexecOverhead() float64 {
+	if r.UsefulCycles == 0 {
+		return 0
+	}
+	return float64(r.ReexecCycles) / float64(r.UsefulCycles)
+}
+
+type simulator struct {
+	trace []armsim.Access
+	total uint64
+	k     *clank.Clank
+	mon   *refmon.Monitor
+	o     Options
+	cfg   clank.Config
+
+	shadow map[uint32]uint32 // committed NV word values differing from trace baseline
+
+	pos     int
+	ckptPos int
+	prevT   uint64
+	ckptT   uint64
+
+	powerLeft      uint64
+	cyclesThisBoot uint64
+	sinceCkpt      uint64
+	ckptThisBoot   bool
+	progLoad       uint64
+	progEnabled    bool
+	consecBarren   int
+
+	minStackWrite uint32 // mixed volatility: deepest stack write this section
+	undoEntries   int    // undo-log mode: journaled writes this section
+
+	res Result
+}
+
+// Simulate replays the trace under the given configuration.
+func Simulate(trace []armsim.Access, totalCycles uint64, cfg clank.Config, o Options) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if o.Costs == (clank.CostModel{}) {
+		o.Costs = clank.DefaultCosts()
+	}
+	if o.Supply == nil {
+		o.Supply = power.Always{}
+	}
+	if o.MaxWallCycles == 0 {
+		o.MaxWallCycles = totalCycles*1000 + 100_000_000
+	}
+	s := &simulator{
+		trace:  trace,
+		total:  totalCycles,
+		k:      clank.New(cfg),
+		o:      o,
+		cfg:    cfg,
+		shadow: make(map[uint32]uint32),
+	}
+	if o.Verify && !o.UndoLog {
+		// The reference monitor models the redo discipline (writes that
+		// reach NV must not break idempotence); the undo journal restores
+		// old values on rollback instead, which the monitor cannot
+		// express. The undo mode is an overhead model only.
+		s.mon = refmon.New()
+	}
+	if o.Mixed != nil {
+		s.minStackWrite = o.Mixed.StackTop
+	}
+	s.res.Reasons = make(map[clank.Reason]int)
+	s.res.UsefulCycles = totalCycles
+	s.powerLeft = o.Supply.NextOn()
+	s.ckptThisBoot = true
+	err := s.run()
+	return s.res, err
+}
+
+var errNoProgress = errors.New("policysim: no forward progress (runt power cycles)")
+
+func (s *simulator) run() error {
+	for {
+		if s.res.WallCycles > s.o.MaxWallCycles {
+			return fmt.Errorf("policysim: exceeded %d wall cycles at access %d/%d (%d restarts)",
+				s.o.MaxWallCycles, s.pos, len(s.trace), s.res.Restarts)
+		}
+		if s.powerLeft == 0 {
+			if err := s.reboot(); err != nil {
+				return err
+			}
+			continue
+		}
+		if s.pos == len(s.trace) {
+			// Tail: cycles after the last access until program end, then
+			// the final commit.
+			delta := s.total - s.prevT
+			if !s.spend(delta) {
+				continue
+			}
+			s.prevT = s.total
+			if !s.checkpoint(clank.ReasonNone) {
+				continue
+			}
+			s.res.Completed = true
+			s.finish()
+			return nil
+		}
+
+		a := s.trace[s.pos]
+		delta := a.Cycle - s.prevT
+		if !s.spend(delta) {
+			continue
+		}
+		s.prevT = a.Cycle
+
+		if a.Addr >= armsim.MemSize {
+			// Output commit: bracket with checkpoints (section 3.3).
+			if s.sinceCkpt > 0 || s.k.SectionAccesses() > 0 {
+				if !s.checkpoint(clank.ReasonOutput) {
+					continue
+				}
+			}
+			s.pos++
+			if !s.checkpoint(clank.ReasonOutput) {
+				continue
+			}
+		} else if s.o.Mixed != nil && a.Addr >= s.o.Mixed.VolatileStart && a.Addr < s.o.Mixed.VolatileEnd {
+			// Volatile SRAM: invisible to Clank; track stack depth for
+			// checkpoint sizing.
+			if a.Write && a.Addr < s.minStackWrite {
+				s.minStackWrite = a.Addr
+			}
+			s.pos++
+		} else {
+			word := a.Addr >> 2
+			var out clank.Outcome
+			if a.Write {
+				out = s.k.Write(word, a.Value, s.cur(word, a.Prev), a.PC)
+			} else {
+				out = s.k.Read(word, s.cur(word, a.Value), a.PC)
+			}
+			if out.NeedCheckpoint {
+				s.checkpoint(out.Reason)
+				continue // re-feed the access (its delta is already paid)
+			}
+			if s.o.UndoLog && out.Buffered {
+				// Undo-log discipline (section 8.3): journal the old value
+				// to NV (two word writes plus bookkeeping) and let the
+				// write through instead of holding it in the volatile
+				// buffer. The journal is rolled back at every reboot.
+				if !s.spendOverhead(s.o.Costs.WBFlushPerEntry, &s.res.CkptCycles) {
+					continue
+				}
+				s.undoEntries++
+				s.shadow[word] = a.Value
+				s.pos++
+				goto watchdogs
+			}
+			if a.Write && !out.Buffered {
+				if s.mon != nil {
+					if v := s.mon.WriteNV(word, a.Value, a.PC); v != nil {
+						return fmt.Errorf("policysim: dynamic verification failed at access %d: %w", s.pos, v)
+					}
+				}
+				s.shadow[word] = a.Value
+			}
+			if !a.Write && !out.FromWB && s.mon != nil {
+				s.mon.ReadNV(word, a.Value)
+			}
+			s.pos++
+		}
+
+	watchdogs:
+		// Watchdogs, quantized to access boundaries.
+		if w := s.o.PerfWatchdog; w != 0 && s.sinceCkpt >= w {
+			if s.checkpoint(clank.ReasonPerfWatchdog) {
+				s.res.PerfWatchdogs++
+			}
+			continue
+		}
+		if s.progEnabled && s.cyclesThisBoot >= s.progLoad {
+			if s.checkpoint(clank.ReasonProgWatchdog) {
+				s.res.ProgWatchdogs++
+			}
+		}
+	}
+}
+
+// cur returns the current committed NV value of word, falling back to the
+// continuous-trace value.
+func (s *simulator) cur(word, fallback uint32) uint32 {
+	if v, ok := s.shadow[word]; ok {
+		return v
+	}
+	return fallback
+}
+
+// spend consumes program cycles from the power budget; returns false when
+// power dies first (the caller loops; reboot() handles the outage).
+func (s *simulator) spend(delta uint64) bool {
+	if delta >= s.powerLeft {
+		s.res.WallCycles += s.powerLeft
+		s.cyclesThisBoot += s.powerLeft
+		s.powerLeft = 0
+		return false
+	}
+	s.powerLeft -= delta
+	s.res.WallCycles += delta
+	s.cyclesThisBoot += delta
+	s.sinceCkpt += delta
+	return true
+}
+
+// spendOverhead is spend for runtime-routine cycles, attributed to the
+// given counter.
+func (s *simulator) spendOverhead(cost uint64, counter *uint64) bool {
+	if cost >= s.powerLeft {
+		s.res.WallCycles += s.powerLeft
+		*counter += s.powerLeft
+		s.cyclesThisBoot += s.powerLeft
+		s.powerLeft = 0
+		return false
+	}
+	s.powerLeft -= cost
+	s.res.WallCycles += cost
+	*counter += cost
+	s.cyclesThisBoot += cost
+	return true
+}
+
+// checkpoint models the checkpoint routine; false means power died during
+// it (nothing committed).
+func (s *simulator) checkpoint(reason clank.Reason) bool {
+	dirty := s.k.DirtyEntries()
+	cost := s.o.Costs.CheckpointBase
+	if s.o.UndoLog {
+		// Undo discipline: values are already in NV; committing just
+		// truncates the journal.
+		dirty = nil
+	} else if len(dirty) > 0 {
+		cost += s.o.Costs.WBFlushExtra + uint64(len(dirty))*s.o.Costs.WBFlushPerEntry
+	}
+	if s.o.Mixed != nil && s.minStackWrite < s.o.Mixed.StackTop {
+		words := uint64(s.o.Mixed.StackTop-s.minStackWrite) / 4
+		cost += words * s.o.Costs.StackWordSave
+	}
+	if !s.spendOverhead(cost, &s.res.CkptCycles) {
+		return false
+	}
+	for _, e := range dirty {
+		s.shadow[e.Word] = e.Value
+	}
+	s.ckptPos = s.pos
+	s.ckptT = s.prevT
+	s.undoEntries = 0
+	s.k.Reset()
+	if s.mon != nil {
+		s.mon.Reset()
+	}
+	s.sinceCkpt = 0
+	s.ckptThisBoot = true
+	s.consecBarren = 0
+	if s.o.Mixed != nil {
+		s.minStackWrite = s.o.Mixed.StackTop
+	}
+	if reason != clank.ReasonNone {
+		s.res.Reasons[reason]++
+	}
+	s.res.Checkpoints++
+	s.progEnabled = false
+	s.progLoad = 0
+	return true
+}
+
+// reboot rolls back to the last checkpoint, starts the next power-on
+// period, applies Progress Watchdog bookkeeping, and pays the start-up
+// routine (looping over boots too short to finish it).
+func (s *simulator) reboot() error {
+	for {
+		s.res.Restarts++
+		s.k.Reset()
+		if s.mon != nil {
+			s.mon.Reset()
+		}
+		s.pos = s.ckptPos
+		s.prevT = s.ckptT
+		if s.o.Mixed != nil {
+			s.minStackWrite = s.o.Mixed.StackTop
+		}
+
+		madeProgress := s.ckptThisBoot
+		s.powerLeft = s.o.Supply.NextOn()
+		s.cyclesThisBoot = 0
+		s.sinceCkpt = 0
+		s.ckptThisBoot = false
+		if !madeProgress {
+			s.consecBarren++
+			s.res.BarrenBoots++
+			if s.consecBarren > 100000 {
+				return errNoProgress
+			}
+		} else {
+			s.consecBarren = 0
+		}
+		if s.o.ProgressDefault != 0 && !madeProgress {
+			if s.progLoad == 0 {
+				s.progLoad = s.o.ProgressDefault
+			} else if s.progLoad > 2 {
+				s.progLoad /= 2
+			}
+			s.progEnabled = true
+		} else {
+			s.progEnabled = false
+		}
+		// The start-up routine, plus (in undo mode) rolling the journal
+		// back — both must fit in the new boot or it is barren.
+		bootCost := s.o.Costs.Restart
+		if s.o.UndoLog {
+			bootCost += uint64(s.undoEntries) * s.o.Costs.WBFlushPerEntry
+		}
+		if s.spendOverhead(bootCost, &s.res.RestartCycles) {
+			s.undoEntries = 0
+			return nil
+		}
+	}
+}
+
+func (s *simulator) finish() {
+	w := s.res.WallCycles
+	sum := s.res.UsefulCycles + s.res.CkptCycles + s.res.RestartCycles
+	if w > sum {
+		s.res.ReexecCycles = w - sum
+	}
+}

@@ -1,0 +1,113 @@
+// Package power models harvested-energy availability as a sequence of
+// power-on durations measured in CPU cycles. The paper characterizes
+// environments by their *average power-on time* (100 ms in the evaluation);
+// at the 1 MHz clock modeled here, 100 ms is 100,000 cycles.
+package power
+
+import "math/rand"
+
+// CyclesPerMilli converts the paper's milliseconds to model cycles
+// (1 MHz modeled core clock).
+const CyclesPerMilli = 1000
+
+// DefaultMeanOn is the evaluation's 100 ms average power-on time.
+const DefaultMeanOn = 100 * CyclesPerMilli
+
+// Model generates the next power-on duration.
+type Model interface {
+	NextOn(rng *rand.Rand) uint64
+}
+
+// Exponential draws on-times from an exponential distribution with the
+// given mean, floored at Min (real harvesting frontends need a minimum
+// charge to boot at all; runt cycles below the floor are modeled by
+// choosing a small Min).
+type Exponential struct {
+	Mean uint64
+	Min  uint64
+}
+
+// NextOn implements Model.
+func (e Exponential) NextOn(rng *rand.Rand) uint64 {
+	v := uint64(rng.ExpFloat64() * float64(e.Mean))
+	if v < e.Min {
+		v = e.Min
+	}
+	return v
+}
+
+// Fixed produces constant on-times (useful for deterministic tests).
+type Fixed struct{ Cycles uint64 }
+
+// NextOn implements Model.
+func (f Fixed) NextOn(*rand.Rand) uint64 { return f.Cycles }
+
+// Uniform draws on-times uniformly from [Lo, Hi].
+type Uniform struct{ Lo, Hi uint64 }
+
+// NextOn implements Model.
+func (u Uniform) NextOn(rng *rand.Rand) uint64 {
+	if u.Hi <= u.Lo {
+		return u.Lo
+	}
+	return u.Lo + uint64(rng.Int63n(int64(u.Hi-u.Lo+1)))
+}
+
+// Supply is a seeded stream of power-on durations.
+type Supply struct {
+	model Model
+	rng   *rand.Rand
+}
+
+// NewSupply builds a deterministic supply from a model and seed.
+func NewSupply(m Model, seed int64) *Supply {
+	return &Supply{model: m, rng: rand.New(rand.NewSource(seed))}
+}
+
+// NextOn returns the next power-on duration in cycles.
+func (s *Supply) NextOn() uint64 { return s.model.NextOn(s.rng) }
+
+// Always is a supply that never loses power (continuous execution).
+type Always struct{}
+
+// NextOn returns a practically infinite on-time.
+func (Always) NextOn() uint64 { return 1 << 62 }
+
+// Source abstracts Supply for drivers that accept either kind.
+type Source interface {
+	NextOn() uint64
+}
+
+var (
+	_ Source = (*Supply)(nil)
+	_ Source = Always{}
+)
+
+// Bursty is a two-state Markov harvesting model: a "good" state (strong
+// ambient energy, long on-times) and a "bad" state (weak energy, runt
+// on-times). Real RF/solar environments alternate between such regimes;
+// this is the model under which the Progress Watchdog earns its keep.
+type Bursty struct {
+	GoodMean uint64  // mean on-time while harvesting is strong
+	BadMean  uint64  // mean on-time while harvesting is weak
+	PStay    float64 // probability of staying in the current state per boot
+	Min      uint64
+
+	good bool
+}
+
+// NextOn implements Model.
+func (b *Bursty) NextOn(rng *rand.Rand) uint64 {
+	if rng.Float64() > b.PStay {
+		b.good = !b.good
+	}
+	mean := b.BadMean
+	if b.good {
+		mean = b.GoodMean
+	}
+	v := uint64(rng.ExpFloat64() * float64(mean))
+	if v < b.Min {
+		v = b.Min
+	}
+	return v
+}

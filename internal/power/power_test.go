@@ -1,0 +1,101 @@
+package power
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExponentialMean(t *testing.T) {
+	s := NewSupply(Exponential{Mean: 100_000, Min: 100}, 1)
+	var sum uint64
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += s.NextOn()
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 90_000 || mean > 110_000 {
+		t.Errorf("empirical mean %v, want ~100000", mean)
+	}
+}
+
+func TestExponentialMinFloor(t *testing.T) {
+	s := NewSupply(Exponential{Mean: 1000, Min: 500}, 7)
+	for i := 0; i < 10000; i++ {
+		if v := s.NextOn(); v < 500 {
+			t.Fatalf("on-time %d below the floor", v)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewSupply(Exponential{Mean: 50_000, Min: 100}, 42)
+	b := NewSupply(Exponential{Mean: 50_000, Min: 100}, 42)
+	for i := 0; i < 1000; i++ {
+		if a.NextOn() != b.NextOn() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestFixed(t *testing.T) {
+	s := NewSupply(Fixed{Cycles: 1234}, 0)
+	for i := 0; i < 5; i++ {
+		if s.NextOn() != 1234 {
+			t.Fatal("fixed supply varied")
+		}
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	prop := func(lo, span uint16, seed int64) bool {
+		l, h := uint64(lo), uint64(lo)+uint64(span)
+		s := NewSupply(Uniform{Lo: l, Hi: h}, seed)
+		for i := 0; i < 100; i++ {
+			v := s.NextOn()
+			if v < l || v > h {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	u := Uniform{Lo: 10, Hi: 10}
+	if v := u.NextOn(rand.New(rand.NewSource(1))); v != 10 {
+		t.Errorf("degenerate uniform = %d, want 10", v)
+	}
+}
+
+func TestAlwaysIsHuge(t *testing.T) {
+	if (Always{}).NextOn() < 1<<60 {
+		t.Error("Always supply should be effectively infinite")
+	}
+}
+
+func TestDefaultMeanMatchesPaper(t *testing.T) {
+	// 100 ms at the 1 MHz model clock.
+	if DefaultMeanOn != 100*CyclesPerMilli {
+		t.Errorf("DefaultMeanOn = %d", DefaultMeanOn)
+	}
+}
+
+func TestBurstyRegimes(t *testing.T) {
+	s := NewSupply(&Bursty{GoodMean: 200_000, BadMean: 5_000, PStay: 0.9, Min: 100}, 3)
+	var short, long int
+	for i := 0; i < 20000; i++ {
+		if s.NextOn() < 20_000 {
+			short++
+		} else {
+			long++
+		}
+	}
+	// Both regimes must be visited substantially.
+	if short < 2000 || long < 2000 {
+		t.Errorf("regimes unbalanced: %d short, %d long", short, long)
+	}
+}

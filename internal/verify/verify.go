@@ -1,0 +1,281 @@
+// Package verify is the reproduction of paper section 5: it proves, by
+// exhaustive bounded enumeration, that the high-performance Clank
+// implementation preserves idempotency. For every memory-access pattern up
+// to a bound, every power-failure schedule, and a family of hardware
+// configurations, an intermittent mini-machine mediated by Clank must
+// produce exactly the read values and final non-volatile memory of an
+// uninterrupted run, and the infinite-resource reference monitor must never
+// observe a violating write that Clank failed to intercept.
+//
+// The paper used SystemVerilog assertions plus bounded model checking
+// (EBMC) with a bound of 32 cycles; the Go analog enumerates the same kind
+// of bounded space directly.
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/clank"
+	"repro/internal/refmon"
+)
+
+// Op is one step of an abstract access pattern.
+type Op struct {
+	Write bool
+	Word  uint32
+	Val   uint32 // written value (writes only)
+}
+
+// Pattern is a bounded program: a straight-line sequence of loads/stores.
+type Pattern []Op
+
+// Oracle runs the pattern continuously and returns the value each read
+// observes plus the final memory (of size words).
+func Oracle(p Pattern, words int) (reads []uint32, final []uint32) {
+	mem := make([]uint32, words)
+	for _, op := range p {
+		if op.Write {
+			mem[op.Word] = op.Val
+		} else {
+			reads = append(reads, mem[op.Word])
+		}
+	}
+	return reads, mem
+}
+
+// Schedule yields power-failure positions: Fail(i) reports whether power is
+// lost immediately after executing op index i of the current attempt
+// stream (counting re-executions).
+type Schedule interface {
+	Fail(step int) bool
+}
+
+// FailAt fails exactly once, after the given global step count.
+type FailAt int
+
+// Fail implements Schedule.
+func (f FailAt) Fail(step int) bool { return step == int(f) }
+
+// FailEvery fails after every Period steps (a crude repeated-failure
+// model; Period must be large enough for sections to complete, otherwise
+// the run is reported as non-terminating and skipped by the harness).
+type FailEvery struct{ Period int }
+
+// Fail implements Schedule.
+func (f FailEvery) Fail(step int) bool {
+	return f.Period > 0 && step%f.Period == f.Period-1
+}
+
+// Result is the outcome of one intermittent mini-run.
+type Result struct {
+	Reads      []uint32
+	Final      []uint32
+	Terminated bool
+	Restarts   int
+	Ckpts      int
+}
+
+// maxRestarts bounds liveness for repeated-failure schedules; safety
+// properties are checked regardless.
+const maxRestarts = 64
+
+// RunIntermittent executes the pattern on the mini-machine: non-volatile
+// memory plus Clank plus the checkpoint/restart protocol. It returns an
+// error the moment any safety property is violated:
+//
+//   - the reference monitor sees a violating NV write Clank let through
+//   - a read returns a value different from the continuous oracle
+//
+// The final memory check is the caller's (it needs the oracle).
+func RunIntermittent(p Pattern, words int, cfg clank.Config, sched Schedule) (*Result, error) {
+	oracleReads, _ := Oracle(p, words)
+
+	mem := make([]uint32, words)
+	k := clank.New(cfg)
+	mon := refmon.New()
+	res := &Result{}
+
+	ckptIdx := 0 // committed resume point
+	step := 0    // global executed-op counter (including re-execution)
+	readsSeen := 0
+
+	checkpoint := func(idx int) {
+		// Two-phase commit (paper section 3.1.2): drain the Write-back
+		// Buffer to the scratchpad, commit the checkpoint, apply the
+		// values, commit again. At op granularity this is atomic.
+		for _, e := range k.DirtyEntries() {
+			mem[e.Word] = e.Value
+		}
+		ckptIdx = idx
+		k.Reset()
+		mon.Reset()
+		res.Ckpts++
+	}
+
+	i := 0
+	for i < len(p) {
+		op := p[i]
+		var out clank.Outcome
+		if op.Write {
+			out = k.Write(op.Word, op.Val, mem[op.Word], 0)
+		} else {
+			out = k.Read(op.Word, mem[op.Word], 0)
+		}
+		if out.NeedCheckpoint {
+			checkpoint(i)
+			continue // re-feed the same op against fresh buffers
+		}
+		if op.Write {
+			if out.Buffered {
+				// Absorbed by the Write-back Buffer; NV untouched.
+			} else {
+				if v := mon.WriteNV(op.Word, op.Val, 0); v != nil {
+					return res, fmt.Errorf("config %s: %w", cfg, v)
+				}
+				mem[op.Word] = op.Val
+			}
+		} else {
+			var got uint32
+			if out.FromWB {
+				got = out.ReadValue
+			} else {
+				got = mem[op.Word]
+				mon.ReadNV(op.Word, got)
+			}
+			if readsSeen < len(oracleReads) && got != oracleReads[readsSeen] {
+				return res, fmt.Errorf("config %s: read %d of word %d = %d, oracle says %d",
+					cfg, readsSeen, op.Word, got, oracleReads[readsSeen])
+			}
+			res.Reads = append(res.Reads, got)
+			readsSeen++
+		}
+		fail := sched.Fail(step)
+		step++
+		i++
+		if fail {
+			// Power failure: all volatile state evaporates — Clank's
+			// buffers (including un-flushed Write-back entries) and the
+			// monitor's section state. Execution resumes at the last
+			// committed checkpoint.
+			res.Restarts++
+			if res.Restarts > maxRestarts {
+				return res, nil // non-terminating schedule; safety held
+			}
+			k.Reset()
+			mon.Reset()
+			i = ckptIdx
+			// Re-executed reads will be re-checked against the oracle
+			// from the resume point.
+			readsSeen = countReads(p[:ckptIdx])
+			res.Reads = res.Reads[:readsSeen]
+		}
+	}
+	// Program completion commits the trailing section.
+	checkpoint(len(p))
+	res.Final = mem
+	res.Terminated = true
+	return res, nil
+}
+
+func countReads(p Pattern) int {
+	n := 0
+	for _, op := range p {
+		if !op.Write {
+			n++
+		}
+	}
+	return n
+}
+
+// Check runs the pattern under the configuration and schedule and verifies
+// all safety properties including final-memory equivalence.
+func Check(p Pattern, words int, cfg clank.Config, sched Schedule) error {
+	res, err := RunIntermittent(p, words, cfg, sched)
+	if err != nil {
+		return err
+	}
+	if !res.Terminated {
+		return nil // liveness bounded out; safety held
+	}
+	_, final := Oracle(p, words)
+	for w := range final {
+		if res.Final[w] != final[w] {
+			return fmt.Errorf("config %s: final mem[%d] = %d, oracle says %d (pattern %v)",
+				cfg, w, res.Final[w], final[w], p)
+		}
+	}
+	oracleReads, _ := Oracle(p, words)
+	if len(res.Reads) != len(oracleReads) {
+		return fmt.Errorf("config %s: %d reads observed, oracle has %d", cfg, len(res.Reads), len(oracleReads))
+	}
+	return nil
+}
+
+// EnumeratePatterns calls fn for every pattern of exactly length n over the
+// given number of words and values drawn from 1..vals (writes only; 0 is
+// the initial memory value). It is the bounded-model-checking state
+// enumeration.
+func EnumeratePatterns(n, words, vals int, fn func(Pattern) error) error {
+	choices := words * (1 + vals) // read(w) or write(w, v)
+	p := make(Pattern, n)
+	var rec func(depth int) error
+	rec = func(depth int) error {
+		if depth == n {
+			return fn(p)
+		}
+		for c := 0; c < choices; c++ {
+			w := c / (1 + vals)
+			r := c % (1 + vals)
+			if r == 0 {
+				p[depth] = Op{Write: false, Word: uint32(w)}
+			} else {
+				p[depth] = Op{Write: true, Word: uint32(w), Val: uint32(r)}
+			}
+			if err := rec(depth + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// StandardConfigs is the configuration family the exhaustive harness
+// checks: it covers every buffer type and the interesting optimization
+// interactions at sizes small enough to overflow within the bound.
+func StandardConfigs() []clank.Config {
+	base := []clank.Config{
+		{ReadFirst: 1},
+		{ReadFirst: 2, WriteFirst: 1},
+		{ReadFirst: 1, WriteBack: 1},
+		{ReadFirst: 2, WriteFirst: 1, WriteBack: 2},
+		{ReadFirst: 2, WriteFirst: 1, WriteBack: 1, AddrPrefix: 1, PrefixLowBits: 1},
+		{ReadFirst: 4, WriteFirst: 2, WriteBack: 2, AddrPrefix: 2, PrefixLowBits: 1},
+	}
+	opts := []clank.Opt{
+		0,
+		clank.OptAll &^ clank.OptIgnoreText,
+		clank.OptLatestCheckpoint,
+		clank.OptIgnoreFalseWrites,
+		clank.OptIgnoreFalseWrites | clank.OptRemoveDuplicates,
+		clank.OptNoWFOverflow,
+	}
+	var out []clank.Config
+	for _, b := range base {
+		for _, o := range opts {
+			c := b
+			c.Opts = o
+			out = append(out, c)
+		}
+	}
+	// TEXT-segment handling (ignored reads, checkpoint-bracketed writes):
+	// word 0 of the mini address space plays the text section, so the
+	// self-modifying-code path is exhaustively covered too.
+	for _, b := range base[:3] {
+		c := b
+		c.Opts = clank.OptAll
+		c.TextStart, c.TextEnd = 0, 4
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clank"
+)
+
+// TestExhaustiveBounded is the reproduction of the paper's bounded model
+// checking: every access pattern up to the bound, under every single-failure
+// schedule and a family of small hardware configurations, must match the
+// continuous oracle exactly.
+func TestExhaustiveBounded(t *testing.T) {
+	n := 5
+	if testing.Short() {
+		n = 4
+	}
+	configs := StandardConfigs()
+	patterns := 0
+	err := EnumeratePatterns(n, 2, 2, func(p Pattern) error {
+		patterns++
+		for _, cfg := range configs {
+			// No failure at all.
+			if err := Check(p, 2, cfg, FailAt(-1)); err != nil {
+				return err
+			}
+			// A single failure after every possible step.
+			for f := 0; f < n+2; f++ {
+				if err := Check(p, 2, cfg, FailAt(f)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("verified %d patterns x %d configs", patterns, len(configs))
+}
+
+// TestRepeatedFailures exercises multi-failure schedules: safety must hold
+// even when power fails every few operations.
+func TestRepeatedFailures(t *testing.T) {
+	configs := StandardConfigs()
+	err := EnumeratePatterns(4, 2, 2, func(p Pattern) error {
+		for _, cfg := range configs {
+			for _, period := range []int{2, 3, 5} {
+				if err := Check(p, 2, cfg, FailEvery{Period: period}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomLongPatterns drives much longer random patterns over a wider
+// address space through random failure schedules (property-based analog of
+// the bounded proof).
+func TestRandomLongPatterns(t *testing.T) {
+	configs := StandardConfigs()
+	rng := rand.New(rand.NewSource(12345))
+	iters := 400
+	if testing.Short() {
+		iters = 60
+	}
+	for it := 0; it < iters; it++ {
+		n := 10 + rng.Intn(60)
+		words := 2 + rng.Intn(6)
+		p := make(Pattern, n)
+		for i := range p {
+			if rng.Intn(2) == 0 {
+				p[i] = Op{Write: false, Word: uint32(rng.Intn(words))}
+			} else {
+				p[i] = Op{Write: true, Word: uint32(rng.Intn(words)), Val: uint32(1 + rng.Intn(5))}
+			}
+		}
+		cfg := configs[rng.Intn(len(configs))]
+		fail := FailAt(rng.Intn(n + 2))
+		if err := Check(p, words, cfg, fail); err != nil {
+			t.Fatalf("iter %d: %v", it, err)
+		}
+		if err := Check(p, words, cfg, FailEvery{Period: 3 + rng.Intn(8)}); err != nil {
+			t.Fatalf("iter %d (repeated): %v", it, err)
+		}
+	}
+}
+
+// TestQuickNoViolationEscapes uses testing/quick to hammer the central
+// safety property with arbitrary byte-derived patterns.
+func TestQuickNoViolationEscapes(t *testing.T) {
+	prop := func(raw []byte, failAt uint8, cfgIdx uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		p := make(Pattern, len(raw))
+		for i, b := range raw {
+			w := uint32(b>>1) & 3
+			if b&1 == 0 {
+				p[i] = Op{Write: false, Word: w}
+			} else {
+				p[i] = Op{Write: true, Word: w, Val: uint32(b>>3)&7 + 1}
+			}
+		}
+		configs := StandardConfigs()
+		cfg := configs[int(cfgIdx)%len(configs)]
+		return Check(p, 4, cfg, FailAt(int(failAt)%(len(p)+2))) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteBackReducesCheckpoints sanity-checks that the Write-back Buffer
+// actually absorbs violations: a read-modify-write loop on one word must
+// checkpoint on every iteration without a WB and far less with one.
+func TestWriteBackReducesCheckpoints(t *testing.T) {
+	var p Pattern
+	for i := 0; i < 10; i++ {
+		p = append(p, Op{Write: false, Word: 0})
+		p = append(p, Op{Write: true, Word: 0, Val: uint32(i%3 + 1)})
+	}
+	noWB, err := RunIntermittent(p, 2, clank.Config{ReadFirst: 2}, FailAt(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withWB, err := RunIntermittent(p, 2, clank.Config{ReadFirst: 2, WriteBack: 2}, FailAt(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noWB.Ckpts <= withWB.Ckpts {
+		t.Errorf("WB did not reduce checkpoints: %d (no WB) vs %d (WB)", noWB.Ckpts, withWB.Ckpts)
+	}
+	if withWB.Ckpts > 2 {
+		t.Errorf("WB config took %d checkpoints on a single-word RMW loop, want <= 2", withWB.Ckpts)
+	}
+}
+
+// TestLatestCheckpointExtendsSections verifies that OptLatestCheckpoint
+// lets reads continue past a Read-first fill.
+func TestLatestCheckpointExtendsSections(t *testing.T) {
+	// Reads of 4 distinct words overflow RF=2; with the optimization no
+	// checkpoint is needed while only reading.
+	p := Pattern{
+		{Word: 0}, {Word: 1}, {Word: 2}, {Word: 3}, {Word: 0}, {Word: 2},
+	}
+	plain, err := RunIntermittent(p, 4, clank.Config{ReadFirst: 2}, FailAt(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	latest, err := RunIntermittent(p, 4, clank.Config{ReadFirst: 2, Opts: clank.OptLatestCheckpoint}, FailAt(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The final commit counts as one checkpoint in both runs.
+	if latest.Ckpts != 1 {
+		t.Errorf("latest-checkpoint run took %d checkpoints, want 1 (final commit only)", latest.Ckpts)
+	}
+	if plain.Ckpts <= latest.Ckpts {
+		t.Errorf("expected plain config to checkpoint more: %d vs %d", plain.Ckpts, latest.Ckpts)
+	}
+}
