@@ -1,0 +1,8 @@
+package clank
+
+// drainForBench adapts the checkpoint drain to the current DirtyEntries
+// API so the micro-benchmarks compare like for like across the map->CAM
+// rewrite.
+func drainForBench(k *Clank, scratch []WBEntry) []WBEntry {
+	return k.DirtyEntries(scratch[:0])
+}

@@ -1,6 +1,173 @@
 package clank
 
-import "sort"
+import "slices"
+
+// Buffer representation. Real Clank hardware implements the Read-first,
+// Write-first, Write-back, and Address Prefix buffers as small (≤16-entry)
+// content-addressable memories: every access compares against all entries
+// in parallel. The software model mirrors that shape — each buffer is a
+// fixed-capacity array allocated once at construction and probed by linear
+// scan — because it is both the faithful model and the fast one: a probe
+// touches a handful of contiguous words with no hashing and no per-access
+// allocation, Reset is a length truncation, and the checkpoint drain
+// appends into a caller-owned scratch slice. Every experiment in the
+// paper's evaluation replays millions of accesses through Read/Write, so
+// this is the hottest path in the repository (see BENCH_clank.json).
+//
+// Configurations far beyond hardware scale (the Unlimited buffers of the
+// checkpoint-vs-re-execution study, section 7.4) would degrade a linear
+// CAM scan to O(n) per access, so buffers whose capacity exceeds
+// camLinearMax transparently add a map index; the hardware-plausible sizes
+// the evaluation sweeps never do.
+
+// camLinearMax is the largest capacity probed by pure linear scan. Real
+// configurations are ≤16 entries; the margin keeps sweep configurations on
+// the fast path too.
+const camLinearMax = 64
+
+// addrCAM is a fixed-capacity set of word addresses.
+type addrCAM struct {
+	capacity int
+	words    []uint32
+	idx      map[uint32]struct{} // non-nil only beyond camLinearMax
+}
+
+func newAddrCAM(capacity int) addrCAM {
+	c := addrCAM{capacity: capacity}
+	if capacity > camLinearMax {
+		c.idx = make(map[uint32]struct{})
+	} else {
+		c.words = make([]uint32, 0, capacity)
+	}
+	return c
+}
+
+func (c *addrCAM) contains(w uint32) bool {
+	if c.idx != nil {
+		_, ok := c.idx[w]
+		return ok
+	}
+	for _, e := range c.words {
+		if e == w {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *addrCAM) size() int {
+	if c.idx != nil {
+		return len(c.idx)
+	}
+	return len(c.words)
+}
+
+func (c *addrCAM) full() bool { return c.size() >= c.capacity }
+
+// insert adds w, which must not be present; the caller checks full() first.
+func (c *addrCAM) insert(w uint32) {
+	if c.idx != nil {
+		c.idx[w] = struct{}{}
+		return
+	}
+	c.words = append(c.words, w)
+}
+
+func (c *addrCAM) remove(w uint32) {
+	if c.idx != nil {
+		delete(c.idx, w)
+		return
+	}
+	for i, e := range c.words {
+		if e == w {
+			last := len(c.words) - 1
+			c.words[i] = c.words[last]
+			c.words = c.words[:last]
+			return
+		}
+	}
+}
+
+func (c *addrCAM) reset() {
+	if c.idx != nil {
+		clear(c.idx)
+		return
+	}
+	c.words = c.words[:0]
+}
+
+// wbSlot is one Write-back Buffer entry: a buffered violating write
+// (dirty) or a saved read value for false-write detection (clean,
+// section 3.2.1).
+type wbSlot struct {
+	word  uint32
+	val   uint32
+	dirty bool
+}
+
+// wbCAM is the fixed-capacity Write-back Buffer.
+type wbCAM struct {
+	capacity int
+	slots    []wbSlot
+	idx      map[uint32]int // word -> slot position, beyond camLinearMax
+}
+
+func newWBCAM(capacity int) wbCAM {
+	c := wbCAM{capacity: capacity}
+	if capacity > camLinearMax {
+		c.idx = make(map[uint32]int)
+		c.slots = make([]wbSlot, 0, camLinearMax)
+	} else {
+		c.slots = make([]wbSlot, 0, capacity)
+	}
+	return c
+}
+
+// find returns the slot index holding word, or -1.
+func (c *wbCAM) find(word uint32) int {
+	if c.idx != nil {
+		if i, ok := c.idx[word]; ok {
+			return i
+		}
+		return -1
+	}
+	for i := range c.slots {
+		if c.slots[i].word == word {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *wbCAM) full() bool { return len(c.slots) >= c.capacity }
+
+// insert adds a slot for word, which must not be present; the caller
+// checks full() first.
+func (c *wbCAM) insert(word, val uint32, dirty bool) {
+	if c.idx != nil {
+		c.idx[word] = len(c.slots)
+	}
+	c.slots = append(c.slots, wbSlot{word: word, val: val, dirty: dirty})
+}
+
+func (c *wbCAM) removeAt(i int) {
+	last := len(c.slots) - 1
+	if c.idx != nil {
+		delete(c.idx, c.slots[i].word)
+		if i != last {
+			c.idx[c.slots[last].word] = i
+		}
+	}
+	c.slots[i] = c.slots[last]
+	c.slots = c.slots[:last]
+}
+
+func (c *wbCAM) reset() {
+	c.slots = c.slots[:0]
+	if c.idx != nil {
+		clear(c.idx)
+	}
+}
 
 // Outcome is the detector's verdict on one access.
 type Outcome struct {
@@ -20,21 +187,16 @@ type Outcome struct {
 	ReadValue uint32
 }
 
-type wbEntry struct {
-	val   uint32
-	dirty bool
-}
-
 // Clank is the hardware state: the four buffers plus the untracked-mode
 // flag of the Latest-Checkpoint optimization. All addresses are 30-bit word
 // addresses.
 type Clank struct {
 	cfg Config
 
-	rf  map[uint32]struct{}
-	wf  map[uint32]struct{}
-	wb  map[uint32]wbEntry
-	apb map[uint32]struct{}
+	rf  addrCAM
+	wf  addrCAM
+	wb  wbCAM
+	apb addrCAM
 
 	wbDirty   int
 	untracked bool
@@ -44,17 +206,18 @@ type Clank struct {
 }
 
 // New builds the hardware model for cfg. It panics on an invalid
-// configuration (a construction-time programming error).
+// configuration (a construction-time programming error). All buffer
+// storage is allocated here, once; Read, Write, and Reset never allocate.
 func New(cfg Config) *Clank {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	k := &Clank{
 		cfg:        cfg,
-		rf:         make(map[uint32]struct{}),
-		wf:         make(map[uint32]struct{}),
-		wb:         make(map[uint32]wbEntry),
-		apb:        make(map[uint32]struct{}),
+		rf:         newAddrCAM(cfg.ReadFirst),
+		wf:         newAddrCAM(cfg.WriteFirst),
+		wb:         newWBCAM(cfg.WriteBack),
+		apb:        newAddrCAM(cfg.AddrPrefix),
 		textStartW: cfg.TextStart >> 2,
 		textEndW:   (cfg.TextEnd + 3) >> 2,
 	}
@@ -65,12 +228,13 @@ func New(cfg Config) *Clank {
 func (k *Clank) Config() Config { return k.cfg }
 
 // Reset clears every buffer; it models both the phase-2 checkpoint reset
-// and the volatile-state loss of a power failure.
+// and the volatile-state loss of a power failure. For CAM buffers this is
+// a length truncation.
 func (k *Clank) Reset() {
-	clear(k.rf)
-	clear(k.wf)
-	clear(k.wb)
-	clear(k.apb)
+	k.rf.reset()
+	k.wf.reset()
+	k.wb.reset()
+	k.apb.reset()
 	k.wbDirty = 0
 	k.untracked = false
 	k.accesses = 0
@@ -93,24 +257,48 @@ type WBEntry struct {
 	Value uint32
 }
 
-// DirtyEntries returns the buffered writes in ascending address order (the
-// checkpoint routine drains these to the scratchpad, then applies them).
-func (k *Clank) DirtyEntries() []WBEntry {
-	out := make([]WBEntry, 0, k.wbDirty)
-	for w, e := range k.wb {
+// DirtyEntries appends the buffered writes to dst in ascending address
+// order (the checkpoint routine drains these to the scratchpad, then
+// applies them). Callers reuse one scratch slice across checkpoints —
+// typically DirtyEntries(scratch[:0]) — so the steady state allocates
+// nothing.
+func (k *Clank) DirtyEntries(dst []WBEntry) []WBEntry {
+	for i := range k.wb.slots {
+		e := &k.wb.slots[i]
 		if e.dirty {
-			out = append(out, WBEntry{Word: w, Value: e.val})
+			dst = append(dst, WBEntry{Word: e.word, Value: e.val})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Word < out[j].Word })
-	return out
+	n := len(dst)
+	if n > 32 {
+		slices.SortFunc(dst, func(a, b WBEntry) int {
+			if a.Word < b.Word {
+				return -1
+			}
+			if a.Word > b.Word {
+				return 1
+			}
+			return 0
+		})
+		return dst
+	}
+	for i := 1; i < n; i++ {
+		e := dst[i]
+		j := i - 1
+		for j >= 0 && dst[j].Word > e.Word {
+			dst[j+1] = dst[j]
+			j--
+		}
+		dst[j+1] = e
+	}
+	return dst
 }
 
 // Lookup returns the Write-back Buffer's view of a word, if it holds one.
 // Drivers use it to service loads when the buffer shadows memory.
 func (k *Clank) Lookup(word uint32) (uint32, bool) {
-	if e, ok := k.wb[word]; ok && e.dirty {
-		return e.val, true
+	if i := k.wb.find(word); i >= 0 && k.wb.slots[i].dirty {
+		return k.wb.slots[i].val, true
 	}
 	return 0, false
 }
@@ -132,13 +320,13 @@ func (k *Clank) ensurePrefix(w uint32) bool {
 		return true
 	}
 	p := k.prefix(w)
-	if _, ok := k.apb[p]; ok {
+	if k.apb.contains(p) {
 		return true
 	}
-	if len(k.apb) >= k.cfg.AddrPrefix {
+	if k.apb.full() {
 		return false
 	}
-	k.apb[p] = struct{}{}
+	k.apb.insert(p)
 	return true
 }
 
@@ -146,35 +334,37 @@ func (k *Clank) ensurePrefix(w uint32) bool {
 // memValue) performed by the instruction at pc.
 func (k *Clank) Read(word, memValue, pc uint32) Outcome {
 	k.accesses++
-	// The Write-back Buffer shadows memory unconditionally: a buffered
-	// write's value must be visible to subsequent reads.
-	if e, ok := k.wb[word]; ok && e.dirty {
-		return Outcome{FromWB: true, ReadValue: e.val}
+	// One CAM probe answers both Write-back questions: a dirty entry
+	// shadows memory unconditionally (its value must be visible to
+	// subsequent reads), a clean saved-read entry implies the word is
+	// already tracked.
+	if i := k.wb.find(word); i >= 0 {
+		if k.wb.slots[i].dirty {
+			return Outcome{FromWB: true, ReadValue: k.wb.slots[i].val}
+		}
+		return Outcome{}
 	}
 	if k.exempt(pc) || k.inText(word) || k.untracked {
 		return Outcome{}
 	}
-	if _, ok := k.rf[word]; ok {
+	if k.rf.contains(word) {
 		return Outcome{}
 	}
-	if _, ok := k.wf[word]; ok {
-		return Outcome{}
-	}
-	if _, ok := k.wb[word]; ok { // clean saved-read entry implies tracked
+	if k.wf.contains(word) {
 		return Outcome{}
 	}
 	// Insert into the Read-first Buffer.
-	if len(k.rf) >= k.cfg.ReadFirst {
+	if k.rf.full() {
 		return k.fillOnRead(ReasonRFOverflow)
 	}
 	if !k.ensurePrefix(word) {
 		return k.fillOnRead(ReasonAPOverflow)
 	}
-	k.rf[word] = struct{}{}
+	k.rf.insert(word)
 	// Remember the read value for false-write detection, co-opting spare
 	// Write-back capacity (section 3.2.1).
-	if k.cfg.Opts&OptIgnoreFalseWrites != 0 && k.cfg.WriteBack > 0 && len(k.wb) < k.cfg.WriteBack {
-		k.wb[word] = wbEntry{val: memValue}
+	if k.cfg.Opts&OptIgnoreFalseWrites != 0 && k.cfg.WriteBack > 0 && !k.wb.full() {
+		k.wb.insert(word, memValue, false)
 	}
 	return Outcome{}
 }
@@ -191,9 +381,10 @@ func (k *Clank) fillOnRead(r Reason) Outcome {
 // value is memValue) performed by the instruction at pc.
 func (k *Clank) Write(word, value, memValue, pc uint32) Outcome {
 	k.accesses++
-	if e, ok := k.wb[word]; ok && e.dirty {
+	wbIdx := k.wb.find(word)
+	if wbIdx >= 0 && k.wb.slots[wbIdx].dirty {
 		// Already buffered: update in place, never touches memory.
-		k.wb[word] = wbEntry{val: value, dirty: true}
+		k.wb.slots[wbIdx].val = value
 		return Outcome{Buffered: true}
 	}
 	if k.exempt(pc) {
@@ -208,17 +399,17 @@ func (k *Clank) Write(word, value, memValue, pc uint32) Outcome {
 		}
 		return Outcome{}
 	}
-	if _, ok := k.wf[word]; ok {
+	if k.wf.contains(word) {
 		// Write-dominated: safe even in untracked mode — reads of this
 		// address were ignored while it sat in the Write-first Buffer,
 		// so no untracked read can depend on its old value.
 		return Outcome{}
 	}
-	if _, ok := k.rf[word]; ok {
+	if k.rf.contains(word) {
 		// Known read-dominated: the violation machinery (Write-back
 		// buffering or checkpoint) handles it, untracked or not; any
 		// untracked reads of it were served consistently.
-		return k.violation(word, value, memValue)
+		return k.violation(word, value, memValue, wbIdx)
 	}
 	if k.untracked {
 		// Latest-Checkpoint mode (section 3.2.5): a write to an address
@@ -233,7 +424,7 @@ func (k *Clank) Write(word, value, memValue, pc uint32) Outcome {
 		// pessimistically, which is safe.
 		return Outcome{}
 	}
-	if len(k.wf) >= k.cfg.WriteFirst {
+	if k.wf.full() {
 		if k.cfg.Opts&OptNoWFOverflow != 0 {
 			return Outcome{}
 		}
@@ -245,7 +436,7 @@ func (k *Clank) Write(word, value, memValue, pc uint32) Outcome {
 		}
 		return k.fillOnWrite(ReasonAPOverflow)
 	}
-	k.wf[word] = struct{}{}
+	k.wf.insert(word)
 	return Outcome{}
 }
 
@@ -255,15 +446,16 @@ func (k *Clank) fillOnWrite(r Reason) Outcome {
 	return Outcome{NeedCheckpoint: true, Reason: r}
 }
 
-// violation handles a write to a read-dominated word.
-func (k *Clank) violation(word, value, memValue uint32) Outcome {
+// violation handles a write to a read-dominated word. wbIdx is the word's
+// Write-back slot (clean, from the saved-read optimization) or -1.
+func (k *Clank) violation(word, value, memValue uint32, wbIdx int) Outcome {
 	if k.cfg.Opts&OptIgnoreFalseWrites != 0 {
-		if e, ok := k.wb[word]; ok && !e.dirty && e.val == value {
+		if wbIdx >= 0 && k.wb.slots[wbIdx].val == value {
 			// The write does not change the stored value: let it
 			// through (section 3.2.1).
 			return Outcome{}
 		}
-		if _, ok := k.wb[word]; !ok && value == memValue {
+		if wbIdx < 0 && value == memValue {
 			// No saved copy, but the driver knows the current value
 			// matches; hardware realizes this as a compare against the
 			// read bus. Still safe: memory is unchanged.
@@ -273,40 +465,42 @@ func (k *Clank) violation(word, value, memValue uint32) Outcome {
 	if k.cfg.WriteBack == 0 {
 		return Outcome{NeedCheckpoint: true, Reason: ReasonViolation}
 	}
-	if e, ok := k.wb[word]; ok && !e.dirty {
+	if wbIdx >= 0 {
 		// Upgrade the saved-read entry in place.
-		k.wb[word] = wbEntry{val: value, dirty: true}
+		k.wb.slots[wbIdx].val = value
+		k.wb.slots[wbIdx].dirty = true
 		k.wbDirty++
 	} else {
-		if len(k.wb) >= k.cfg.WriteBack {
+		if k.wb.full() {
 			if !k.evictClean() {
 				return Outcome{NeedCheckpoint: true, Reason: ReasonWBOverflow}
 			}
 		}
-		k.wb[word] = wbEntry{val: value, dirty: true}
+		k.wb.insert(word, value, true)
 		k.wbDirty++
 	}
 	if k.cfg.Opts&OptRemoveDuplicates != 0 {
 		// The dirty Write-back entry now answers all future accesses to
 		// this address; free the Read-first slot (section 3.2.2).
-		delete(k.rf, word)
+		k.rf.remove(word)
 	}
 	return Outcome{Buffered: true}
 }
 
 // evictClean drops one saved-read (clean) entry to make room for a dirty
-// one, choosing deterministically. Returns false if none exist.
+// one, choosing deterministically (lowest address). Returns false if none
+// exist.
 func (k *Clank) evictClean() bool {
-	victim := uint32(0)
-	found := false
-	for w, e := range k.wb {
-		if !e.dirty && (!found || w < victim) {
-			victim = w
-			found = true
+	victim := -1
+	for i := range k.wb.slots {
+		if !k.wb.slots[i].dirty &&
+			(victim < 0 || k.wb.slots[i].word < k.wb.slots[victim].word) {
+			victim = i
 		}
 	}
-	if found {
-		delete(k.wb, victim)
+	if victim < 0 {
+		return false
 	}
-	return found
+	k.wb.removeAt(victim)
+	return true
 }

@@ -1,0 +1,140 @@
+package clank
+
+import "testing"
+
+// The micro-benchmarks pin the detector's hot path: every experiment in the
+// paper's evaluation replays millions of accesses through Read/Write, so
+// ns/access here multiplies directly into end-to-end sweep time. The
+// benchmark configuration is the paper's headline 16,8,4,4 hardware with all
+// optimizations on. Results are snapshotted in BENCH_clank.json (see the
+// README's "Benchmark baseline" section).
+
+func benchConfig() Config {
+	return Config{
+		ReadFirst:     16,
+		WriteFirst:    8,
+		WriteBack:     4,
+		AddrPrefix:    4,
+		PrefixLowBits: 6,
+		Opts:          OptAll &^ OptIgnoreText,
+	}
+}
+
+// benchStream is a deterministic synthetic access stream with the locality
+// mix that drives buffer pressure: mostly re-touched words (buffer hits)
+// with a tail of fresh addresses (inserts and overflows).
+func benchStream(n int) []struct {
+	write bool
+	word  uint32
+	val   uint32
+} {
+	ops := make([]struct {
+		write bool
+		word  uint32
+		val   uint32
+	}, n)
+	state := uint32(0x2545F491)
+	for i := range ops {
+		state = state*1664525 + 1013904223
+		word := (state >> 8) & 31 // 32 distinct words: overflows a 16-entry RF
+		ops[i].write = state&7 == 0
+		ops[i].word = word
+		ops[i].val = state
+	}
+	return ops
+}
+
+// BenchmarkSectionReplay replays the synthetic stream, checkpointing
+// (drain + reset) whenever the detector demands it — the exact loop the
+// policy simulator runs per access. The metric of record is ns/op
+// (one op = one classified access) and allocs/op, which must be zero.
+func BenchmarkSectionReplay(b *testing.B) {
+	ops := benchStream(4096)
+	k := New(benchConfig())
+	var scratch []WBEntry
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := ops[i&4095]
+		var out Outcome
+		if op.write {
+			out = k.Write(op.word, op.val, op.val^1, 0)
+		} else {
+			out = k.Read(op.word, op.val, 0)
+		}
+		if out.NeedCheckpoint {
+			scratch = drainForBench(k, scratch)
+			k.Reset()
+		}
+	}
+	_ = scratch
+}
+
+// BenchmarkReadHit measures the steady-state read of a Read-first-resident
+// word: the most common single operation in any replay.
+func BenchmarkReadHit(b *testing.B) {
+	k := New(benchConfig())
+	k.Read(100, 1, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Read(100, 1, 0)
+	}
+}
+
+// BenchmarkReadWBHit measures a read served by a dirty Write-back entry
+// (the buffer shadows memory).
+func BenchmarkReadWBHit(b *testing.B) {
+	k := New(benchConfig())
+	k.Read(100, 1, 0)
+	k.Write(100, 2, 1, 0) // violation, absorbed by WB
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Read(100, 1, 0)
+	}
+}
+
+// BenchmarkWriteDominatedHit measures the steady-state write to a
+// Write-first-resident word.
+func BenchmarkWriteDominatedHit(b *testing.B) {
+	k := New(benchConfig())
+	k.Write(200, 1, 0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Write(200, uint32(i), 1, 0)
+	}
+}
+
+// BenchmarkWriteBuffered measures the in-place update of a dirty Write-back
+// entry (repeated violating writes to the same word).
+func BenchmarkWriteBuffered(b *testing.B) {
+	k := New(benchConfig())
+	k.Read(300, 1, 0)
+	k.Write(300, 2, 1, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Write(300, uint32(i), 1, 0)
+	}
+}
+
+// BenchmarkCheckpointDrain measures the checkpoint routine's detector half:
+// filling the Write-back Buffer with violations, draining it in address
+// order, and resetting every buffer.
+func BenchmarkCheckpointDrain(b *testing.B) {
+	k := New(benchConfig())
+	var scratch []WBEntry
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for w := uint32(0); w < 4; w++ {
+			k.Read(w*8, 1, 0)
+			k.Write(w*8, 2, 1, 0)
+		}
+		scratch = drainForBench(k, scratch)
+		k.Reset()
+	}
+	_ = scratch
+}

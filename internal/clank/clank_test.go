@@ -140,7 +140,7 @@ func TestWriteBackBuffering(t *testing.T) {
 		t.Fatalf("third violation must overflow WB=2, got %+v", out)
 	}
 	// Drain order is deterministic (ascending).
-	d := k.DirtyEntries()
+	d := k.DirtyEntries(nil)
 	if len(d) != 2 || d[0].Word != 10 || d[0].Value != 7 || d[1].Word != 20 {
 		t.Fatalf("DirtyEntries = %+v", d)
 	}
@@ -238,7 +238,7 @@ func TestResetClearsEverything(t *testing.T) {
 	k.Write(1, 5, 0, 0)
 	k.Write(2, 1, 0, 0)
 	k.Reset()
-	if k.WBDirty() != 0 || len(k.DirtyEntries()) != 0 || k.Untracked() || k.SectionAccesses() != 0 {
+	if k.WBDirty() != 0 || len(k.DirtyEntries(nil)) != 0 || k.Untracked() || k.SectionAccesses() != 0 {
 		t.Error("Reset left residual state")
 	}
 	// All capacity is available again.
@@ -275,12 +275,12 @@ func TestQuickCapacityInvariants(t *testing.T) {
 					k.Write(word, uint32(op), uint32(op^1), 0)
 				}
 			}
-			if len(k.rf) > cfg.ReadFirst || len(k.wf) > cfg.WriteFirst ||
-				len(k.wb) > cfg.WriteBack || k.wbDirty > cfg.WriteBack {
+			if k.rf.size() > cfg.ReadFirst || k.wf.size() > cfg.WriteFirst ||
+				len(k.wb.slots) > cfg.WriteBack || k.wbDirty > cfg.WriteBack {
 				return false
 			}
-			for w := range k.rf {
-				if _, dual := k.wf[w]; dual {
+			for _, w := range k.rf.words {
+				if k.wf.contains(w) {
 					return false
 				}
 			}

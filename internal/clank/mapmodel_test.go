@@ -1,0 +1,412 @@
+package clank
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// mapModel is the pre-CAM, map-based implementation of the detector,
+// preserved verbatim as the differential-testing reference. The CAM
+// rewrite must be observationally identical to it: same Outcome for every
+// access, same dirty set at every checkpoint, same shadowing Lookup view.
+type mapModel struct {
+	cfg Config
+
+	rf  map[uint32]struct{}
+	wf  map[uint32]struct{}
+	wb  map[uint32]mapWBEntry
+	apb map[uint32]struct{}
+
+	wbDirty   int
+	untracked bool
+	accesses  int
+
+	textStartW, textEndW uint32
+}
+
+type mapWBEntry struct {
+	val   uint32
+	dirty bool
+}
+
+func newMapModel(cfg Config) *mapModel {
+	return &mapModel{
+		cfg:        cfg,
+		rf:         make(map[uint32]struct{}),
+		wf:         make(map[uint32]struct{}),
+		wb:         make(map[uint32]mapWBEntry),
+		apb:        make(map[uint32]struct{}),
+		textStartW: cfg.TextStart >> 2,
+		textEndW:   (cfg.TextEnd + 3) >> 2,
+	}
+}
+
+func (k *mapModel) Reset() {
+	clear(k.rf)
+	clear(k.wf)
+	clear(k.wb)
+	clear(k.apb)
+	k.wbDirty = 0
+	k.untracked = false
+	k.accesses = 0
+}
+
+func (k *mapModel) DirtyEntries() []WBEntry {
+	out := make([]WBEntry, 0, k.wbDirty)
+	for w, e := range k.wb {
+		if e.dirty {
+			out = append(out, WBEntry{Word: w, Value: e.val})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Word < out[j].Word })
+	return out
+}
+
+func (k *mapModel) Lookup(word uint32) (uint32, bool) {
+	if e, ok := k.wb[word]; ok && e.dirty {
+		return e.val, true
+	}
+	return 0, false
+}
+
+func (k *mapModel) exempt(pc uint32) bool {
+	return k.cfg.ExemptPCs != nil && k.cfg.ExemptPCs[pc]
+}
+
+func (k *mapModel) inText(word uint32) bool {
+	return k.cfg.Opts&OptIgnoreText != 0 && word >= k.textStartW && word < k.textEndW
+}
+
+func (k *mapModel) prefix(w uint32) uint32 { return w >> k.cfg.PrefixLowBits }
+
+func (k *mapModel) ensurePrefix(w uint32) bool {
+	if k.cfg.AddrPrefix == 0 {
+		return true
+	}
+	p := k.prefix(w)
+	if _, ok := k.apb[p]; ok {
+		return true
+	}
+	if len(k.apb) >= k.cfg.AddrPrefix {
+		return false
+	}
+	k.apb[p] = struct{}{}
+	return true
+}
+
+func (k *mapModel) Read(word, memValue, pc uint32) Outcome {
+	k.accesses++
+	if e, ok := k.wb[word]; ok && e.dirty {
+		return Outcome{FromWB: true, ReadValue: e.val}
+	}
+	if k.exempt(pc) || k.inText(word) || k.untracked {
+		return Outcome{}
+	}
+	if _, ok := k.rf[word]; ok {
+		return Outcome{}
+	}
+	if _, ok := k.wf[word]; ok {
+		return Outcome{}
+	}
+	if _, ok := k.wb[word]; ok {
+		return Outcome{}
+	}
+	if len(k.rf) >= k.cfg.ReadFirst {
+		return k.fillOnRead(ReasonRFOverflow)
+	}
+	if !k.ensurePrefix(word) {
+		return k.fillOnRead(ReasonAPOverflow)
+	}
+	k.rf[word] = struct{}{}
+	if k.cfg.Opts&OptIgnoreFalseWrites != 0 && k.cfg.WriteBack > 0 && len(k.wb) < k.cfg.WriteBack {
+		k.wb[word] = mapWBEntry{val: memValue}
+	}
+	return Outcome{}
+}
+
+func (k *mapModel) fillOnRead(r Reason) Outcome {
+	if k.cfg.Opts&OptLatestCheckpoint != 0 {
+		k.untracked = true
+		return Outcome{}
+	}
+	return Outcome{NeedCheckpoint: true, Reason: r}
+}
+
+func (k *mapModel) Write(word, value, memValue, pc uint32) Outcome {
+	k.accesses++
+	if e, ok := k.wb[word]; ok && e.dirty {
+		k.wb[word] = mapWBEntry{val: value, dirty: true}
+		return Outcome{Buffered: true}
+	}
+	if k.exempt(pc) {
+		return Outcome{}
+	}
+	if k.inText(word) {
+		if k.accesses > 1 {
+			return Outcome{NeedCheckpoint: true, Reason: ReasonTextWrite}
+		}
+		return Outcome{}
+	}
+	if _, ok := k.wf[word]; ok {
+		return Outcome{}
+	}
+	if _, ok := k.rf[word]; ok {
+		return k.violation(word, value, memValue)
+	}
+	if k.untracked {
+		return Outcome{NeedCheckpoint: true, Reason: ReasonWriteInFill}
+	}
+	if k.cfg.WriteFirst == 0 {
+		return Outcome{}
+	}
+	if len(k.wf) >= k.cfg.WriteFirst {
+		if k.cfg.Opts&OptNoWFOverflow != 0 {
+			return Outcome{}
+		}
+		return Outcome{NeedCheckpoint: true, Reason: ReasonWFOverflow}
+	}
+	if !k.ensurePrefix(word) {
+		if k.cfg.Opts&OptNoWFOverflow != 0 {
+			return Outcome{}
+		}
+		return Outcome{NeedCheckpoint: true, Reason: ReasonAPOverflow}
+	}
+	k.wf[word] = struct{}{}
+	return Outcome{}
+}
+
+func (k *mapModel) violation(word, value, memValue uint32) Outcome {
+	if k.cfg.Opts&OptIgnoreFalseWrites != 0 {
+		if e, ok := k.wb[word]; ok && !e.dirty && e.val == value {
+			return Outcome{}
+		}
+		if _, ok := k.wb[word]; !ok && value == memValue {
+			return Outcome{}
+		}
+	}
+	if k.cfg.WriteBack == 0 {
+		return Outcome{NeedCheckpoint: true, Reason: ReasonViolation}
+	}
+	if e, ok := k.wb[word]; ok && !e.dirty {
+		k.wb[word] = mapWBEntry{val: value, dirty: true}
+		k.wbDirty++
+	} else {
+		if len(k.wb) >= k.cfg.WriteBack {
+			if !k.evictClean() {
+				return Outcome{NeedCheckpoint: true, Reason: ReasonWBOverflow}
+			}
+		}
+		k.wb[word] = mapWBEntry{val: value, dirty: true}
+		k.wbDirty++
+	}
+	if k.cfg.Opts&OptRemoveDuplicates != 0 {
+		delete(k.rf, word)
+	}
+	return Outcome{Buffered: true}
+}
+
+func (k *mapModel) evictClean() bool {
+	victim := uint32(0)
+	found := false
+	for w, e := range k.wb {
+		if !e.dirty && (!found || w < victim) {
+			victim = w
+			found = true
+		}
+	}
+	if found {
+		delete(k.wb, victim)
+	}
+	return found
+}
+
+// --- differential driver ---------------------------------------------------
+
+// diffConfig decodes five bytes into a small-buffer configuration that
+// exercises every overflow path, including the Address Prefix Buffer and
+// all 32 policy-optimization subsets. Word addresses are confined to 6 bits
+// with PrefixLowBits of 1-4, so APB overflow and TEXT-segment handling both
+// trigger within short streams.
+func diffConfig(b0, b1, b2, b3, b4 byte) Config {
+	cfg := Config{
+		ReadFirst:  int(b0%8) + 1,
+		WriteFirst: int(b1 % 8),
+		WriteBack:  int(b2 % 8),
+		AddrPrefix: int(b3 % 4),
+		Opts:       Opt(b4) & OptAll,
+	}
+	if cfg.AddrPrefix > 0 {
+		cfg.PrefixLowBits = int(b3/4)%4 + 1
+	}
+	if cfg.Opts&OptIgnoreText != 0 {
+		cfg.TextStart, cfg.TextEnd = 0, 16 // words 0-3 are TEXT
+	}
+	return cfg
+}
+
+// runDifferential feeds the op stream to both implementations and fails on
+// the first observable divergence. Every NeedCheckpoint verdict triggers a
+// checkpoint: dirty sets are compared, both models reset, and the access is
+// re-fed — the exact driver protocol.
+func runDifferential(t *testing.T, cfg Config, ops []uint16) {
+	t.Helper()
+	cam := New(cfg)
+	ref := newMapModel(cfg)
+	var scratch []WBEntry
+	for i, op := range ops {
+		word := uint32(op>>4) & 63
+		val := uint32(op) * 2654435761
+		mem := uint32(op) * 40503 // deterministic fake NV value
+		write := op&1 != 0
+		step := func() (Outcome, Outcome) {
+			if write {
+				return cam.Write(word, val, mem, 0), ref.Write(word, val, mem, 0)
+			}
+			return cam.Read(word, mem, 0), ref.Read(word, mem, 0)
+		}
+		got, want := step()
+		if got != want {
+			t.Fatalf("op %d (%s write=%v word=%d): CAM %+v, map model %+v", i, cfg, write, word, got, want)
+		}
+		if cam.Untracked() != ref.untracked || cam.WBDirty() != ref.wbDirty ||
+			cam.SectionAccesses() != ref.accesses {
+			t.Fatalf("op %d (%s): state diverged: untracked %v/%v dirty %d/%d accesses %d/%d",
+				i, cfg, cam.Untracked(), ref.untracked, cam.WBDirty(), ref.wbDirty,
+				cam.SectionAccesses(), ref.accesses)
+		}
+		if gv, gok := cam.Lookup(word); true {
+			wv, wok := ref.Lookup(word)
+			if gv != wv || gok != wok {
+				t.Fatalf("op %d (%s): Lookup(%d) = %d,%v vs %d,%v", i, cfg, word, gv, gok, wv, wok)
+			}
+		}
+		if got.NeedCheckpoint {
+			scratch = cam.DirtyEntries(scratch[:0])
+			wantDirty := ref.DirtyEntries()
+			if len(scratch) != len(wantDirty) {
+				t.Fatalf("op %d (%s): dirty sets differ: %v vs %v", i, cfg, scratch, wantDirty)
+			}
+			for j := range scratch {
+				if scratch[j] != wantDirty[j] {
+					t.Fatalf("op %d (%s): dirty entry %d: %+v vs %+v", i, cfg, j, scratch[j], wantDirty[j])
+				}
+			}
+			cam.Reset()
+			ref.Reset()
+			if g, w := step(); g != w {
+				t.Fatalf("op %d (%s): re-fed access diverged: %+v vs %+v", i, cfg, g, w)
+			}
+		}
+	}
+	// Final drain must agree too (the trailing commit).
+	scratch = cam.DirtyEntries(scratch[:0])
+	wantDirty := ref.DirtyEntries()
+	if len(scratch) != len(wantDirty) {
+		t.Fatalf("%s: final dirty sets differ: %v vs %v", cfg, scratch, wantDirty)
+	}
+	for j := range scratch {
+		if scratch[j] != wantDirty[j] {
+			t.Fatalf("%s: final dirty entry %d: %+v vs %+v", cfg, j, scratch[j], wantDirty[j])
+		}
+	}
+}
+
+// FuzzCAMMatchesMapModel is the native-fuzzing entry point: the first five
+// bytes pick the configuration (buffer sizes, APB geometry, optimization
+// subset), the rest are the access stream.
+func FuzzCAMMatchesMapModel(f *testing.F) {
+	f.Add([]byte{3, 2, 2, 5, 0xFF, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 1, 0, 0x01, 10, 11, 10, 11, 250, 251})
+	f.Add([]byte{7, 7, 7, 7, 0x1F, 0, 16, 32, 48, 64, 80, 96, 112})
+	f.Add([]byte{1, 0, 0, 2, 0x10, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			return
+		}
+		cfg := diffConfig(data[0], data[1], data[2], data[3], data[4])
+		ops := make([]uint16, 0, (len(data)-5)/2+1)
+		rest := data[5:]
+		for i := 0; i+1 < len(rest); i += 2 {
+			ops = append(ops, uint16(rest[i])|uint16(rest[i+1])<<8)
+		}
+		runDifferential(t, cfg, ops)
+	})
+}
+
+// TestQuickCAMMatchesMapModel drives the same differential check through
+// testing/quick so plain `go test` covers far more random streams than the
+// fuzz seed corpus alone.
+func TestQuickCAMMatchesMapModel(t *testing.T) {
+	prop := func(b0, b1, b2, b3, b4 byte, ops []uint16) bool {
+		cfg := diffConfig(b0, b1, b2, b3, b4)
+		runDifferential(t, cfg, ops)
+		return !t.Failed()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnlimitedBuffersMatchMapModel covers the map-indexed CAM fallback the
+// checkpoint-vs-re-execution study uses (capacity beyond camLinearMax).
+func TestUnlimitedBuffersMatchMapModel(t *testing.T) {
+	cfg := Config{ReadFirst: Unlimited, WriteFirst: Unlimited, WriteBack: Unlimited,
+		Opts: OptIgnoreFalseWrites | OptRemoveDuplicates}
+	cam := New(cfg)
+	ref := newMapModel(cfg)
+	state := uint32(12345)
+	var scratch []WBEntry
+	for i := 0; i < 20000; i++ {
+		state = state*1664525 + 1013904223
+		word := state >> 20 // wide address range: thousands of distinct words
+		val := state * 7
+		var got, want Outcome
+		if state&1 != 0 {
+			got = cam.Write(word, val, val^3, 0)
+			want = ref.Write(word, val, val^3, 0)
+		} else {
+			got = cam.Read(word, val^3, 0)
+			want = ref.Read(word, val^3, 0)
+		}
+		if got != want {
+			t.Fatalf("op %d: %+v vs %+v", i, got, want)
+		}
+	}
+	scratch = cam.DirtyEntries(scratch[:0])
+	wantDirty := ref.DirtyEntries()
+	if len(scratch) != len(wantDirty) {
+		t.Fatalf("dirty counts differ: %d vs %d", len(scratch), len(wantDirty))
+	}
+	for j := range scratch {
+		if scratch[j] != wantDirty[j] {
+			t.Fatalf("dirty entry %d: %+v vs %+v", j, scratch[j], wantDirty[j])
+		}
+	}
+}
+
+// TestReadWriteZeroAlloc pins the hot-path allocation contract: once
+// constructed, a hardware-scale detector classifies accesses and resets
+// without a single heap allocation.
+func TestReadWriteZeroAlloc(t *testing.T) {
+	k := New(Config{ReadFirst: 16, WriteFirst: 8, WriteBack: 4,
+		AddrPrefix: 4, PrefixLowBits: 6, Opts: OptAll &^ OptIgnoreText})
+	scratch := make([]WBEntry, 0, 4)
+	state := uint32(99)
+	if n := testing.AllocsPerRun(2000, func() {
+		state = state*1664525 + 1013904223
+		word := (state >> 8) & 31
+		var out Outcome
+		if state&7 == 0 {
+			out = k.Write(word, state, state^1, 0)
+		} else {
+			out = k.Read(word, state, 0)
+		}
+		if out.NeedCheckpoint {
+			scratch = k.DirtyEntries(scratch[:0])
+			k.Reset()
+		}
+	}); n != 0 {
+		t.Fatalf("hot path allocated %.1f times per access, want 0", n)
+	}
+}

@@ -85,11 +85,17 @@ func (s Stats) Overhead() float64 {
 // checkpointSlot is the committed register checkpoint (conceptually stored
 // in the reserved non-volatile region, double-buffered). The cycle field
 // snapshots the useful-progress counter so rollbacks rewind it; re-executed
-// work is charged to the wall clock, not to program progress.
+// work is charged to the wall clock, not to program progress. The outputs
+// field is the committed output-log watermark: an output emitted after the
+// checkpoint is not committed until its trailing checkpoint lands, so a
+// rollback must truncate the log back to this mark or the re-executed
+// store would emit the word twice (the output-commit problem, paper
+// section 3.3).
 type checkpointSlot struct {
-	regs  [16]uint32
-	psr   uint32
-	cycle uint64
+	regs    [16]uint32
+	psr     uint32
+	cycle   uint64
+	outputs int
 }
 
 // Machine executes one image intermittently.
@@ -111,6 +117,8 @@ type Machine struct {
 	pendingReason     clank.Reason // reason behind the current bus veto
 	forceCkptAfter    bool         // output emitted: checkpoint after this instruction
 	consecutiveBarren int
+
+	dirtyScratch []clank.WBEntry // reused by every checkpoint drain
 
 	stats Stats
 	img   *ccc.Image
@@ -159,6 +167,17 @@ func NewMachine(img *ccc.Image, opts Options) (*Machine, error) {
 	return m, nil
 }
 
+// commitCheckpoint records the committed machine state, including the
+// output-log watermark.
+func (m *Machine) commitCheckpoint() {
+	m.ckpt = checkpointSlot{
+		regs:    m.cpu.Regs(),
+		psr:     m.cpu.PSR(),
+		cycle:   m.cpu.Cycle,
+		outputs: len(m.mem.Outputs),
+	}
+}
+
 // busAdapter routes CPU memory traffic through Clank.
 type busAdapter struct{ m *Machine }
 
@@ -196,10 +215,15 @@ func (m *Machine) load(addr uint32, size uint8, pc uint32) (uint32, error) {
 func (m *Machine) store(addr uint32, size uint8, value uint32, pc uint32) error {
 	if addr >= armsim.MemSize {
 		// Output commit (paper section 3.3): bracket the output with
-		// checkpoints. If any work happened since the last checkpoint,
-		// commit it first; the instruction then re-executes, emits the
-		// output, and forces a trailing checkpoint.
-		if m.sinceCkpt > 0 {
+		// checkpoints. If any work happened since the last checkpoint —
+		// elapsed cycles, or accesses the detector classified without the
+		// clock advancing (buffered work inside a re-executed
+		// instruction) — commit it first; the instruction then
+		// re-executes, emits the output, and forces a trailing
+		// checkpoint. The condition mirrors the policy simulator's
+		// bracketing exactly so the two engines count the same
+		// checkpoints on the same access stream.
+		if m.sinceCkpt > 0 || m.k.SectionAccesses() > 0 {
 			m.pendingReason = clank.ReasonOutput
 			return errCheckpoint
 		}

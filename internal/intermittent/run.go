@@ -127,7 +127,8 @@ func (m *Machine) account(delta uint64) {
 // power failed during the routine — nothing committed; the top of the run
 // loop performs the rollback.
 func (m *Machine) checkpoint(reason clank.Reason) bool {
-	dirty := m.k.DirtyEntries()
+	m.dirtyScratch = m.k.DirtyEntries(m.dirtyScratch[:0])
+	dirty := m.dirtyScratch
 	cost := m.opts.Costs.CheckpointBase
 	if len(dirty) > 0 {
 		cost += m.opts.Costs.WBFlushExtra + uint64(len(dirty))*m.opts.Costs.WBFlushPerEntry
@@ -146,7 +147,7 @@ func (m *Machine) checkpoint(reason clank.Reason) bool {
 	for _, e := range dirty {
 		m.mem.WriteWord(e.Word<<2, e.Value)
 	}
-	m.ckpt = checkpointSlot{regs: m.cpu.Regs(), psr: m.cpu.PSR(), cycle: m.cpu.Cycle}
+	m.commitCheckpoint()
 	m.k.Reset()
 	if m.mon != nil {
 		m.mon.Reset()
@@ -180,6 +181,10 @@ func (m *Machine) powerFail() {
 	m.cpu.Cycle = m.ckpt.cycle
 	m.cpu.Halt = false
 	m.forceCkptAfter = false
+	// Discard outputs emitted after the committed checkpoint: their
+	// trailing checkpoint never landed, so the re-executed section will
+	// emit them again (checkpointSlot.outputs watermark).
+	m.mem.Outputs = m.mem.Outputs[:m.ckpt.outputs]
 
 	madeProgress := m.ckptThisBoot
 	m.powerLeft = m.opts.Supply.NextOn()

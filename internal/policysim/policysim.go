@@ -10,6 +10,7 @@ package policysim
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/armsim"
 	"repro/internal/clank"
@@ -103,7 +104,9 @@ type simulator struct {
 	o     Options
 	cfg   clank.Config
 
-	shadow map[uint32]uint32 // committed NV word values differing from trace baseline
+	shadow *shadowStore
+
+	dirtyScratch []clank.WBEntry // reused by every checkpoint drain
 
 	pos     int
 	ckptPos int
@@ -138,13 +141,16 @@ func Simulate(trace []armsim.Access, totalCycles uint64, cfg clank.Config, o Opt
 	if o.MaxWallCycles == 0 {
 		o.MaxWallCycles = totalCycles*1000 + 100_000_000
 	}
+	shadow := shadowPool.Get().(*shadowStore)
+	shadow.begin()
+	defer shadowPool.Put(shadow)
 	s := &simulator{
 		trace:  trace,
 		total:  totalCycles,
 		k:      clank.New(cfg),
 		o:      o,
 		cfg:    cfg,
-		shadow: make(map[uint32]uint32),
+		shadow: shadow,
 	}
 	if o.Verify && !o.UndoLog {
 		// The reference monitor models the redo discipline (writes that
@@ -240,7 +246,7 @@ func (s *simulator) run() error {
 					continue
 				}
 				s.undoEntries++
-				s.shadow[word] = a.Value
+				s.setShadow(word, a.Value)
 				s.pos++
 				goto watchdogs
 			}
@@ -250,7 +256,7 @@ func (s *simulator) run() error {
 						return fmt.Errorf("policysim: dynamic verification failed at access %d: %w", s.pos, v)
 					}
 				}
-				s.shadow[word] = a.Value
+				s.setShadow(word, a.Value)
 			}
 			if !a.Write && !out.FromWB && s.mon != nil {
 				s.mon.ReadNV(word, a.Value)
@@ -274,13 +280,48 @@ func (s *simulator) run() error {
 	}
 }
 
+// shadowStore tracks the committed NV word values that differ from the
+// trace baseline. It is a flat word-indexed array rather than a map —
+// cur() runs once per replayed access and trace addresses are bounded by
+// the 256 KB modeled memory, so direct indexing removes the last hash
+// probe from the replay hot loop. Presence is a per-run generation stamp
+// and the arrays live in a sync.Pool, so back-to-back simulations (the
+// experiment sweeps run thousands) neither allocate nor zero 320 KB each.
+type shadowStore struct {
+	val []uint32
+	gen []uint32
+	run uint32 // current generation; gen[w] == run means val[w] is live
+}
+
+var shadowPool = sync.Pool{New: func() any {
+	return &shadowStore{
+		val: make([]uint32, armsim.MemSize>>2),
+		gen: make([]uint32, armsim.MemSize>>2),
+	}
+}}
+
+// begin starts a fresh generation, invalidating every entry in O(1).
+func (ss *shadowStore) begin() {
+	ss.run++
+	if ss.run == 0 { // wrapped: stale stamps could alias, really clear
+		clear(ss.gen)
+		ss.run = 1
+	}
+}
+
 // cur returns the current committed NV value of word, falling back to the
 // continuous-trace value.
 func (s *simulator) cur(word, fallback uint32) uint32 {
-	if v, ok := s.shadow[word]; ok {
-		return v
+	if s.shadow.gen[word] == s.shadow.run {
+		return s.shadow.val[word]
 	}
 	return fallback
+}
+
+// setShadow records a committed NV write.
+func (s *simulator) setShadow(word, v uint32) {
+	s.shadow.val[word] = v
+	s.shadow.gen[word] = s.shadow.run
 }
 
 // spend consumes program cycles from the power budget; returns false when
@@ -319,7 +360,8 @@ func (s *simulator) spendOverhead(cost uint64, counter *uint64) bool {
 // checkpoint models the checkpoint routine; false means power died during
 // it (nothing committed).
 func (s *simulator) checkpoint(reason clank.Reason) bool {
-	dirty := s.k.DirtyEntries()
+	s.dirtyScratch = s.k.DirtyEntries(s.dirtyScratch[:0])
+	dirty := s.dirtyScratch
 	cost := s.o.Costs.CheckpointBase
 	if s.o.UndoLog {
 		// Undo discipline: values are already in NV; committing just
@@ -336,7 +378,7 @@ func (s *simulator) checkpoint(reason clank.Reason) bool {
 		return false
 	}
 	for _, e := range dirty {
-		s.shadow[e.Word] = e.Value
+		s.setShadow(e.Word, e.Value)
 	}
 	s.ckptPos = s.pos
 	s.ckptT = s.prevT

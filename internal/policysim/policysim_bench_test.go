@@ -1,0 +1,78 @@
+package policysim
+
+import (
+	"testing"
+
+	"repro/internal/armsim"
+	"repro/internal/ccc"
+	"repro/internal/clank"
+	"repro/internal/power"
+)
+
+// benchTrace compiles the standard read-modify-write workload and records
+// its continuous-execution access log once per process.
+var benchTraceCache struct {
+	trace []armsim.Access
+	total uint64
+}
+
+func benchTrace(b *testing.B) ([]armsim.Access, uint64) {
+	b.Helper()
+	if benchTraceCache.trace == nil {
+		img, err := ccc.Compile(testProgram)
+		if err != nil {
+			b.Fatalf("compile: %v", err)
+		}
+		trace, total, err := armsim.CollectTrace(img.Bytes, 200_000_000)
+		if err != nil {
+			b.Fatalf("trace: %v", err)
+		}
+		benchTraceCache.trace, benchTraceCache.total = trace, total
+	}
+	return benchTraceCache.trace, benchTraceCache.total
+}
+
+// BenchmarkReplay1684 replays the trace through the paper's headline
+// 16,8,4,4 configuration under continuous power — the policy simulator's
+// hot loop with no power-failure noise. ns/access is the metric the
+// BENCH_clank.json baseline records.
+func BenchmarkReplay1684(b *testing.B) {
+	trace, total := benchTrace(b)
+	cfg := clank.Config{ReadFirst: 16, WriteFirst: 8, WriteBack: 4,
+		AddrPrefix: 4, PrefixLowBits: 6, Opts: clank.OptAll &^ clank.OptIgnoreText}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(trace, total, cfg, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("replay did not complete")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(trace)), "ns/access")
+}
+
+// BenchmarkReplay1684PowerCycling is the same replay under the paper's
+// harvested-power model, exercising the checkpoint/reboot paths too.
+func BenchmarkReplay1684PowerCycling(b *testing.B) {
+	trace, total := benchTrace(b)
+	cfg := clank.Config{ReadFirst: 16, WriteFirst: 8, WriteBack: 4,
+		AddrPrefix: 4, PrefixLowBits: 6, Opts: clank.OptAll &^ clank.OptIgnoreText}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(trace, total, cfg, Options{
+			Supply:          power.NewSupply(power.Exponential{Mean: 20_000, Min: 500}, 7),
+			ProgressDefault: 8_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("replay did not complete")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(trace)), "ns/access")
+}

@@ -135,6 +135,87 @@ func TestAgreesWithFullSystemUnderPowerCycling(t *testing.T) {
 	}
 }
 
+// TestOutputBracketingMatchesFullSystem pins the engines to the same
+// output-commit discipline (paper section 3.3). Both must bracket every
+// output store with the same checkpoints: historically the full system
+// skipped the leading checkpoint when sinceCkpt was zero even though the
+// open section had classified accesses, so the two engines disagreed on
+// ReasonOutput counts. The program emits outputs throughout the run, and
+// the full system's committed output log must also equal the continuous
+// (power-never-fails) run exactly.
+func TestOutputBracketingMatchesFullSystem(t *testing.T) {
+	const program = `
+int state[16];
+int acc;
+
+int main(void) {
+	int i;
+	int j;
+	acc = 42;
+	for (i = 0; i < 120; i++) {
+		acc = acc * 1103515245 + 12345;
+		j = (acc >> 8) & 15;
+		state[j] = state[j] + i;
+		if ((i & 15) == 15) {
+			__output((uint)state[j]);
+		}
+	}
+	__output((uint)acc);
+	return 0;
+}
+`
+	img, trace, total := buildTrace(t, program)
+	cont := armsim.NewMachine()
+	if err := cont.Boot(img.Bytes); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cont.Run(200_000_000); err != nil {
+		t.Fatalf("continuous run: %v", err)
+	}
+	wantOut := cont.Mem.Outputs
+	configs := []clank.Config{
+		{ReadFirst: 4},
+		{ReadFirst: 8, WriteFirst: 4, WriteBack: 2},
+		{ReadFirst: 16, WriteFirst: 8, WriteBack: 4, AddrPrefix: 4, PrefixLowBits: 6,
+			Opts: clank.OptAll},
+	}
+	for _, cfg := range configs {
+		c := cfg
+		c.TextStart, c.TextEnd = img.TextStart, img.TextEnd
+
+		m, err := intermittent.NewMachine(img, intermittent.Options{Config: c, Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := m.Run()
+		if err != nil {
+			t.Fatalf("full system %s: %v", cfg, err)
+		}
+		ps, err := Simulate(trace, total, c, Options{Verify: true})
+		if err != nil {
+			t.Fatalf("policy sim %s: %v", cfg, err)
+		}
+		if len(full.Outputs) != len(wantOut) {
+			t.Fatalf("config %s: full system committed %d outputs, continuous run %d",
+				cfg, len(full.Outputs), len(wantOut))
+		}
+		for i := range wantOut {
+			if full.Outputs[i] != wantOut[i] {
+				t.Fatalf("config %s: output %d = %#x, continuous run %#x",
+					cfg, i, full.Outputs[i], wantOut[i])
+			}
+		}
+		if ps.Reasons[clank.ReasonOutput] != full.Reasons[clank.ReasonOutput] {
+			t.Errorf("config %s: output-bracket checkpoints disagree: policy sim %d, full system %d",
+				cfg, ps.Reasons[clank.ReasonOutput], full.Reasons[clank.ReasonOutput])
+		}
+		if d := ps.Checkpoints - full.Checkpoints; d > full.Checkpoints/50+2 || -d > full.Checkpoints/50+2 {
+			t.Errorf("config %s: policy sim %d checkpoints, full system %d (reasons %v vs %v)",
+				cfg, ps.Checkpoints, full.Checkpoints, ps.Reasons, full.Reasons)
+		}
+	}
+}
+
 func TestBufferSizeMonotonicity(t *testing.T) {
 	_, trace, total := buildTrace(t, testProgram)
 	prev := -1.0

@@ -103,7 +103,7 @@ func RunIntermittent(p Pattern, words int, cfg clank.Config, sched Schedule) (*R
 		// Two-phase commit (paper section 3.1.2): drain the Write-back
 		// Buffer to the scratchpad, commit the checkpoint, apply the
 		// values, commit again. At op granularity this is atomic.
-		for _, e := range k.DirtyEntries() {
+		for _, e := range k.DirtyEntries(nil) {
 			mem[e.Word] = e.Value
 		}
 		ckptIdx = idx
