@@ -49,6 +49,17 @@ type CPU struct {
 	Bus   Bus
 	Halt  bool
 	Cycle uint64 // total executed cycles
+	Insns uint64 // total retired instructions (monotonic; not checkpointed)
+
+	// pd is the predecoded instruction cache (see predecode.go); nil means
+	// every Step takes the legacy fetch+decode path.
+	pd *DecodeCache
+	// mem, when non-nil, is the Bus's concrete Memory: the predecoded
+	// executor then bypasses interface dispatch on data accesses. Set only
+	// when the bus IS that memory (plain continuous machines); monitored
+	// buses (trace recorder, the intermittent Clank adapter) leave it nil
+	// so every access stays visible to them.
+	mem *Memory
 }
 
 // NewCPU returns a CPU attached to bus with all state zeroed.
@@ -133,11 +144,92 @@ func (c *CPU) addFlags(x, y uint32, carryIn bool) uint32 {
 // Step executes one instruction, advancing Cycle by its cost. It returns
 // ErrHalted after BKPT, or any Bus error (a veto or bus fault), in which
 // case the instruction had no effect and PC is unchanged.
+//
+// With a predecode cache attached (EnablePredecode) the hot path is: index
+// the cache by halfword address, decode on first execution only, dispatch
+// through execDecoded's jump table. The legacy fetch+decode path remains
+// both the fallback and the reference model for differential testing.
 func (c *CPU) Step() error {
 	if c.Halt {
 		return ErrHalted
 	}
 	pc := c.R[PC]
+	if c.pd != nil && pc < MemSize {
+		// The mask is a no-op given pc < MemSize; it lets the compiler
+		// drop the slice bounds check on the hottest load in the simulator.
+		d := &c.pd.tab[(pc>>1)&(MemSize/2-1)]
+		if d.Kind == kindNone {
+			cached, err := c.fillDecoded(d, pc)
+			if err != nil {
+				return err
+			}
+			if !cached {
+				return c.stepLegacy(pc)
+			}
+		}
+		cycles, next, err := c.execDecoded(d, pc)
+		if err != nil {
+			return err
+		}
+		c.R[PC] = next
+		c.Cycle += uint64(cycles)
+		c.Insns++
+		return nil
+	}
+	return c.stepLegacy(pc)
+}
+
+// RunTo executes instructions until Halt (ErrHalted), another error, or
+// Cycle reaching maxCycles (nil). It is Step's body merged into the run
+// loop — one call per instruction instead of three — and is what
+// Machine.Run drives; the semantics per instruction are identical to Step.
+func (c *CPU) RunTo(maxCycles uint64) error {
+	if c.pd == nil {
+		for c.Cycle < maxCycles {
+			if err := c.Step(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for c.Cycle < maxCycles {
+		if c.Halt {
+			return ErrHalted
+		}
+		pc := c.R[PC]
+		if pc >= MemSize {
+			if err := c.stepLegacy(pc); err != nil {
+				return err
+			}
+			continue
+		}
+		d := &c.pd.tab[(pc>>1)&(MemSize/2-1)]
+		if d.Kind == kindNone {
+			cached, err := c.fillDecoded(d, pc)
+			if err != nil {
+				return err
+			}
+			if !cached {
+				if err := c.stepLegacy(pc); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		cycles, next, err := c.execDecoded(d, pc)
+		if err != nil {
+			return err
+		}
+		c.R[PC] = next
+		c.Cycle += uint64(cycles)
+		c.Insns++
+	}
+	return nil
+}
+
+// stepLegacy is the pre-predecode Step body: fetch one halfword through
+// the Bus and walk the nested decode switches.
+func (c *CPU) stepLegacy(pc uint32) error {
 	op, err := c.Bus.Fetch16(pc)
 	if err != nil {
 		return err
@@ -148,6 +240,7 @@ func (c *CPU) Step() error {
 	}
 	c.R[PC] = next
 	c.Cycle += uint64(cycles)
+	c.Insns++
 	return nil
 }
 

@@ -14,10 +14,12 @@ type Machine struct {
 }
 
 // NewMachine returns a machine with fresh memory and a CPU wired straight to
-// it (no access monitors).
+// it (no access monitors), with the predecoded instruction cache enabled.
 func NewMachine() *Machine {
 	mem := NewMemory()
-	return &Machine{CPU: NewCPU(mem), Mem: mem}
+	cpu := NewCPU(mem)
+	cpu.EnablePredecode(mem)
+	return &Machine{CPU: cpu, Mem: mem}
 }
 
 // Boot loads an image at address 0 and resets the CPU using the ARM vector
@@ -38,13 +40,11 @@ func (m *Machine) Boot(image []byte) error {
 // the cycle count at halt. Exceeding the budget is an error: benchmarks are
 // finite programs and an overrun indicates a compiler or simulator bug.
 func (m *Machine) Run(maxCycles uint64) (uint64, error) {
-	for m.CPU.Cycle < maxCycles {
-		if err := m.CPU.Step(); err != nil {
-			if errors.Is(err, ErrHalted) {
-				return m.CPU.Cycle, nil
-			}
-			return m.CPU.Cycle, err
+	if err := m.CPU.RunTo(maxCycles); err != nil {
+		if errors.Is(err, ErrHalted) {
+			return m.CPU.Cycle, nil
 		}
+		return m.CPU.Cycle, err
 	}
 	return m.CPU.Cycle, fmt.Errorf("armsim: exceeded %d cycles without halting (pc %#x)", maxCycles, m.CPU.R[PC])
 }

@@ -68,7 +68,19 @@ type Memory struct {
 
 	// OnOutput, when non-nil, observes each output word as it is written.
 	OnOutput func(v uint32)
+
+	// onWrite, when non-nil, observes every mutation of the backing store
+	// (byte range addr..addr+size). The predecode cache registers its
+	// invalidation here so cached instructions never go stale — Memory is
+	// the single choke point for all content changes: data stores,
+	// checkpoint drains (WriteWord), image loads, resets, and restores.
+	onWrite func(addr, size uint32)
 }
+
+// SetWriteHook registers fn to observe every mutation of memory contents.
+// Only one hook is supported (the predecode cache); a second call replaces
+// the first.
+func (m *Memory) SetWriteHook(fn func(addr, size uint32)) { m.onWrite = fn }
 
 // NewMemory returns a zeroed 256 KB memory.
 func NewMemory() *Memory {
@@ -81,6 +93,9 @@ func (m *Memory) Reset() {
 		m.data[i] = 0
 	}
 	m.Outputs = m.Outputs[:0]
+	if m.onWrite != nil {
+		m.onWrite(0, MemSize)
+	}
 }
 
 // LoadImage copies img into memory starting at addr.
@@ -89,6 +104,9 @@ func (m *Memory) LoadImage(addr uint32, img []byte) error {
 		return fmt.Errorf("armsim: image of %d bytes at %#x exceeds memory", len(img), addr)
 	}
 	copy(m.data[addr:], img)
+	if m.onWrite != nil && len(img) > 0 {
+		m.onWrite(addr, uint32(len(img)))
+	}
 	return nil
 }
 
@@ -102,6 +120,9 @@ func (m *Memory) Snapshot() []byte {
 // Restore overwrites memory contents from a snapshot taken with Snapshot.
 func (m *Memory) Restore(s []byte) {
 	copy(m.data, s)
+	if m.onWrite != nil {
+		m.onWrite(0, MemSize)
+	}
 }
 
 // Bytes exposes the raw backing store (for checkpoint slots and loaders).
@@ -134,6 +155,9 @@ func (m *Memory) WriteWord(addr uint32, v uint32) {
 	m.data[a+1] = byte(v >> 8)
 	m.data[a+2] = byte(v >> 16)
 	m.data[a+3] = byte(v >> 24)
+	if m.onWrite != nil {
+		m.onWrite(a, 4)
+	}
 }
 
 // Load implements Bus.
@@ -181,6 +205,9 @@ func (m *Memory) Store(addr uint32, size uint8, value uint32, pc uint32) error {
 		m.data[addr+3] = byte(value >> 24)
 	default:
 		return fmt.Errorf("%w: bad size %d", ErrBusFault, size)
+	}
+	if m.onWrite != nil {
+		m.onWrite(addr, uint32(size))
 	}
 	return nil
 }

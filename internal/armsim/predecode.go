@@ -1,0 +1,931 @@
+package armsim
+
+// Predecoded instruction cache. Every experiment in the reproduction runs
+// through CPU.Step, which historically re-fetched and re-walked the nested
+// Thumb decode switches for every executed instruction. With the Clank
+// buffer layer rewritten as CAMs (BENCH_clank.json) the decode path became
+// the dominant simulation cost, so Step now decodes each 16-bit instruction
+// (and 32-bit BL/system pair) once into a flat DecodedInsn record, indexed
+// by halfword address, and thereafter executes through a dense jump table —
+// bypassing both the Bus.Fetch16 interface call and the nested switches.
+//
+// Correctness rule: the cache must always agree with what Bus.Fetch16 would
+// return. Memory is the single backing store for instruction fetch, so the
+// cache registers a write hook on it (Memory.SetWriteHook) and invalidates
+// the halfword entries overlapping every mutation — data stores landing in
+// the text region (self-modifying or data-over-text writes), checkpoint
+// drains (Memory.WriteWord), image loads, resets, and snapshot restores.
+// Because the window extends one halfword below the written range, a store
+// into the second half of a cached 32-bit BL also invalidates it. Power
+// failures never flush the cache: non-volatile memory survives them, so
+// every cached entry is still exact after a rollback.
+
+// Instruction kinds. The executor switches on this dense enumeration, which
+// the compiler lowers to a jump table. kindNone (the zero value) marks an
+// undecoded cache slot.
+const (
+	kindNone uint8 = iota
+
+	// Shift (immediate), add, subtract, move, compare.
+	kindLSLImm
+	kindLSRImm
+	kindASRImm
+	kindADDReg
+	kindSUBReg
+	kindADDImm3
+	kindSUBImm3
+	kindMOVImm
+	kindCMPImm
+	kindADDImm8
+	kindSUBImm8
+
+	// Data processing (register).
+	kindAND
+	kindEOR
+	kindLSLReg
+	kindLSRReg
+	kindASRReg
+	kindADC
+	kindSBC
+	kindROR
+	kindTST
+	kindNEG
+	kindCMPReg
+	kindCMN
+	kindORR
+	kindMUL
+	kindBIC
+	kindMVN
+
+	// Special data and branch/exchange.
+	kindADDHi
+	kindCMPHi
+	kindMOVHi
+	kindBXBLX
+
+	// Loads and stores.
+	kindLDRLit
+	kindSTRReg
+	kindSTRHReg
+	kindSTRBReg
+	kindLDRSBReg
+	kindLDRReg
+	kindLDRHReg
+	kindLDRBReg
+	kindLDRSHReg
+	kindSTRImm
+	kindLDRImm
+	kindSTRBImm
+	kindLDRBImm
+	kindSTRHImm
+	kindLDRHImm
+	kindSTRSP
+	kindLDRSP
+
+	// Address generation.
+	kindADR
+	kindADDSPImm
+
+	// Miscellaneous.
+	kindADDSP7
+	kindSUBSP7
+	kindSXTH
+	kindSXTB
+	kindUXTH
+	kindUXTB
+	kindPUSH
+	kindPOP
+	kindREV
+	kindREV16
+	kindREVSH
+	kindBKPT
+	kindNOPHint
+	kindCPS
+
+	// Multiple load/store.
+	kindLDM
+	kindSTM
+
+	// Branches and system.
+	kindBCond
+	kindSVC
+	kindB
+	kindBL
+	kindSYS32
+
+	// Anything else: execute through the legacy decoder so undefined
+	// encodings keep their exact legacy errors.
+	kindUndef
+)
+
+// DecodedInsn is one predecoded instruction: opcode kind plus the register
+// fields and pre-shifted/sign-extended immediate the executor needs. The
+// record is 12 bytes so the full 256 KB address space costs 1.5 MB per CPU.
+type DecodedInsn struct {
+	Kind uint8
+	Rd   uint8  // destination / first operand register (or condition code)
+	Rn   uint8  // base register (or pre-counted register-list population)
+	Rm   uint8  // second operand register
+	Raw  uint16 // original halfword: register lists, undefined encodings
+	Imm  uint32 // pre-scaled immediate or sign-extended branch offset
+}
+
+// DecodeCache is the per-image predecode table: one slot per halfword of
+// main memory, filled on first execution.
+type DecodeCache struct {
+	tab []DecodedInsn
+	// maxSlot is the highest slot ever decoded (-1 while empty). Writes
+	// above it cannot overlap a cached entry, so for the common case — a
+	// data store far above the text region — Invalidate is one compare,
+	// and a whole-memory reset clears only the slots that were ever
+	// filled instead of the full table.
+	maxSlot int
+}
+
+// NewDecodeCache returns an empty cache covering all of main memory.
+func NewDecodeCache() *DecodeCache {
+	return &DecodeCache{tab: make([]DecodedInsn, MemSize/2), maxSlot: -1}
+}
+
+// Invalidate clears every cached entry whose encoding may overlap the
+// written byte range [addr, addr+size). The window starts one halfword
+// early so a write into the trailing half of a 32-bit instruction kills it.
+func (pd *DecodeCache) Invalidate(addr, size uint32) {
+	if size == 0 || pd.maxSlot < 0 {
+		return
+	}
+	lo := int(addr>>1) - 1
+	if lo > pd.maxSlot {
+		return
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	hi := int((addr + size - 1) >> 1)
+	if hi > pd.maxSlot {
+		hi = pd.maxSlot
+	}
+	for i := lo; i <= hi; i++ {
+		pd.tab[i].Kind = kindNone
+	}
+	if lo == 0 && hi == pd.maxSlot {
+		pd.maxSlot = -1
+	}
+}
+
+// EnablePredecode attaches a fresh decode cache to the CPU and registers
+// its invalidation hook on mem, which must be the memory Bus fetches come
+// from. Call it once at machine construction; the cache then lives for the
+// life of the CPU, surviving power-cycle rollbacks (non-volatile text is
+// unchanged by them) and invalidating itself on any write that could alter
+// instruction bytes.
+func (c *CPU) EnablePredecode(mem *Memory) {
+	pd := NewDecodeCache()
+	c.pd = pd
+	if b, ok := c.Bus.(*Memory); ok && b == mem {
+		c.mem = mem
+	}
+	mem.SetWriteHook(pd.Invalidate)
+}
+
+// DisablePredecode detaches the cache, forcing every Step through the
+// legacy fetch+decode path (the reference model for differential testing).
+func (c *CPU) DisablePredecode() { c.pd, c.mem = nil, nil }
+
+// predecode decodes one instruction into its flat record. op2 is the
+// following halfword, consulted only for 32-bit encodings. The mapping
+// mirrors CPU.exec's dispatch exactly; any encoding exec rejects maps to
+// kindUndef, which re-executes through exec for identical error values.
+func predecode(op, op2 uint16) DecodedInsn {
+	switch {
+	case op>>14 == 0b00:
+		return predecodeShift(op)
+	case op>>10 == 0b010000:
+		// Data processing: the 16 opcodes map to 16 consecutive kinds.
+		return DecodedInsn{
+			Kind: kindAND + uint8(op>>6)&0xF,
+			Rd:   uint8(op) & 7,
+			Rm:   uint8(op>>3) & 7,
+		}
+	case op>>10 == 0b010001:
+		d := DecodedInsn{
+			Rd:  uint8(op)&7 | uint8(op>>4)&8,
+			Rm:  uint8(op>>3) & 0xF,
+			Raw: op,
+		}
+		switch (op >> 8) & 3 {
+		case 0b00:
+			d.Kind = kindADDHi
+		case 0b01:
+			d.Kind = kindCMPHi
+		case 0b10:
+			d.Kind = kindMOVHi
+		case 0b11:
+			d.Kind = kindBXBLX
+		}
+		return d
+	case op>>11 == 0b01001:
+		return DecodedInsn{Kind: kindLDRLit, Rd: uint8(op>>8) & 7, Imm: uint32(op&0xFF) * 4}
+	case op>>12 == 0b0101:
+		// Register-offset forms: the 8 opcodes map to consecutive kinds.
+		return DecodedInsn{
+			Kind: kindSTRReg + uint8(op>>9)&7,
+			Rd:   uint8(op) & 7,
+			Rn:   uint8(op>>3) & 7,
+			Rm:   uint8(op>>6) & 7,
+		}
+	case op>>13 == 0b011:
+		imm := uint32(op>>6) & 31
+		d := DecodedInsn{Rd: uint8(op) & 7, Rn: uint8(op>>3) & 7}
+		if op&(1<<12) != 0 { // byte
+			d.Imm = imm
+			if op&(1<<11) != 0 {
+				d.Kind = kindLDRBImm
+			} else {
+				d.Kind = kindSTRBImm
+			}
+		} else {
+			d.Imm = imm * 4
+			if op&(1<<11) != 0 {
+				d.Kind = kindLDRImm
+			} else {
+				d.Kind = kindSTRImm
+			}
+		}
+		return d
+	case op>>12 == 0b1000:
+		d := DecodedInsn{Rd: uint8(op) & 7, Rn: uint8(op>>3) & 7, Imm: (uint32(op>>6) & 31) * 2}
+		if op&(1<<11) != 0 {
+			d.Kind = kindLDRHImm
+		} else {
+			d.Kind = kindSTRHImm
+		}
+		return d
+	case op>>12 == 0b1001:
+		d := DecodedInsn{Rd: uint8(op>>8) & 7, Imm: uint32(op&0xFF) * 4}
+		if op&(1<<11) != 0 {
+			d.Kind = kindLDRSP
+		} else {
+			d.Kind = kindSTRSP
+		}
+		return d
+	case op>>11 == 0b10100:
+		return DecodedInsn{Kind: kindADR, Rd: uint8(op>>8) & 7, Imm: uint32(op&0xFF) * 4}
+	case op>>11 == 0b10101:
+		return DecodedInsn{Kind: kindADDSPImm, Rd: uint8(op>>8) & 7, Imm: uint32(op&0xFF) * 4}
+	case op>>12 == 0b1011:
+		return predecodeMisc(op)
+	case op>>12 == 0b1100:
+		list := op & 0xFF
+		n := popCount(int(list))
+		if n == 0 {
+			return DecodedInsn{Kind: kindUndef, Raw: op}
+		}
+		d := DecodedInsn{Rd: uint8(op>>8) & 7, Rn: uint8(n), Raw: list}
+		if op&(1<<11) != 0 {
+			d.Kind = kindLDM
+		} else {
+			d.Kind = kindSTM
+		}
+		return d
+	case op>>12 == 0b1101:
+		cond := uint8(op>>8) & 0xF
+		switch cond {
+		case 0xE:
+			return DecodedInsn{Kind: kindUndef, Raw: op}
+		case 0xF:
+			return DecodedInsn{Kind: kindSVC, Raw: op}
+		}
+		off := int32(int8(op&0xFF)) * 2
+		return DecodedInsn{Kind: kindBCond, Rd: cond, Imm: uint32(off)}
+	case op>>11 == 0b11100:
+		off := int32(op&0x7FF) << 21 >> 20
+		return DecodedInsn{Kind: kindB, Imm: uint32(off)}
+	case op>>11 == 0b11110 || op>>11 == 0b11101 || op>>11 == 0b11111:
+		return predecode32(op, op2)
+	}
+	return DecodedInsn{Kind: kindUndef, Raw: op}
+}
+
+func predecodeShift(op uint16) DecodedInsn {
+	switch {
+	case op>>11 == 0b00000:
+		return DecodedInsn{Kind: kindLSLImm, Rd: uint8(op) & 7, Rm: uint8(op>>3) & 7, Imm: uint32(op>>6) & 31}
+	case op>>11 == 0b00001:
+		return DecodedInsn{Kind: kindLSRImm, Rd: uint8(op) & 7, Rm: uint8(op>>3) & 7, Imm: uint32(op>>6) & 31}
+	case op>>11 == 0b00010:
+		return DecodedInsn{Kind: kindASRImm, Rd: uint8(op) & 7, Rm: uint8(op>>3) & 7, Imm: uint32(op>>6) & 31}
+	case op>>9 == 0b0001100:
+		return DecodedInsn{Kind: kindADDReg, Rd: uint8(op) & 7, Rn: uint8(op>>3) & 7, Rm: uint8(op>>6) & 7}
+	case op>>9 == 0b0001101:
+		return DecodedInsn{Kind: kindSUBReg, Rd: uint8(op) & 7, Rn: uint8(op>>3) & 7, Rm: uint8(op>>6) & 7}
+	case op>>9 == 0b0001110:
+		return DecodedInsn{Kind: kindADDImm3, Rd: uint8(op) & 7, Rn: uint8(op>>3) & 7, Imm: uint32(op>>6) & 7}
+	case op>>9 == 0b0001111:
+		return DecodedInsn{Kind: kindSUBImm3, Rd: uint8(op) & 7, Rn: uint8(op>>3) & 7, Imm: uint32(op>>6) & 7}
+	case op>>11 == 0b00100:
+		return DecodedInsn{Kind: kindMOVImm, Rd: uint8(op>>8) & 7, Imm: uint32(op & 0xFF)}
+	case op>>11 == 0b00101:
+		return DecodedInsn{Kind: kindCMPImm, Rd: uint8(op>>8) & 7, Imm: uint32(op & 0xFF)}
+	case op>>11 == 0b00110:
+		return DecodedInsn{Kind: kindADDImm8, Rd: uint8(op>>8) & 7, Imm: uint32(op & 0xFF)}
+	}
+	// op>>11 == 0b00111 is the only remaining pattern.
+	return DecodedInsn{Kind: kindSUBImm8, Rd: uint8(op>>8) & 7, Imm: uint32(op & 0xFF)}
+}
+
+func predecodeMisc(op uint16) DecodedInsn {
+	switch {
+	case op>>7 == 0b101100000:
+		return DecodedInsn{Kind: kindADDSP7, Imm: uint32(op&0x7F) * 4}
+	case op>>7 == 0b101100001:
+		return DecodedInsn{Kind: kindSUBSP7, Imm: uint32(op&0x7F) * 4}
+	case op>>6 == 0b1011001000:
+		return DecodedInsn{Kind: kindSXTH, Rd: uint8(op) & 7, Rm: uint8(op>>3) & 7}
+	case op>>6 == 0b1011001001:
+		return DecodedInsn{Kind: kindSXTB, Rd: uint8(op) & 7, Rm: uint8(op>>3) & 7}
+	case op>>6 == 0b1011001010:
+		return DecodedInsn{Kind: kindUXTH, Rd: uint8(op) & 7, Rm: uint8(op>>3) & 7}
+	case op>>6 == 0b1011001011:
+		return DecodedInsn{Kind: kindUXTB, Rd: uint8(op) & 7, Rm: uint8(op>>3) & 7}
+	case op>>9 == 0b1011010:
+		list := op & 0x1FF
+		n := popCount(int(list & 0xFF))
+		if list&0x100 != 0 {
+			n++
+		}
+		if n == 0 {
+			return DecodedInsn{Kind: kindUndef, Raw: op}
+		}
+		return DecodedInsn{Kind: kindPUSH, Rn: uint8(n), Raw: list}
+	case op>>9 == 0b1011110:
+		list := op & 0x1FF
+		n := popCount(int(list & 0xFF))
+		if list&0x100 != 0 {
+			n++
+		}
+		if n == 0 {
+			return DecodedInsn{Kind: kindUndef, Raw: op}
+		}
+		return DecodedInsn{Kind: kindPOP, Rn: uint8(n), Raw: list}
+	case op>>6 == 0b1011101000:
+		return DecodedInsn{Kind: kindREV, Rd: uint8(op) & 7, Rm: uint8(op>>3) & 7}
+	case op>>6 == 0b1011101001:
+		return DecodedInsn{Kind: kindREV16, Rd: uint8(op) & 7, Rm: uint8(op>>3) & 7}
+	case op>>6 == 0b1011101011:
+		return DecodedInsn{Kind: kindREVSH, Rd: uint8(op) & 7, Rm: uint8(op>>3) & 7}
+	case op>>8 == 0b10111110:
+		return DecodedInsn{Kind: kindBKPT, Raw: op}
+	case op>>8 == 0b10111111:
+		// NOP and the other hints (YIELD/WFE/WFI/SEV) are all no-ops.
+		return DecodedInsn{Kind: kindNOPHint, Raw: op}
+	case op>>5 == 0b10110110011:
+		return DecodedInsn{Kind: kindCPS, Imm: uint32(op & 0x10)}
+	}
+	return DecodedInsn{Kind: kindUndef, Raw: op}
+}
+
+func predecode32(op, op2 uint16) DecodedInsn {
+	// BL: 11110 S imm10 : 11 J1 1 J2 imm11 (checked before the system
+	// encodings, mirroring exec32's order).
+	if op>>11 == 0b11110 && op2>>14 == 0b11 && op2&(1<<12) != 0 {
+		s := uint32(op>>10) & 1
+		imm10 := uint32(op) & 0x3FF
+		j1 := uint32(op2>>13) & 1
+		j2 := uint32(op2>>11) & 1
+		imm11 := uint32(op2) & 0x7FF
+		i1 := ^(j1 ^ s) & 1
+		i2 := ^(j2 ^ s) & 1
+		imm := s<<24 | i1<<23 | i2<<22 | imm10<<12 | imm11<<1
+		off := int32(imm<<7) >> 7
+		return DecodedInsn{Kind: kindBL, Imm: uint32(off)}
+	}
+	// DMB/DSB/ISB and MSR/MRS: decoded loosely, executed as no-ops.
+	if op>>4 == 0b111100111011 || op>>4 == 0b111100111000 || op>>4 == 0b111100111110 {
+		return DecodedInsn{Kind: kindSYS32, Raw: op}
+	}
+	return DecodedInsn{Kind: kindUndef, Raw: op}
+}
+
+// readRegPC is readReg from execSpecial: PC reads as pc+4.
+func (c *CPU) readRegPC(i int, pc uint32) uint32 {
+	if i == PC {
+		return pc + 4
+	}
+	return c.R[i]
+}
+
+// pdLoad is the predecoded executor's data-load path. When the bus is the
+// bare Memory it reads the backing store directly — no interface dispatch —
+// with the near-top-of-memory and output/fault cases deferring to
+// Memory.Load for identical semantics. Monitored buses take the interface.
+func (c *CPU) pdLoad(addr uint32, size uint8, pc uint32) (uint32, error) {
+	if m := c.mem; m != nil {
+		if addr < MemSize-3 {
+			switch size {
+			case 4:
+				return uint32(m.data[addr]) | uint32(m.data[addr+1])<<8 |
+					uint32(m.data[addr+2])<<16 | uint32(m.data[addr+3])<<24, nil
+			case 2:
+				return uint32(m.data[addr]) | uint32(m.data[addr+1])<<8, nil
+			default:
+				return uint32(m.data[addr]), nil
+			}
+		}
+		return m.Load(addr, size, pc)
+	}
+	return c.Bus.Load(addr, size, pc)
+}
+
+// pdStore is pdLoad's store counterpart. The direct path performs exactly
+// what Memory.Store would — including firing the write hook, so text-region
+// stores still invalidate the decode cache.
+func (c *CPU) pdStore(addr uint32, size uint8, v uint32, pc uint32) error {
+	if m := c.mem; m != nil {
+		if addr < MemSize-3 {
+			switch size {
+			case 4:
+				m.data[addr] = byte(v)
+				m.data[addr+1] = byte(v >> 8)
+				m.data[addr+2] = byte(v >> 16)
+				m.data[addr+3] = byte(v >> 24)
+			case 2:
+				m.data[addr] = byte(v)
+				m.data[addr+1] = byte(v >> 8)
+			default:
+				m.data[addr] = byte(v)
+			}
+			if m.onWrite != nil {
+				m.onWrite(addr, uint32(size))
+			}
+			return nil
+		}
+		return m.Store(addr, size, v, pc)
+	}
+	return c.Bus.Store(addr, size, v, pc)
+}
+
+// loadD / storeD are c.load / c.store with the access routed through the
+// fast path: same cycle accounting, same abort-without-side-effects rule.
+func (c *CPU) loadD(addr uint32, size uint8, rt int, ext func(uint32) uint32, pc, next uint32) (int, uint32, error) {
+	v, err := c.pdLoad(addr, size, pc)
+	if err != nil {
+		return 0, 0, err
+	}
+	if ext != nil {
+		v = ext(v)
+	}
+	c.R[rt] = v
+	return cycLoad, next, nil
+}
+
+func (c *CPU) storeD(addr uint32, size uint8, v uint32, pc, next uint32) (int, uint32, error) {
+	if err := c.pdStore(addr, size, v, pc); err != nil {
+		return 0, 0, err
+	}
+	return cycStore, next, nil
+}
+
+// execDecoded executes one predecoded instruction at pc, returning its
+// cycle cost and next PC, with semantics identical to exec (the legacy
+// decoder is the reference model; predecode_test.go proves the equivalence
+// over all 65536 encodings). On error, no architectural state has changed.
+func (c *CPU) execDecoded(d *DecodedInsn, pc uint32) (cycles int, next uint32, err error) {
+	next = pc + 2
+
+	switch d.Kind {
+	case kindLSLImm:
+		v := c.R[d.Rm]
+		if d.Imm != 0 {
+			c.C = v&(1<<(32-d.Imm)) != 0
+			v <<= d.Imm
+		}
+		c.R[d.Rd] = v
+		c.setNZ(v)
+		return cycALU, next, nil
+	case kindLSRImm:
+		v := c.R[d.Rm]
+		if d.Imm == 0 {
+			c.C = v&0x80000000 != 0
+			v = 0
+		} else {
+			c.C = v&(1<<(d.Imm-1)) != 0
+			v >>= d.Imm
+		}
+		c.R[d.Rd] = v
+		c.setNZ(v)
+		return cycALU, next, nil
+	case kindASRImm:
+		v := int32(c.R[d.Rm])
+		if d.Imm == 0 {
+			c.C = v < 0
+			v >>= 31
+		} else {
+			c.C = v&(1<<(d.Imm-1)) != 0
+			v >>= d.Imm
+		}
+		c.R[d.Rd] = uint32(v)
+		c.setNZ(uint32(v))
+		return cycALU, next, nil
+	case kindADDReg:
+		c.R[d.Rd] = c.addFlags(c.R[d.Rn], c.R[d.Rm], false)
+		return cycALU, next, nil
+	case kindSUBReg:
+		c.R[d.Rd] = c.addFlags(c.R[d.Rn], ^c.R[d.Rm], true)
+		return cycALU, next, nil
+	case kindADDImm3:
+		c.R[d.Rd] = c.addFlags(c.R[d.Rn], d.Imm, false)
+		return cycALU, next, nil
+	case kindSUBImm3:
+		c.R[d.Rd] = c.addFlags(c.R[d.Rn], ^d.Imm, true)
+		return cycALU, next, nil
+	case kindMOVImm:
+		c.R[d.Rd] = d.Imm
+		c.setNZ(d.Imm)
+		return cycALU, next, nil
+	case kindCMPImm:
+		c.addFlags(c.R[d.Rd], ^d.Imm, true)
+		return cycALU, next, nil
+	case kindADDImm8:
+		c.R[d.Rd] = c.addFlags(c.R[d.Rd], d.Imm, false)
+		return cycALU, next, nil
+	case kindSUBImm8:
+		c.R[d.Rd] = c.addFlags(c.R[d.Rd], ^d.Imm, true)
+		return cycALU, next, nil
+
+	case kindAND:
+		c.R[d.Rd] &= c.R[d.Rm]
+		c.setNZ(c.R[d.Rd])
+		return cycALU, next, nil
+	case kindEOR:
+		c.R[d.Rd] ^= c.R[d.Rm]
+		c.setNZ(c.R[d.Rd])
+		return cycALU, next, nil
+	case kindLSLReg:
+		sh := c.R[d.Rm] & 0xFF
+		v := c.R[d.Rd]
+		switch {
+		case sh == 0:
+		case sh < 32:
+			c.C = v&(1<<(32-sh)) != 0
+			v <<= sh
+		case sh == 32:
+			c.C = v&1 != 0
+			v = 0
+		default:
+			c.C = false
+			v = 0
+		}
+		c.R[d.Rd] = v
+		c.setNZ(v)
+		return cycALU, next, nil
+	case kindLSRReg:
+		sh := c.R[d.Rm] & 0xFF
+		v := c.R[d.Rd]
+		switch {
+		case sh == 0:
+		case sh < 32:
+			c.C = v&(1<<(sh-1)) != 0
+			v >>= sh
+		case sh == 32:
+			c.C = v&0x80000000 != 0
+			v = 0
+		default:
+			c.C = false
+			v = 0
+		}
+		c.R[d.Rd] = v
+		c.setNZ(v)
+		return cycALU, next, nil
+	case kindASRReg:
+		sh := c.R[d.Rm] & 0xFF
+		v := int32(c.R[d.Rd])
+		switch {
+		case sh == 0:
+		case sh < 32:
+			c.C = v&(1<<(sh-1)) != 0
+			v >>= sh
+		default:
+			c.C = v < 0
+			v >>= 31
+		}
+		c.R[d.Rd] = uint32(v)
+		c.setNZ(uint32(v))
+		return cycALU, next, nil
+	case kindADC:
+		c.R[d.Rd] = c.addFlags(c.R[d.Rd], c.R[d.Rm], c.C)
+		return cycALU, next, nil
+	case kindSBC:
+		c.R[d.Rd] = c.addFlags(c.R[d.Rd], ^c.R[d.Rm], c.C)
+		return cycALU, next, nil
+	case kindROR:
+		sh := c.R[d.Rm] & 0xFF
+		v := c.R[d.Rd]
+		if sh != 0 {
+			r := sh & 31
+			if r == 0 {
+				c.C = v&0x80000000 != 0
+			} else {
+				v = v>>r | v<<(32-r)
+				c.C = v&0x80000000 != 0
+			}
+		}
+		c.R[d.Rd] = v
+		c.setNZ(v)
+		return cycALU, next, nil
+	case kindTST:
+		c.setNZ(c.R[d.Rd] & c.R[d.Rm])
+		return cycALU, next, nil
+	case kindNEG:
+		c.R[d.Rd] = c.addFlags(^c.R[d.Rm], 0, true)
+		return cycALU, next, nil
+	case kindCMPReg:
+		c.addFlags(c.R[d.Rd], ^c.R[d.Rm], true)
+		return cycALU, next, nil
+	case kindCMN:
+		c.addFlags(c.R[d.Rd], c.R[d.Rm], false)
+		return cycALU, next, nil
+	case kindORR:
+		c.R[d.Rd] |= c.R[d.Rm]
+		c.setNZ(c.R[d.Rd])
+		return cycALU, next, nil
+	case kindMUL:
+		c.R[d.Rd] = c.R[d.Rd] * c.R[d.Rm]
+		c.setNZ(c.R[d.Rd])
+		return cycMul, next, nil
+	case kindBIC:
+		c.R[d.Rd] &^= c.R[d.Rm]
+		c.setNZ(c.R[d.Rd])
+		return cycALU, next, nil
+	case kindMVN:
+		c.R[d.Rd] = ^c.R[d.Rm]
+		c.setNZ(c.R[d.Rd])
+		return cycALU, next, nil
+
+	case kindADDHi:
+		rd := int(d.Rd)
+		v := c.readRegPC(rd, pc) + c.readRegPC(int(d.Rm), pc)
+		if rd == PC {
+			return cycBX, v &^ 1, nil
+		}
+		c.R[rd] = v
+		return cycALU, next, nil
+	case kindCMPHi:
+		c.addFlags(c.readRegPC(int(d.Rd), pc), ^c.readRegPC(int(d.Rm), pc), true)
+		return cycALU, next, nil
+	case kindMOVHi:
+		rd := int(d.Rd)
+		v := c.readRegPC(int(d.Rm), pc)
+		if rd == PC {
+			return cycBX, v &^ 1, nil
+		}
+		c.R[rd] = v
+		return cycALU, next, nil
+	case kindBXBLX:
+		target := c.readRegPC(int(d.Rm), pc)
+		if d.Raw&0x80 != 0 { // BLX
+			c.R[LR] = (pc + 2) | 1
+		}
+		return cycBX, target &^ 1, nil
+
+	case kindLDRLit:
+		addr := ((pc + 4) &^ 3) + d.Imm
+		v, err := c.pdLoad(addr, 4, pc)
+		if err != nil {
+			return 0, 0, err
+		}
+		c.R[d.Rd] = v
+		return cycLoad, next, nil
+	case kindSTRReg:
+		return c.storeD(c.R[d.Rn]+c.R[d.Rm], 4, c.R[d.Rd], pc, next)
+	case kindSTRHReg:
+		return c.storeD(c.R[d.Rn]+c.R[d.Rm], 2, c.R[d.Rd], pc, next)
+	case kindSTRBReg:
+		return c.storeD(c.R[d.Rn]+c.R[d.Rm], 1, c.R[d.Rd], pc, next)
+	case kindLDRSBReg:
+		return c.loadD(c.R[d.Rn]+c.R[d.Rm], 1, int(d.Rd), signExt8, pc, next)
+	case kindLDRReg:
+		return c.loadD(c.R[d.Rn]+c.R[d.Rm], 4, int(d.Rd), nil, pc, next)
+	case kindLDRHReg:
+		return c.loadD(c.R[d.Rn]+c.R[d.Rm], 2, int(d.Rd), nil, pc, next)
+	case kindLDRBReg:
+		return c.loadD(c.R[d.Rn]+c.R[d.Rm], 1, int(d.Rd), nil, pc, next)
+	case kindLDRSHReg:
+		return c.loadD(c.R[d.Rn]+c.R[d.Rm], 2, int(d.Rd), signExt16, pc, next)
+	case kindSTRImm:
+		return c.storeD(c.R[d.Rn]+d.Imm, 4, c.R[d.Rd], pc, next)
+	case kindLDRImm:
+		return c.loadD(c.R[d.Rn]+d.Imm, 4, int(d.Rd), nil, pc, next)
+	case kindSTRBImm:
+		return c.storeD(c.R[d.Rn]+d.Imm, 1, c.R[d.Rd], pc, next)
+	case kindLDRBImm:
+		return c.loadD(c.R[d.Rn]+d.Imm, 1, int(d.Rd), nil, pc, next)
+	case kindSTRHImm:
+		return c.storeD(c.R[d.Rn]+d.Imm, 2, c.R[d.Rd], pc, next)
+	case kindLDRHImm:
+		return c.loadD(c.R[d.Rn]+d.Imm, 2, int(d.Rd), nil, pc, next)
+	case kindSTRSP:
+		return c.storeD(c.R[SP]+d.Imm, 4, c.R[d.Rd], pc, next)
+	case kindLDRSP:
+		return c.loadD(c.R[SP]+d.Imm, 4, int(d.Rd), nil, pc, next)
+
+	case kindADR:
+		c.R[d.Rd] = ((pc + 4) &^ 3) + d.Imm
+		return cycALU, next, nil
+	case kindADDSPImm:
+		c.R[d.Rd] = c.R[SP] + d.Imm
+		return cycALU, next, nil
+
+	case kindADDSP7:
+		c.R[SP] += d.Imm
+		return cycALU, next, nil
+	case kindSUBSP7:
+		c.R[SP] -= d.Imm
+		return cycALU, next, nil
+	case kindSXTH:
+		c.R[d.Rd] = signExt16(c.R[d.Rm])
+		return cycALU, next, nil
+	case kindSXTB:
+		c.R[d.Rd] = signExt8(c.R[d.Rm])
+		return cycALU, next, nil
+	case kindUXTH:
+		c.R[d.Rd] = c.R[d.Rm] & 0xFFFF
+		return cycALU, next, nil
+	case kindUXTB:
+		c.R[d.Rd] = c.R[d.Rm] & 0xFF
+		return cycALU, next, nil
+
+	case kindPUSH:
+		list := int(d.Raw)
+		n := int(d.Rn)
+		base := c.R[SP] - uint32(4*n)
+		addr := base
+		for i := 0; i < 8; i++ {
+			if list&(1<<i) != 0 {
+				if err := c.pdStore(addr, 4, c.R[i], pc); err != nil {
+					return 0, 0, err
+				}
+				addr += 4
+			}
+		}
+		if list&0x100 != 0 {
+			if err := c.pdStore(addr, 4, c.R[LR], pc); err != nil {
+				return 0, 0, err
+			}
+		}
+		c.R[SP] = base
+		return 1 + n, next, nil
+	case kindPOP:
+		list := int(d.Raw)
+		n := int(d.Rn)
+		// Perform all loads first so a veto on any of them aborts the
+		// whole instruction with no register changes.
+		var vals [8]uint32
+		k := 0
+		addr := c.R[SP]
+		for i := 0; i < 8; i++ {
+			if list&(1<<i) != 0 {
+				v, err := c.pdLoad(addr, 4, pc)
+				if err != nil {
+					return 0, 0, err
+				}
+				vals[k] = v
+				k++
+				addr += 4
+			}
+		}
+		var newPC uint32
+		if list&0x100 != 0 {
+			v, err := c.pdLoad(addr, 4, pc)
+			if err != nil {
+				return 0, 0, err
+			}
+			newPC = v
+			addr += 4
+		}
+		k = 0
+		for i := 0; i < 8; i++ {
+			if list&(1<<i) != 0 {
+				c.R[i] = vals[k]
+				k++
+			}
+		}
+		c.R[SP] = addr
+		if list&0x100 != 0 {
+			return 1 + n + cycPopPC, newPC &^ 1, nil
+		}
+		return 1 + n, next, nil
+
+	case kindREV:
+		v := c.R[d.Rm]
+		c.R[d.Rd] = v<<24 | v>>24 | (v&0xFF00)<<8 | (v>>8)&0xFF00
+		return cycALU, next, nil
+	case kindREV16:
+		v := c.R[d.Rm]
+		c.R[d.Rd] = (v&0x00FF00FF)<<8 | (v>>8)&0x00FF00FF
+		return cycALU, next, nil
+	case kindREVSH:
+		v := c.R[d.Rm]
+		c.R[d.Rd] = uint32(int32(int16(v<<8 | (v>>8)&0xFF)))
+		return cycALU, next, nil
+	case kindBKPT:
+		c.Halt = true
+		return cycALU, pc, ErrHalted
+	case kindNOPHint:
+		return cycALU, next, nil
+	case kindCPS:
+		c.Prim = d.Imm != 0
+		return cycALU, next, nil
+
+	case kindLDM:
+		list := int(d.Raw)
+		rn := int(d.Rd)
+		var vals [8]uint32
+		k := 0
+		a := c.R[rn]
+		for i := 0; i < 8; i++ {
+			if list&(1<<i) != 0 {
+				v, err := c.pdLoad(a, 4, pc)
+				if err != nil {
+					return 0, 0, err
+				}
+				vals[k] = v
+				k++
+				a += 4
+			}
+		}
+		k = 0
+		for i := 0; i < 8; i++ {
+			if list&(1<<i) != 0 {
+				c.R[i] = vals[k]
+				k++
+			}
+		}
+		// Writeback unless Rn is in the list (ARMv6-M behavior).
+		if list&(1<<rn) == 0 {
+			c.R[rn] = a
+		}
+		return 1 + int(d.Rn), next, nil
+	case kindSTM:
+		list := int(d.Raw)
+		rn := int(d.Rd)
+		// Stores commit in order; a veto mid-way is safe because
+		// re-execution rewrites the same values (see DESIGN.md).
+		a := c.R[rn]
+		for i := 0; i < 8; i++ {
+			if list&(1<<i) != 0 {
+				if err := c.pdStore(a, 4, c.R[i], pc); err != nil {
+					return 0, 0, err
+				}
+				a += 4
+			}
+		}
+		c.R[rn] = a
+		return 1 + int(d.Rn), next, nil
+
+	case kindBCond:
+		if c.condPasses(int(d.Rd)) {
+			return cycBranchTaken, uint32(int32(pc+4) + int32(d.Imm)), nil
+		}
+		return cycBranchNot, next, nil
+	case kindSVC:
+		return cycSys, next, nil
+	case kindB:
+		return cycBranchTaken, uint32(int32(pc+4) + int32(d.Imm)), nil
+	case kindBL:
+		c.R[LR] = (pc + 4) | 1
+		return cycBL, uint32(int32(pc+4) + int32(d.Imm)), nil
+	case kindSYS32:
+		return cycSys, pc + 4, nil
+	}
+
+	// kindUndef (and, defensively, kindNone): the legacy decoder produces
+	// the exact error value, re-fetching the second halfword of a 32-bit
+	// encoding itself. None of these paths mutate architectural state.
+	return c.exec(d.Raw, pc)
+}
+
+// fillDecoded decodes the instruction at pc into the cache slot d. It
+// reports cached=false when this Step must take the legacy path instead
+// (the second halfword of a 32-bit encoding is unfetchable, so the legacy
+// decoder surfaces that exact fetch fault). A non-nil error is a fetch
+// fault on the first halfword, returned from Step unchanged.
+func (c *CPU) fillDecoded(d *DecodedInsn, pc uint32) (cached bool, err error) {
+	op, err := c.Bus.Fetch16(pc)
+	if err != nil {
+		return false, err
+	}
+	if op>>11 == 0b11110 || op>>11 == 0b11101 || op>>11 == 0b11111 {
+		op2, err2 := c.Bus.Fetch16(pc + 2)
+		if err2 != nil {
+			return false, nil
+		}
+		*d = predecode(op, op2)
+	} else {
+		*d = predecode(op, 0)
+	}
+	if slot := int(pc >> 1); slot > c.pd.maxSlot {
+		c.pd.maxSlot = slot
+	}
+	return true, nil
+}

@@ -91,6 +91,7 @@ func CollectTrace(image []byte, maxCycles uint64) ([]Access, uint64, error) {
 	}
 	rec := NewRecorder(mem)
 	cpu := NewCPU(rec)
+	cpu.EnablePredecode(mem)
 	rec.CycleFn = func() uint64 { return cpu.Cycle }
 	cpu.ResetInto(mem.ReadWord(0), mem.ReadWord(4))
 	m := &Machine{CPU: cpu, Mem: mem}

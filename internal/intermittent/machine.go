@@ -159,6 +159,12 @@ func NewMachine(img *ccc.Image, opts Options) (*Machine, error) {
 		return nil, err
 	}
 	m.cpu = armsim.NewCPU(busAdapter{m})
+	// One CPU and one decode cache serve the whole run: power cycles roll
+	// back registers and Clank state, not non-volatile text, so the cache
+	// stays warm across every reboot. Stores that land in the text region
+	// (self-modifying code, checkpoint drains of buffered text writes)
+	// invalidate the affected lines through the Memory write hook.
+	m.cpu.EnablePredecode(m.mem)
 	m.cpu.ResetInto(img.InitialSP, img.Entry)
 	// The compiler pre-creates checkpoint 0: boot state entering main
 	// (paper section 4.2), so the start-up routine never special-cases

@@ -1,0 +1,86 @@
+package mibench
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/armsim"
+	"repro/internal/ccc"
+)
+
+// End-to-end simulator throughput on MiBench-scale programs: compile once,
+// then run the image to completion per iteration, with and without the
+// predecoded instruction cache. The ns/insn and MIPS metrics are the
+// numbers BENCH_armsim.json records; the predecode/legacy ratio is the
+// tentpole speedup.
+
+var throughputImages struct {
+	sync.Mutex
+	m map[string]*ccc.Image
+}
+
+func throughputImage(b *testing.B, name string) *ccc.Image {
+	b.Helper()
+	throughputImages.Lock()
+	defer throughputImages.Unlock()
+	if img, ok := throughputImages.m[name]; ok {
+		return img
+	}
+	bench, ok := ByName(name)
+	if !ok {
+		b.Fatalf("unknown benchmark %q", name)
+	}
+	img, err := ccc.Compile(bench.Source)
+	if err != nil {
+		b.Fatalf("compile %s: %v", name, err)
+	}
+	if throughputImages.m == nil {
+		throughputImages.m = map[string]*ccc.Image{}
+	}
+	throughputImages.m[name] = img
+	return img
+}
+
+func benchThroughput(b *testing.B, name string, predecode bool) {
+	img := throughputImage(b, name)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var insns uint64
+	for i := 0; i < b.N; i++ {
+		// Machine construction and image load are a constant per-run cost
+		// (zeroing 256 KB of memory plus the 1.5 MB decode table); keep
+		// them out of the throughput measurement.
+		b.StopTimer()
+		m := armsim.NewMachine()
+		if !predecode {
+			m.CPU.DisablePredecode()
+		}
+		if err := m.Boot(img.Bytes); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := m.Run(maxBenchCycles); err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		insns += m.CPU.Insns
+	}
+	elapsed := float64(b.Elapsed().Nanoseconds())
+	b.ReportMetric(elapsed/float64(insns), "ns/insn")
+	b.ReportMetric(float64(insns)/elapsed*1e3, "MIPS")
+}
+
+// BenchmarkMiBenchThroughput covers four representative workloads: ALU-heavy
+// (bitcount), table-lookup streaming (crc), substitution/permutation over
+// state arrays (aes), and pointer/array graph work (dijkstra).
+func BenchmarkMiBenchThroughput(b *testing.B) {
+	for _, name := range []string{"bitcount", "crc", "aes", "dijkstra"} {
+		for _, sub := range []struct {
+			mode      string
+			predecode bool
+		}{{"predecode", true}, {"legacy", false}} {
+			b.Run(name+"/"+sub.mode, func(b *testing.B) {
+				benchThroughput(b, name, sub.predecode)
+			})
+		}
+	}
+}
