@@ -1,0 +1,148 @@
+package clank
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fuzzExemptPC is the instruction address bigDiffConfig marks Program
+// Idempotent when the stream asks for exempt traffic.
+const fuzzExemptPC uint32 = 0x100
+
+// bigDiffConfig decodes five bytes like diffConfig but over capacities that
+// cross camLinearMax (the CAM's linear-scan/map-index switchover), wider
+// APB geometries, and optional ExemptPCs — the territory the original
+// FuzzCAMMatchesMapModel never reaches.
+func bigDiffConfig(b0, b1, b2, b3, b4 byte) Config {
+	cfg := Config{
+		ReadFirst:  int(b0%100) + 1,
+		WriteFirst: int(b1 % 100),
+		WriteBack:  int(b2 % 100),
+		AddrPrefix: int(b3%4) * 3, // 0, 3, 6, 9
+		Opts:       Opt(b4) & OptAll,
+	}
+	if cfg.AddrPrefix > 0 {
+		cfg.PrefixLowBits = int(b3>>2)%6 + 1
+	}
+	if cfg.Opts&OptIgnoreText != 0 {
+		cfg.TextStart, cfg.TextEnd = 0, 64 // words 0-15 are TEXT
+	}
+	if b3&0x80 != 0 {
+		cfg.ExemptPCs = map[uint32]bool{fuzzExemptPC: true}
+	}
+	return cfg
+}
+
+// runDifferentialStream extends runDifferential with the volatile-state
+// lifecycle: op bit 1 injects a power failure (both models lose all state,
+// dirty Write-back entries included, after their pre-failure dirty sets are
+// compared), and op bit 2 routes the access through the exempt PC when the
+// configuration has one. Words span 8 bits so capacities near 100 entries
+// actually fill.
+func runDifferentialStream(t *testing.T, cfg Config, ops []uint16) {
+	t.Helper()
+	cam := New(cfg)
+	ref := newMapModel(cfg)
+	var scratch []WBEntry
+	compareDirty := func(i int, when string) {
+		t.Helper()
+		scratch = cam.DirtyEntries(scratch[:0])
+		wantDirty := ref.DirtyEntries()
+		if len(scratch) != len(wantDirty) {
+			t.Fatalf("op %d (%s, %s): dirty sets differ: %v vs %v", i, cfg, when, scratch, wantDirty)
+		}
+		for j := range scratch {
+			if scratch[j] != wantDirty[j] {
+				t.Fatalf("op %d (%s, %s): dirty entry %d: %+v vs %+v", i, cfg, when, j, scratch[j], wantDirty[j])
+			}
+		}
+	}
+	for i, op := range ops {
+		if op&2 != 0 {
+			// Power failure: the redo log means rollback is free — both
+			// models must agree on what would have been lost, then drop it.
+			compareDirty(i, "pre-failure")
+			cam.Reset()
+			ref.Reset()
+		}
+		word := uint32(op>>4) & 255
+		val := uint32(op) * 2654435761
+		mem := uint32(op) * 40503
+		write := op&1 != 0
+		pc := uint32(0)
+		if op&4 != 0 && cfg.ExemptPCs != nil {
+			pc = fuzzExemptPC
+		}
+		step := func() (Outcome, Outcome) {
+			if write {
+				return cam.Write(word, val, mem, pc), ref.Write(word, val, mem, pc)
+			}
+			return cam.Read(word, mem, pc), ref.Read(word, mem, pc)
+		}
+		got, want := step()
+		if got != want {
+			t.Fatalf("op %d (%s write=%v word=%d pc=%#x): CAM %+v, map model %+v", i, cfg, write, word, pc, got, want)
+		}
+		if cam.Untracked() != ref.untracked || cam.WBDirty() != ref.wbDirty ||
+			cam.SectionAccesses() != ref.accesses {
+			t.Fatalf("op %d (%s): state diverged: untracked %v/%v dirty %d/%d accesses %d/%d",
+				i, cfg, cam.Untracked(), ref.untracked, cam.WBDirty(), ref.wbDirty,
+				cam.SectionAccesses(), ref.accesses)
+		}
+		if gv, gok := cam.Lookup(word); true {
+			wv, wok := ref.Lookup(word)
+			if gv != wv || gok != wok {
+				t.Fatalf("op %d (%s): Lookup(%d) = %d,%v vs %d,%v", i, cfg, word, gv, gok, wv, wok)
+			}
+		}
+		if got.NeedCheckpoint {
+			compareDirty(i, "checkpoint")
+			cam.Reset()
+			ref.Reset()
+			if g, w := step(); g != w {
+				t.Fatalf("op %d (%s): re-fed access diverged: %+v vs %+v", i, cfg, g, w)
+			}
+		}
+	}
+	compareDirty(len(ops), "final")
+}
+
+// FuzzCAMvsMap is the deepened differential fuzz target: configurations
+// with capacities on both sides of camLinearMax, exempt traffic, and
+// mid-stream power failures, all checked against the map-model reference.
+// The first five bytes pick the configuration, the rest are the op stream.
+func FuzzCAMvsMap(f *testing.F) {
+	// Capacities crossing camLinearMax (64), with failures mid-stream.
+	f.Add([]byte{80, 70, 90, 0, 0x03, 1, 2, 3, 4, 2, 0, 5, 6, 7, 8})
+	// Small buffers, APB present, exempt traffic.
+	f.Add([]byte{3, 2, 2, 0x81, 0xFF, 1, 2, 4, 0, 5, 6, 2, 0})
+	// Failure after every op (degenerate power).
+	f.Add([]byte{7, 0, 3, 1, 0x1F, 3, 0, 3, 16, 3, 32, 3, 48})
+	// TEXT segment plus big write-back.
+	f.Add([]byte{65, 65, 65, 2, 0x10, 9, 1, 9, 0, 2, 2, 9, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			return
+		}
+		cfg := bigDiffConfig(data[0], data[1], data[2], data[3], data[4])
+		rest := data[5:]
+		ops := make([]uint16, 0, len(rest)/2)
+		for i := 0; i+1 < len(rest); i += 2 {
+			ops = append(ops, uint16(rest[i])|uint16(rest[i+1])<<8)
+		}
+		runDifferentialStream(t, cfg, ops)
+	})
+}
+
+// TestQuickCAMvsMapResets drives the reset-injecting differential through
+// testing/quick so plain `go test` exercises the lifecycle paths without
+// the fuzzer.
+func TestQuickCAMvsMapResets(t *testing.T) {
+	prop := func(b0, b1, b2, b3, b4 byte, ops []uint16) bool {
+		runDifferentialStream(t, bigDiffConfig(b0, b1, b2, b3, b4), ops)
+		return !t.Failed()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

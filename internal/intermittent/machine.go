@@ -51,6 +51,16 @@ type Options struct {
 	// Verify enables the reference monitor (on by default via Run*
 	// helpers; costly for long programs but always used in tests).
 	Verify bool
+
+	// FailAfterAccess, when non-nil, is consulted after every committed
+	// tracked data access (non-vetoed loads and stores below MemSize,
+	// identified by byte address); returning true cuts power immediately
+	// after the current instruction completes. It gives deterministic
+	// schedules the same step granularity as the verify mini-machine —
+	// the full-stack differential harness counts pattern-region accesses
+	// with it — where the cycle-driven Supply cannot hit exact access
+	// boundaries.
+	FailAfterAccess func(addr uint32, write bool) bool
 }
 
 // Stats is the outcome of an intermittent run.
@@ -116,6 +126,7 @@ type Machine struct {
 
 	pendingReason     clank.Reason // reason behind the current bus veto
 	forceCkptAfter    bool         // output emitted: checkpoint after this instruction
+	cutPower          bool         // FailAfterAccess fired: outage after this instruction
 	consecutiveBarren int
 
 	dirtyScratch []clank.WBEntry // reused by every checkpoint drain
@@ -173,6 +184,44 @@ func NewMachine(img *ccc.Image, opts Options) (*Machine, error) {
 	return m, nil
 }
 
+// Reboot re-arms the machine for a fresh run of a new image, reusing the
+// memory, CPU, predecode-cache, and detector allocations (NewMachine costs
+// ~1.8 MB per instance; the differential sweep reboots one cached machine
+// per configuration across hundreds of thousands of images). The Clank
+// configuration is the one fixed at construction — including text bounds, if
+// they were derived from the original image — so every image rebooted into
+// the machine must share the constructor image's layout.
+func (m *Machine) Reboot(img *ccc.Image) error {
+	m.mem.Reset()
+	if err := m.mem.LoadImage(0, img.Bytes); err != nil {
+		return err
+	}
+	m.k.Reset()
+	if m.mon != nil {
+		m.mon.Reset()
+	}
+	m.cpu.ResetInto(img.InitialSP, img.Entry)
+	m.cpu.Cycle = 0
+	m.cyclesThisBoot = 0
+	m.sinceCkpt = 0
+	m.powerLeft = 0
+	m.ckptThisBoot = false
+	m.progLoad = 0
+	m.progEnabled = false
+	m.pendingReason = 0
+	m.forceCkptAfter = false
+	m.cutPower = false
+	m.consecutiveBarren = 0
+	m.stats = Stats{Reasons: make(map[clank.Reason]int)}
+	m.img = img
+	m.ckpt = checkpointSlot{regs: m.cpu.Regs(), psr: m.cpu.PSR(), cycle: m.cpu.Cycle}
+	return nil
+}
+
+// MemWord reads an aligned word of non-volatile memory without access
+// tracking (final-state inspection by the differential harness).
+func (m *Machine) MemWord(addr uint32) uint32 { return m.mem.ReadWord(addr) }
+
 // commitCheckpoint records the committed machine state, including the
 // output-log watermark.
 func (m *Machine) commitCheckpoint() {
@@ -215,6 +264,9 @@ func (m *Machine) load(addr uint32, size uint8, pc uint32) (uint32, error) {
 	} else if m.mon != nil {
 		m.mon.ReadNV(word, memWord)
 	}
+	if m.opts.FailAfterAccess != nil && m.opts.FailAfterAccess(addr, false) {
+		m.cutPower = true
+	}
 	return extract(wordVal, addr, size), nil
 }
 
@@ -253,6 +305,9 @@ func (m *Machine) store(addr uint32, size uint8, value uint32, pc uint32) error 
 		return errCheckpoint
 	}
 	if out.Buffered {
+		if m.opts.FailAfterAccess != nil && m.opts.FailAfterAccess(addr, true) {
+			m.cutPower = true
+		}
 		return nil // absorbed by the Write-back Buffer
 	}
 	if m.mon != nil {
@@ -260,7 +315,13 @@ func (m *Machine) store(addr uint32, size uint8, value uint32, pc uint32) error 
 			return fmt.Errorf("dynamic verification failed: %w", v)
 		}
 	}
-	return m.mem.Store(addr, size, value, pc)
+	if err := m.mem.Store(addr, size, value, pc); err != nil {
+		return err
+	}
+	if m.opts.FailAfterAccess != nil && m.opts.FailAfterAccess(addr, true) {
+		m.cutPower = true
+	}
+	return nil
 }
 
 func extract(word, addr uint32, size uint8) uint32 {

@@ -57,6 +57,14 @@ func (m *Machine) Run() (Stats, error) {
 		before := m.cpu.Cycle
 		err := m.cpu.Step()
 		m.account(m.cpu.Cycle - before)
+		if m.cutPower {
+			// A FailAfterAccess schedule cut power mid-instruction; the
+			// outage takes effect at the instruction boundary, like any
+			// supply-driven outage. The unconsumed budget is discarded,
+			// not charged: the device is simply off.
+			m.cutPower = false
+			m.powerLeft = 0
+		}
 		if m.powerLeft == 0 {
 			// The outage is handled at the top of the loop. The
 			// just-executed instruction's NV effects persist; the

@@ -1,0 +1,108 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/clank"
+)
+
+// diffConfigs is the configuration family the full-stack differential
+// sweeps use: one representative per buffer/optimization/symmetry shape
+// (plain RF, RF+WF, write-back, APB, all-opts, and a TEXT-segment config).
+func diffConfigs() []clank.Config {
+	return []clank.Config{
+		{ReadFirst: 1},
+		{ReadFirst: 2, WriteFirst: 1},
+		{ReadFirst: 2, WriteFirst: 1, WriteBack: 2, Opts: clank.OptAll &^ clank.OptIgnoreText},
+		{ReadFirst: 2, WriteFirst: 1, WriteBack: 1, AddrPrefix: 1, PrefixLowBits: 1},
+		{ReadFirst: 1, WriteBack: 1, Opts: clank.OptAll, TextStart: 0, TextEnd: 4},
+	}
+}
+
+// TestDiffHarnessBasic hand-picks patterns with known interesting behavior
+// (RMW violation, buffer overflow, text write, repeated words) and runs
+// them through the full pipeline under every diff configuration and
+// single-failure schedule.
+func TestDiffHarnessBasic(t *testing.T) {
+	patterns := []Pattern{
+		{},
+		{{Word: 0}},
+		{{Write: true, Word: 0, Val: 7}},
+		{{Word: 0}, {Write: true, Word: 0, Val: 1}}, // the canonical WAR violation
+		{{Word: 0}, {Write: true, Word: 0, Val: 1}, {Word: 0}, {Write: true, Word: 0, Val: 2}},
+		{{Word: 0}, {Word: 1}, {Word: 2}, {Word: 3}},                                             // RF overflow
+		{{Write: true, Word: 0, Val: 1}, {Write: true, Word: 1, Val: 2}, {Word: 0}, {Word: 1}},   // text write + readback
+		{{Write: true, Word: 2, Val: 3}, {Word: 2}, {Write: true, Word: 2, Val: 3}, {Word: 2}},   // false write
+		{{Word: 3}, {Write: true, Word: 1, Val: 1}, {Word: 1}, {Write: true, Word: 3, Val: 255}}, // max imm8 value
+	}
+	h := NewDiffHarness(6)
+	for _, p := range patterns {
+		for _, cfg := range diffConfigs() {
+			for f := -1; f < len(p)+2; f++ {
+				if err := h.Check(p, 4, cfg, FailAt(f)); err != nil {
+					t.Fatalf("pattern %v: %v", p, err)
+				}
+			}
+			for _, period := range []int{1, 2, 3} {
+				if err := h.Check(p, 4, cfg, FailEvery{Period: period}); err != nil {
+					t.Fatalf("pattern %v (every %d): %v", p, period, err)
+				}
+			}
+		}
+	}
+}
+
+// TestFullStackDifferentialBounded runs the full-stack pipeline over the
+// complete unpruned pattern space at the old exhaustive bound (n=5, the
+// TestExhaustiveBounded bound before the canonical sweep deepened it), so
+// the real armsim+intermittent+predecode machine is held to the oracle on
+// exactly the space the abstract proof covers.
+func TestFullStackDifferentialBounded(t *testing.T) {
+	n := 5
+	if testing.Short() {
+		n = 3
+	}
+	h := NewDiffHarness(n)
+	var schedules []Schedule
+	schedules = append(schedules, FailAt(-1))
+	for f := 0; f < n+2; f++ {
+		schedules = append(schedules, FailAt(f))
+	}
+	patterns, runs := 0, 0
+	err := EnumeratePatterns(n, 2, 2, func(p Pattern) error {
+		patterns++
+		for _, cfg := range diffConfigs() {
+			for _, sched := range schedules {
+				runs++
+				if err := h.Check(p, 2, cfg, sched); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("full-stack verified %d patterns (%d runs)", patterns, runs)
+}
+
+// TestDiffHarnessRepeatedFailures drives the degenerate and short repeated
+// schedules through the real pipeline at a smaller bound.
+func TestDiffHarnessRepeatedFailures(t *testing.T) {
+	n := 3
+	h := NewDiffHarness(n)
+	err := EnumeratePatterns(n, 2, 2, func(p Pattern) error {
+		for _, cfg := range diffConfigs() {
+			for _, period := range []int{1, 2} {
+				if err := h.Check(p, 2, cfg, FailEvery{Period: period}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/clank"
+)
+
+// fuzzTriple decodes fuzzer bytes into a (pattern, config, schedule)
+// triple. Each pattern byte is one op: bit0 write, bits1-2 word, bits3-4
+// value. cfgSel picks a StandardConfigs member, or (high bit set) builds an
+// arbitrary small configuration from its remaining bits so the fuzzer also
+// roams outside the curated family. schedSel picks continuous power, a
+// single-failure position, or a (possibly degenerate) repeated period.
+func fuzzTriple(raw []byte, cfgSel, schedSel uint8) (Pattern, clank.Config, Schedule, bool) {
+	if len(raw) == 0 {
+		return nil, clank.Config{}, nil, false
+	}
+	if len(raw) > 48 {
+		raw = raw[:48]
+	}
+	p := make(Pattern, len(raw))
+	for i, b := range raw {
+		w := uint32(b>>1) & 3
+		if b&1 == 0 {
+			p[i] = Op{Word: w}
+		} else {
+			p[i] = Op{Write: true, Word: w, Val: uint32(b>>3)&3 + 1}
+		}
+	}
+	var cfg clank.Config
+	if cfgSel&0x80 != 0 {
+		cfg = clank.Config{
+			ReadFirst:  int(cfgSel&3) + 1,
+			WriteFirst: int(cfgSel>>2) & 3,
+			WriteBack:  int(cfgSel>>4) & 3,
+			Opts:       clank.Opt(schedSel>>3) & clank.OptAll,
+		}
+		if cfgSel&0x40 != 0 {
+			cfg.AddrPrefix, cfg.PrefixLowBits = 1, 1
+		}
+		if cfg.Opts&clank.OptIgnoreText != 0 {
+			cfg.TextStart, cfg.TextEnd = 0, 4
+		}
+	} else {
+		configs := StandardConfigs()
+		cfg = configs[int(cfgSel)%len(configs)]
+	}
+	if cfg.Validate() != nil {
+		return nil, clank.Config{}, nil, false
+	}
+	var sched Schedule
+	switch schedSel & 3 {
+	case 0:
+		sched = FailAt(-1)
+	case 1, 2:
+		sched = FailAt(int(schedSel>>2) % (len(p) + 2))
+	default:
+		sched = FailEvery{Period: int(schedSel>>2) % 6}
+	}
+	return p, cfg, sched, true
+}
+
+// FuzzCheck hammers the central safety property with arbitrary
+// byte-derived (pattern, config, schedule) triples: the mini-machine run
+// mediated by Clank must always match the continuous oracle. Any non-nil
+// verdict is a bug in the detector, the mini-machine, or the oracle.
+func FuzzCheck(f *testing.F) {
+	f.Add([]byte{0x00, 0x09}, uint8(0), uint8(0))             // R0 W0=2, plain RF, no failure
+	f.Add([]byte{0x02, 0x0B, 0x02, 0x13}, uint8(4), uint8(5)) // APB config, single failure
+	f.Add([]byte{0x01, 0x03, 0x05, 0x07}, uint8(36), uint8(7))
+	f.Add([]byte{0x00, 0x02, 0x04, 0x06, 0x00}, uint8(0x95), uint8(3)) // custom config, FailEvery
+	f.Add([]byte{0x09, 0x00, 0x09, 0x00, 0x09}, uint8(0xC1), uint8(0x0F))
+	f.Fuzz(func(t *testing.T, raw []byte, cfgSel, schedSel uint8) {
+		p, cfg, sched, ok := fuzzTriple(raw, cfgSel, schedSel)
+		if !ok {
+			return
+		}
+		if err := Check(p, 4, cfg, sched); err != nil {
+			t.Fatalf("pattern %v config %s sched %v: %v", p, cfg, sched, err)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/clank"
+)
+
+// TestFailEveryPeriodOneBoundsOut pins the documented degenerate-period
+// contract: with an outage after every single op, a section that needs no
+// per-op checkpoint can never commit past its resume point, so the run must
+// bound out at maxRestarts with Terminated=false — and Check must treat
+// that as safety held, not as a failure.
+func TestFailEveryPeriodOneBoundsOut(t *testing.T) {
+	p := Pattern{{Word: 0}, {Word: 1}} // two reads: no op ever demands a checkpoint
+	cfg := clank.Config{ReadFirst: 2}
+	res, err := RunIntermittent(p, 2, cfg, FailEvery{Period: 1})
+	if err != nil {
+		t.Fatalf("safety violated under Period=1: %v", err)
+	}
+	if res.Terminated {
+		t.Fatal("Period=1 run terminated; expected livelock bounded by maxRestarts")
+	}
+	if res.Restarts <= maxRestarts {
+		t.Fatalf("run stopped after %d restarts without exceeding the bound %d", res.Restarts, maxRestarts)
+	}
+	if err := Check(p, 2, cfg, FailEvery{Period: 1}); err != nil {
+		t.Fatalf("Check must report bounded-out runs as safe: %v", err)
+	}
+}
+
+// TestFailEveryPeriodOneExhaustive sweeps the degenerate schedule over the
+// bounded space: no configuration may ever violate safety, terminated or
+// not.
+func TestFailEveryPeriodOneExhaustive(t *testing.T) {
+	configs := StandardConfigs()
+	err := EnumeratePatterns(4, 2, 2, func(p Pattern) error {
+		for _, cfg := range configs {
+			if err := Check(p, 2, cfg, FailEvery{Period: 1}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailEveryZeroNeverFails documents Period=0 as continuous power.
+func TestFailEveryZeroNeverFails(t *testing.T) {
+	p := Pattern{{Word: 0}, {Write: true, Word: 0, Val: 1}, {Word: 0}}
+	res, err := RunIntermittent(p, 1, clank.Config{ReadFirst: 1, WriteBack: 1}, FailEvery{Period: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated || res.Restarts != 0 {
+		t.Fatalf("Period=0 run: terminated=%v restarts=%d, want clean completion", res.Terminated, res.Restarts)
+	}
+}
+
+// TestTextSegmentRepeatedFailures covers the StandardConfigs TEXT-segment
+// configurations under multi-failure and degenerate schedules — previously
+// only single-failure schedules reached the TextStart/TextEnd paths. Word 0
+// plays the text section, so patterns mixing text reads (ignored), text
+// writes (checkpoint-bracketed self-modification), and data traffic all
+// re-execute across repeated outages here.
+func TestTextSegmentRepeatedFailures(t *testing.T) {
+	var textConfigs []clank.Config
+	for _, cfg := range StandardConfigs() {
+		if cfg.TextEnd > cfg.TextStart {
+			textConfigs = append(textConfigs, cfg)
+		}
+	}
+	if len(textConfigs) == 0 {
+		t.Fatal("StandardConfigs lost its TEXT-segment members")
+	}
+	n := 5
+	if testing.Short() {
+		n = 4
+	}
+	schedules := []Schedule{
+		FailEvery{Period: 1},
+		FailEvery{Period: 2},
+		FailEvery{Period: 3},
+		FailEvery{Period: 4},
+	}
+	err := EnumeratePatterns(n, 2, 2, func(p Pattern) error {
+		for _, cfg := range textConfigs {
+			for _, sched := range schedules {
+				if err := Check(p, 2, cfg, sched); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/clank"
+)
+
+// CounterExample is the sweep's failure report: a (pattern, configuration,
+// schedule) triple that violates idempotency, normally minimized by Shrink
+// before it reaches the user.
+type CounterExample struct {
+	Pattern  Pattern
+	Words    int
+	Config   clank.Config
+	Schedule Schedule
+	Shard    int // reproducible sweep coordinates of the original finding
+	Seq      int
+	Shrunk   bool
+	Err      error // verdict of the (shrunk) reproducer
+}
+
+func (c *CounterExample) Error() string {
+	kind := "counterexample"
+	if c.Shrunk {
+		kind = "minimal counterexample (shrunk)"
+	}
+	return fmt.Sprintf("verify: %s: pattern %v words=%d config {%v} schedule %v (found at shard %d seq %d): %v",
+		kind, c.Pattern, c.Words, c.Config, c.Schedule, c.Shard, c.Seq, c.Err)
+}
+
+func (c *CounterExample) Unwrap() error { return c.Err }
+
+// FailsFunc reports whether a triple still reproduces the failure under
+// minimization.
+type FailsFunc func(p Pattern, words int, cfg clank.Config, sched Schedule) bool
+
+// Shrink greedily minimizes a failing (pattern, schedule, config) triple to
+// a fixpoint: no single op removal, value decrement, word relabeling,
+// schedule simplification, optimization-bit removal, or buffer-size
+// decrement preserves the failure. Each candidate is re-validated with
+// fails, so the result is always a true reproducer. The input triple must
+// fail; if it does not, it is returned unchanged.
+func Shrink(fails FailsFunc, p Pattern, words int, cfg clank.Config, sched Schedule) (Pattern, int, clank.Config, Schedule) {
+	if !fails(p, words, cfg, sched) {
+		return p, words, cfg, sched
+	}
+	p = append(Pattern(nil), p...)
+	for {
+		changed := false
+
+		// Simplest schedule first: continuous power, then each
+		// single-failure position in order.
+		if _, ok := sched.(FailAt); !ok || sched != FailAt(-1) {
+			if fails(p, words, cfg, FailAt(-1)) {
+				sched = FailAt(-1)
+				changed = true
+			} else if _, ok := sched.(FailAt); !ok {
+				for f := 0; f < len(p)+2; f++ {
+					if fails(p, words, cfg, FailAt(f)) {
+						sched = FailAt(f)
+						changed = true
+						break
+					}
+				}
+			}
+		}
+
+		// Drop ops one at a time.
+		for i := 0; i < len(p); {
+			cand := append(append(Pattern(nil), p[:i]...), p[i+1:]...)
+			if fails(cand, words, cfg, sched) {
+				p = cand
+				changed = true
+			} else {
+				i++
+			}
+		}
+
+		// Lower written values toward 1.
+		for i, op := range p {
+			if !op.Write || op.Val <= 1 {
+				continue
+			}
+			for v := uint32(1); v < op.Val; v++ {
+				cand := append(Pattern(nil), p...)
+				cand[i].Val = v
+				if fails(cand, words, cfg, sched) {
+					p = cand
+					changed = true
+					break
+				}
+			}
+		}
+
+		// Relabel words to first-use order and drop unused tail words.
+		if cand := relabelWords(p); cand != nil && fails(cand, words, cfg, sched) {
+			p = cand
+			changed = true
+		}
+		if w := p.Words(); w > 0 && w < words && fails(p, w, cfg, sched) {
+			words = w
+			changed = true
+		}
+
+		// Simplify the configuration one knob at a time.
+		for _, cand := range shrinkConfigs(cfg) {
+			if fails(p, words, cand, sched) {
+				cfg = cand
+				changed = true
+				break
+			}
+		}
+
+		if !changed {
+			return p, words, cfg, sched
+		}
+	}
+}
+
+// relabelWords maps the pattern's words to 0,1,2,... in first-use order;
+// nil when already in that form.
+func relabelWords(p Pattern) Pattern {
+	m := make(map[uint32]uint32)
+	out := make(Pattern, len(p))
+	same := true
+	for i, op := range p {
+		w, ok := m[op.Word]
+		if !ok {
+			w = uint32(len(m))
+			m[op.Word] = w
+		}
+		out[i] = op
+		out[i].Word = w
+		if w != op.Word {
+			same = false
+		}
+	}
+	if same {
+		return nil
+	}
+	return out
+}
+
+// shrinkConfigs yields the one-step-simpler neighbors of cfg, simplest
+// moves first: drop whole features (optimization bits, the Address Prefix
+// Buffer, the TEXT segment, entire buffers), then decrement sizes.
+func shrinkConfigs(cfg clank.Config) []clank.Config {
+	var out []clank.Config
+	add := func(c clank.Config) { out = append(out, c) }
+
+	for bit := clank.Opt(1); bit <= cfg.Opts; bit <<= 1 {
+		if cfg.Opts&bit != 0 {
+			c := cfg
+			c.Opts &^= bit
+			add(c)
+		}
+	}
+	if cfg.AddrPrefix > 0 {
+		c := cfg
+		c.AddrPrefix, c.PrefixLowBits = 0, 0
+		add(c)
+	}
+	if cfg.TextStart != 0 || cfg.TextEnd != 0 {
+		c := cfg
+		c.TextStart, c.TextEnd = 0, 0
+		add(c)
+	}
+	if cfg.WriteBack > 0 {
+		c := cfg
+		c.WriteBack--
+		add(c)
+	}
+	if cfg.WriteFirst > 0 {
+		c := cfg
+		c.WriteFirst--
+		add(c)
+	}
+	if cfg.AddrPrefix > 1 {
+		c := cfg
+		c.AddrPrefix--
+		add(c)
+	}
+	if cfg.ReadFirst > 1 {
+		c := cfg
+		c.ReadFirst--
+		add(c)
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clank"
+)
+
+// TestShrinkReachesFixpoint shrinks a deliberately bloated reproducer and
+// checks 1-minimality directly: the result must still fail, and no single
+// op removal, value decrement, or config simplification may preserve the
+// failure.
+func TestShrinkReachesFixpoint(t *testing.T) {
+	checker := buggyChecker()
+	fails := func(p Pattern, words int, cfg clank.Config, sched Schedule) bool {
+		return checker.Check(p, words, cfg, sched) != nil
+	}
+	// Noise ops around the WAR core, values far from minimal, a maximal
+	// configuration, and a repeated-failure schedule.
+	p := Pattern{
+		{Write: true, Word: 3, Val: 2},
+		{Word: 1},
+		{Word: 2},
+		{Write: true, Word: 2, Val: 2},
+		{Write: true, Word: 0, Val: 1},
+		{Word: 3},
+	}
+	// No Write-back Buffer: ReasonViolation (the suppressed trap) only
+	// arises when a violating write cannot be absorbed.
+	cfg := clank.Config{ReadFirst: 4, WriteFirst: 2, AddrPrefix: 2, PrefixLowBits: 1,
+		Opts: clank.OptAll &^ clank.OptIgnoreText}
+	sched := Schedule(FailEvery{Period: 4})
+	if !fails(p, 4, cfg, sched) {
+		t.Fatal("seed triple does not fail; test premise broken")
+	}
+
+	sp, swords, scfg, ssched := Shrink(fails, p, 4, cfg, sched)
+	if !fails(sp, swords, scfg, ssched) {
+		t.Fatalf("shrunk triple does not fail: %v words=%d %v %v", sp, swords, scfg, ssched)
+	}
+	for i := range sp {
+		cand := append(append(Pattern(nil), sp[:i]...), sp[i+1:]...)
+		if fails(cand, swords, scfg, ssched) {
+			t.Errorf("dropping op %d (%v) still fails: pattern not 1-minimal", i, sp[i])
+		}
+	}
+	for i, op := range sp {
+		if op.Write && op.Val > 1 {
+			t.Errorf("op %d (%v) has non-minimal value", i, op)
+		}
+	}
+	for _, cand := range shrinkConfigs(scfg) {
+		if fails(sp, swords, cand, ssched) {
+			t.Errorf("config %v can still be simplified to %v", scfg, cand)
+		}
+	}
+	if got := sp.String(); got != "[R0 W0=1]" {
+		t.Errorf("shrunk pattern = %v, want [R0 W0=1]", got)
+	}
+	if ssched != FailAt(-1) {
+		t.Errorf("shrunk schedule = %v, want continuous power", ssched)
+	}
+}
+
+// TestShrinkPassingTripleUnchanged documents the guard: a triple that does
+// not fail is returned untouched.
+func TestShrinkPassingTripleUnchanged(t *testing.T) {
+	fails := func(Pattern, int, clank.Config, Schedule) bool { return false }
+	p := Pattern{{Word: 1}, {Write: true, Word: 0, Val: 2}}
+	sp, words, cfg, sched := Shrink(fails, p, 3, clank.Config{ReadFirst: 2}, FailAt(1))
+	if sp.String() != p.String() || words != 3 || cfg.ReadFirst != 2 || sched != FailAt(1) {
+		t.Fatalf("passing triple was modified: %v words=%d %v %v", sp, words, cfg, sched)
+	}
+}
+
+// TestCounterExampleMessage checks the error renders the full reproducer.
+func TestCounterExampleMessage(t *testing.T) {
+	ce := &CounterExample{
+		Pattern:  Pattern{{Word: 0}, {Write: true, Word: 0, Val: 1}},
+		Words:    1,
+		Config:   clank.Config{ReadFirst: 1},
+		Schedule: FailAt(-1),
+		Shard:    3,
+		Seq:      17,
+		Shrunk:   true,
+		Err:      errAborted,
+	}
+	msg := ce.Error()
+	for _, want := range []string{"minimal counterexample", "[R0 W0=1]", "words=1", "none", "shard 3 seq 17"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/clank"
+)
+
+// Symmetry reduction (the ROADMAP's "enumeration pruning" item). The
+// detector, the reference monitor, and the oracle inspect addresses and
+// values only through equality:
+//
+//   - the Read-first/Write-first/Write-back CAMs answer "is this word
+//     present", never "how do these words compare"
+//   - value logic (false-write detection, oracle reads) compares values for
+//     equality only; 0 is distinguished as the initial memory content
+//
+// Two address features break full permutation symmetry and define the
+// invariance classes instead: TEXT membership (OptIgnoreText treats text
+// words specially) and the Address Prefix Buffer (words sharing a prefix
+// share an APB entry). Words are interchangeable exactly when they agree on
+// both, so permuting words within a class and injectively renaming the
+// written values 1..vals cannot change any verdict. The one
+// order-dependent piece of the hardware, the lowest-address clean-entry
+// eviction of the Write-back Buffer, is verdict-invariant here because a
+// clean (saved-read) entry is behaviorally equivalent to no entry whenever
+// the driver supplies the true NV value as memValue: within a section the
+// NV value of a read-dominated word cannot change, so the saved-copy
+// compare and the memValue compare always agree. DESIGN.md spells the
+// argument out; TestCanonicalizeVerdictInvariant and the prune-soundness
+// meta-test back it empirically, including against fault-injected
+// detectors.
+//
+// A pattern is canonical when, per class, its words appear in first-use
+// order (each newly introduced word is the smallest unused word of its
+// class) and its written values appear in first-use order (each new value
+// is the smallest unused value). EnumerateCanonical prunes non-canonical
+// subtrees during generation, so the saving multiplies through the whole
+// enumeration, not just the leaves.
+
+// Symmetry partitions a word address space into interchangeability
+// classes.
+type Symmetry struct {
+	words int
+	class []uint32
+}
+
+// IdentitySymmetry puts every word in its own class: no two words are
+// interchangeable and canonical enumeration degenerates to value
+// canonicalization only... except that values keep their own symmetry, so
+// use FreeSymmetry via EnumeratePatterns for a truly unpruned sweep.
+func IdentitySymmetry(words int) Symmetry {
+	s := Symmetry{words: words, class: make([]uint32, words)}
+	for w := range s.class {
+		s.class[w] = uint32(w)
+	}
+	return s
+}
+
+// FullSymmetry puts every word in one class: any permutation is allowed
+// (configurations with neither a TEXT segment nor an Address Prefix
+// Buffer).
+func FullSymmetry(words int) Symmetry {
+	return Symmetry{words: words, class: make([]uint32, words)}
+}
+
+// ConfigSymmetry derives the invariance classes of cfg over a words-sized
+// address space: words are interchangeable iff they agree on TEXT
+// membership and, when an Address Prefix Buffer is present, share an
+// address prefix.
+func ConfigSymmetry(cfg clank.Config, words int) Symmetry {
+	s := Symmetry{words: words, class: make([]uint32, words)}
+	textStartW := cfg.TextStart >> 2
+	textEndW := (cfg.TextEnd + 3) >> 2
+	for w := 0; w < words; w++ {
+		var c uint32
+		if cfg.AddrPrefix > 0 {
+			c = uint32(w) >> cfg.PrefixLowBits << 1
+		}
+		if cfg.Opts&clank.OptIgnoreText != 0 && uint32(w) >= textStartW && uint32(w) < textEndW {
+			c |= 1
+		}
+		s.class[w] = c
+	}
+	return s
+}
+
+// key renders the class vector for grouping configurations that share a
+// symmetry.
+func (s Symmetry) key() string { return fmt.Sprint(s.class) }
+
+// Words returns the size of the address space the symmetry covers.
+func (s Symmetry) Words() int { return s.words }
+
+// Canonical reports whether p is the canonical representative of its
+// equivalence class under s: per-class first-use address order and
+// first-use value order.
+func (s Symmetry) Canonical(p Pattern, vals int) bool {
+	wordUsed := make([]bool, s.words)
+	valUsed := make([]bool, vals+1)
+	for _, op := range p {
+		w := int(op.Word)
+		if w >= s.words {
+			return false
+		}
+		if !wordUsed[w] {
+			if !s.leastUnused(wordUsed, w) {
+				return false
+			}
+			wordUsed[w] = true
+		}
+		if op.Write {
+			v := int(op.Val)
+			if v < 1 || v > vals {
+				return false
+			}
+			if !valUsed[v] {
+				for u := 1; u < v; u++ {
+					if !valUsed[u] {
+						return false
+					}
+				}
+				valUsed[v] = true
+			}
+		}
+	}
+	return true
+}
+
+// leastUnused reports whether w is the smallest unused word of its class.
+func (s Symmetry) leastUnused(wordUsed []bool, w int) bool {
+	c := s.class[w]
+	for u := 0; u < w; u++ {
+		if s.class[u] == c && !wordUsed[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// Canonicalize maps p to the canonical representative of its equivalence
+// class under s: addresses are relabeled within their class in first-use
+// order, written values are renamed in first-use order. The result is
+// verdict-equivalent to p for every configuration whose symmetry is s (or
+// finer).
+func (s Symmetry) Canonicalize(p Pattern) Pattern {
+	// Per class, the ascending word list; first uses consume it in order.
+	classWords := make(map[uint32][]uint32)
+	for w := 0; w < s.words; w++ {
+		c := s.class[w]
+		classWords[c] = append(classWords[c], uint32(w))
+	}
+	next := make(map[uint32]int)
+	wordMap := make(map[uint32]uint32)
+	valMap := make(map[uint32]uint32)
+	out := make(Pattern, len(p))
+	for i, op := range p {
+		w, ok := wordMap[op.Word]
+		if !ok {
+			c := s.class[op.Word]
+			w = classWords[c][next[c]]
+			next[c]++
+			wordMap[op.Word] = w
+		}
+		out[i] = Op{Word: w}
+		if op.Write {
+			v, ok := valMap[op.Val]
+			if !ok {
+				v = uint32(len(valMap) + 1)
+				valMap[op.Val] = v
+			}
+			out[i].Write = true
+			out[i].Val = v
+		}
+	}
+	return out
+}
+
+// EnumerateCanonical calls fn for every canonical pattern of exactly
+// length n under the symmetry (see Symmetry.Canonical). With
+// IdentitySymmetry and the value constraint disabled it reduces to the
+// naive enumeration; EnumeratePatterns uses it that way. Non-canonical
+// subtrees are pruned at the first non-canonical op, so the cost is
+// proportional to the canonical space, not the full one.
+//
+// The op ordering at each depth is fixed — for each word ascending: the
+// read, then writes of each value ascending — which gives every caller the
+// same deterministic pattern sequence (the sweep's shard->pattern mapping
+// relies on it).
+func EnumerateCanonical(n, words, vals int, sym Symmetry, fn func(Pattern) error) error {
+	e := &enumerator{
+		n: n, words: words, vals: vals,
+		sym:       sym,
+		canonical: !isIdentity(sym),
+		p:         make(Pattern, n),
+		wordUsed:  make([]bool, words),
+		valUsed:   make([]bool, vals+1),
+		fn:        fn,
+	}
+	return e.rec(0)
+}
+
+// isIdentity detects the no-pruning symmetry (every class a singleton):
+// value canonicalization is disabled too, so EnumeratePatterns keeps its
+// historical exhaustive semantics.
+func isIdentity(s Symmetry) bool {
+	seen := make(map[uint32]bool, len(s.class))
+	for _, c := range s.class {
+		if seen[c] {
+			return false
+		}
+		seen[c] = true
+	}
+	return true
+}
+
+type enumerator struct {
+	n, words, vals int
+	sym            Symmetry
+	canonical      bool
+	p              Pattern
+	wordUsed       []bool
+	valUsed        []bool
+	fn             func(Pattern) error
+
+	// prefix-collection mode (sharding): when collect is non-nil, rec
+	// stops at collectDepth and appends a copy of the prefix.
+	collect      *[]Pattern
+	collectDepth int
+}
+
+// replay advances the canonicity state through a previously produced
+// prefix (the worker-side half of sharded enumeration).
+func (e *enumerator) replay(prefix Pattern) {
+	copy(e.p, prefix)
+	for _, op := range prefix {
+		e.wordUsed[op.Word] = true
+		if op.Write {
+			e.valUsed[op.Val] = true
+		}
+	}
+}
+
+func (e *enumerator) rec(depth int) error {
+	if e.collect != nil && depth == e.collectDepth {
+		*e.collect = append(*e.collect, append(Pattern(nil), e.p[:depth]...))
+		return nil
+	}
+	if depth == e.n {
+		return e.fn(e.p)
+	}
+	for w := 0; w < e.words; w++ {
+		newWord := !e.wordUsed[w]
+		if newWord && e.canonical && !e.sym.leastUnused(e.wordUsed, w) {
+			continue
+		}
+		if newWord {
+			e.wordUsed[w] = true
+		}
+		// The read of w.
+		e.p[depth] = Op{Word: uint32(w)}
+		if err := e.rec(depth + 1); err != nil {
+			return err
+		}
+		// Writes of each value.
+		for v := 1; v <= e.vals; v++ {
+			newVal := !e.valUsed[v]
+			if newVal && e.canonical && !e.leastUnusedVal(v) {
+				continue
+			}
+			if newVal {
+				e.valUsed[v] = true
+			}
+			e.p[depth] = Op{Write: true, Word: uint32(w), Val: uint32(v)}
+			if err := e.rec(depth + 1); err != nil {
+				return err
+			}
+			if newVal {
+				e.valUsed[v] = false
+			}
+		}
+		if newWord {
+			e.wordUsed[w] = false
+		}
+	}
+	return nil
+}
+
+func (e *enumerator) leastUnusedVal(v int) bool {
+	for u := 1; u < v; u++ {
+		if !e.valUsed[u] {
+			return false
+		}
+	}
+	return true
+}

@@ -9,7 +9,17 @@
 //
 // The paper used SystemVerilog assertions plus bounded model checking
 // (EBMC) with a bound of 32 cycles; the Go analog enumerates the same kind
-// of bounded space directly.
+// of bounded space directly. Three layers deepen the bound beyond naive
+// enumeration:
+//
+//   - symmetry canonicalization (symmetry.go) prunes patterns equivalent
+//     under address permutation and value renaming
+//   - a deterministic parallel sweep (sweep.go) shards the canonical space
+//     over all cores with early abort and counterexample shrinking
+//     (shrink.go)
+//   - a full-stack differential mode (differential.go) lowers the same
+//     abstract patterns into real Thumb-1 programs and replays them on the
+//     armsim+intermittent pipeline
 package verify
 
 import (
@@ -26,8 +36,38 @@ type Op struct {
 	Val   uint32 // written value (writes only)
 }
 
+func (o Op) String() string {
+	if o.Write {
+		return fmt.Sprintf("W%d=%d", o.Word, o.Val)
+	}
+	return fmt.Sprintf("R%d", o.Word)
+}
+
 // Pattern is a bounded program: a straight-line sequence of loads/stores.
 type Pattern []Op
+
+func (p Pattern) String() string {
+	s := "["
+	for i, op := range p {
+		if i > 0 {
+			s += " "
+		}
+		s += op.String()
+	}
+	return s + "]"
+}
+
+// Words returns the smallest address-space size (in words) the pattern fits
+// in.
+func (p Pattern) Words() int {
+	max := -1
+	for _, op := range p {
+		if int(op.Word) > max {
+			max = int(op.Word)
+		}
+	}
+	return max + 1
+}
 
 // Oracle runs the pattern continuously and returns the value each read
 // observes plus the final memory (of size words).
@@ -50,21 +90,36 @@ type Schedule interface {
 	Fail(step int) bool
 }
 
-// FailAt fails exactly once, after the given global step count.
+// FailAt fails exactly once, after the given global step count. Negative
+// values never fail (continuous power).
 type FailAt int
 
 // Fail implements Schedule.
 func (f FailAt) Fail(step int) bool { return step == int(f) }
 
+func (f FailAt) String() string {
+	if f < 0 {
+		return "none"
+	}
+	return fmt.Sprintf("fail@%d", int(f))
+}
+
 // FailEvery fails after every Period steps (a crude repeated-failure
-// model; Period must be large enough for sections to complete, otherwise
-// the run is reported as non-terminating and skipped by the harness).
+// model). Period 0 never fails. Degenerate periods are safe but may never
+// terminate: with Period=1 every executed op is immediately followed by an
+// outage, so a section can commit a checkpoint only when the op itself
+// demands one — otherwise the run re-executes the same op forever and the
+// harness bounds it out at maxRestarts with Terminated=false. Safety
+// properties (no escaped violation, oracle-consistent reads) are still
+// checked on every executed op of such runs.
 type FailEvery struct{ Period int }
 
 // Fail implements Schedule.
 func (f FailEvery) Fail(step int) bool {
 	return f.Period > 0 && step%f.Period == f.Period-1
 }
+
+func (f FailEvery) String() string { return fmt.Sprintf("every%d", f.Period) }
 
 // Result is the outcome of one intermittent mini-run.
 type Result struct {
@@ -79,6 +134,34 @@ type Result struct {
 // properties are checked regardless.
 const maxRestarts = 64
 
+// Detector is the face of the idempotency-tracking hardware the harness
+// drives. *clank.Clank implements it; meta-tests (prune soundness,
+// counterexample shrinking) substitute deliberately broken wrappers to
+// prove the harness catches the injected bugs.
+type Detector interface {
+	Read(word, memValue, pc uint32) clank.Outcome
+	Write(word, value, memValue, pc uint32) clank.Outcome
+	Reset()
+	DirtyEntries(dst []clank.WBEntry) []clank.WBEntry
+}
+
+var _ Detector = (*clank.Clank)(nil)
+
+// Checker runs patterns through the mini-machine with a pluggable detector
+// factory. The zero value uses the real Clank hardware model.
+type Checker struct {
+	// NewDetector builds the detector under test for a configuration; nil
+	// means clank.New.
+	NewDetector func(cfg clank.Config) Detector
+}
+
+func (c Checker) detector(cfg clank.Config) Detector {
+	if c.NewDetector != nil {
+		return c.NewDetector(cfg)
+	}
+	return clank.New(cfg)
+}
+
 // RunIntermittent executes the pattern on the mini-machine: non-volatile
 // memory plus Clank plus the checkpoint/restart protocol. It returns an
 // error the moment any safety property is violated:
@@ -88,10 +171,21 @@ const maxRestarts = 64
 //
 // The final memory check is the caller's (it needs the oracle).
 func RunIntermittent(p Pattern, words int, cfg clank.Config, sched Schedule) (*Result, error) {
-	oracleReads, _ := Oracle(p, words)
+	return Checker{}.RunIntermittent(p, words, cfg, sched)
+}
 
+// RunIntermittent is the Checker-parameterized form of the top-level
+// function.
+func (c Checker) RunIntermittent(p Pattern, words int, cfg clank.Config, sched Schedule) (*Result, error) {
+	oracleReads, _ := Oracle(p, words)
+	return c.run(p, words, cfg, sched, oracleReads)
+}
+
+// run is the mini-machine loop. oracleReads is the precomputed continuous
+// read stream (computed once per Check, not re-derived here).
+func (c Checker) run(p Pattern, words int, cfg clank.Config, sched Schedule, oracleReads []uint32) (*Result, error) {
 	mem := make([]uint32, words)
-	k := clank.New(cfg)
+	k := c.detector(cfg)
 	mon := refmon.New()
 	res := &Result{}
 
@@ -190,54 +284,44 @@ func countReads(p Pattern) int {
 // Check runs the pattern under the configuration and schedule and verifies
 // all safety properties including final-memory equivalence.
 func Check(p Pattern, words int, cfg clank.Config, sched Schedule) error {
-	res, err := RunIntermittent(p, words, cfg, sched)
+	return Checker{}.Check(p, words, cfg, sched)
+}
+
+// Check is the Checker-parameterized form of the top-level function. The
+// oracle is computed exactly once and shared between the in-run read checks
+// and the final-memory comparison.
+func (c Checker) Check(p Pattern, words int, cfg clank.Config, sched Schedule) error {
+	oracleReads, oracleFinal := Oracle(p, words)
+	res, err := c.run(p, words, cfg, sched, oracleReads)
 	if err != nil {
 		return err
 	}
 	if !res.Terminated {
 		return nil // liveness bounded out; safety held
 	}
-	_, final := Oracle(p, words)
-	for w := range final {
-		if res.Final[w] != final[w] {
+	for w := range oracleFinal {
+		if res.Final[w] != oracleFinal[w] {
 			return fmt.Errorf("config %s: final mem[%d] = %d, oracle says %d (pattern %v)",
-				cfg, w, res.Final[w], final[w], p)
+				cfg, w, res.Final[w], oracleFinal[w], p)
 		}
 	}
-	oracleReads, _ := Oracle(p, words)
 	if len(res.Reads) != len(oracleReads) {
 		return fmt.Errorf("config %s: %d reads observed, oracle has %d", cfg, len(res.Reads), len(oracleReads))
 	}
 	return nil
 }
 
+// CheckFunc is the pluggable per-run verdict: nil means the pattern is
+// safe under the configuration and schedule. Checker.Check is the standard
+// one; DiffHarness.Check swaps in the full-stack pipeline.
+type CheckFunc func(p Pattern, words int, cfg clank.Config, sched Schedule) error
+
 // EnumeratePatterns calls fn for every pattern of exactly length n over the
 // given number of words and values drawn from 1..vals (writes only; 0 is
-// the initial memory value). It is the bounded-model-checking state
-// enumeration.
+// the initial memory value). It is the naive bounded-model-checking state
+// enumeration; EnumerateCanonical prunes it by symmetry.
 func EnumeratePatterns(n, words, vals int, fn func(Pattern) error) error {
-	choices := words * (1 + vals) // read(w) or write(w, v)
-	p := make(Pattern, n)
-	var rec func(depth int) error
-	rec = func(depth int) error {
-		if depth == n {
-			return fn(p)
-		}
-		for c := 0; c < choices; c++ {
-			w := c / (1 + vals)
-			r := c % (1 + vals)
-			if r == 0 {
-				p[depth] = Op{Write: false, Word: uint32(w)}
-			} else {
-				p[depth] = Op{Write: true, Word: uint32(w), Val: uint32(r)}
-			}
-			if err := rec(depth + 1); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	return rec(0)
+	return EnumerateCanonical(n, words, vals, IdentitySymmetry(words), fn)
 }
 
 // StandardConfigs is the configuration family the exhaustive harness
