@@ -31,6 +31,7 @@ func main() {
 	ap := flag.Int("ap", 4, "Address Prefix Buffer entries (0 = none)")
 	meanOn := flag.Uint64("mean-on", power.DefaultMeanOn, "average power-on time in cycles")
 	seed := flag.Int64("seed", 1, "power-supply seed")
+	traceFile := flag.String("power-trace", "", "replay recorded on-times from a trace file instead of the random supply")
 	watchdog := flag.Uint64("watchdog", 0, "Performance Watchdog load value (0 = off)")
 	opts := flag.String("opts", "all", "policy optimizations: all or none")
 	flag.Parse()
@@ -73,11 +74,28 @@ func main() {
 	if *opts == "all" {
 		cfg.Opts = clank.OptAll
 	}
+
+	// Power environment: a seeded random model by default, or a recorded
+	// trace replayed boot for boot.
+	var supply power.Source = power.NewSupply(power.Exponential{Mean: *meanOn, Min: 500}, *seed)
+	supplyDesc := fmt.Sprintf("mean on-time %d cycles, seed %d", *meanOn, *seed)
+	progDefault := *meanOn / 4
+	if *traceFile != "" {
+		tr, err := power.LoadTraceFile(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		supply = tr
+		supplyDesc = fmt.Sprintf("trace %s (%d boots recorded, mean on-time %d cycles)",
+			*traceFile, tr.Len(), tr.Mean())
+		progDefault = tr.Mean() / 4
+	}
+
 	m, err := intermittent.NewMachine(img, intermittent.Options{
 		Config:          cfg,
-		Supply:          power.NewSupply(power.Exponential{Mean: *meanOn, Min: 500}, *seed),
+		Supply:          supply,
 		PerfWatchdog:    *watchdog,
-		ProgressDefault: *meanOn / 4,
+		ProgressDefault: progDefault,
 		Verify:          true,
 	})
 	if err != nil {
@@ -88,8 +106,7 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("config %s (%d buffer bits), mean on-time %d cycles, seed %d\n",
-		cfg, cfg.BufferBits(), *meanOn, *seed)
+	fmt.Printf("config %s (%d buffer bits), %s\n", cfg, cfg.BufferBits(), supplyDesc)
 	fmt.Printf("continuous run:    %d cycles, %d outputs\n", baseCycles, len(cont.Mem.Outputs))
 	fmt.Printf("intermittent run:  %d wall cycles across %d power cycles\n", st.WallCycles, st.Restarts+1)
 	fmt.Printf("  checkpoints:     %d (%v)\n", st.Checkpoints, st.Reasons)

@@ -4,12 +4,15 @@
 // and every single-failure schedule, with counterexample shrinking on
 // failure. With -diff each triple additionally executes on the real
 // armsim+intermittent pipeline and is compared against the mini-machine and
-// oracle.
+// oracle. With -crash each (pattern, configuration) instead runs the
+// crash-consistency sweep: the pipeline is re-executed once per possible
+// commit-protocol NV-write cut position, proving the two-phase checkpoint
+// commit recoverable at every word-write boundary.
 //
 // Usage:
 //
 //	clank-verify [-n 7] [-words 2] [-vals 2] [-workers 0] [-canonical]
-//	             [-prefix-depth 2] [-diff] [-no-shrink] [-collect]
+//	             [-prefix-depth 2] [-diff] [-crash] [-no-shrink] [-collect]
 //
 // Exit status is 0 when every triple passes, 1 on a counterexample.
 package main
@@ -31,6 +34,7 @@ func main() {
 	canonical := flag.Bool("canonical", true, "prune by symmetry canonicalization")
 	prefixDepth := flag.Int("prefix-depth", 2, "shard granularity (ops of canonical prefix)")
 	diff := flag.Bool("diff", false, "also execute every triple on the real armsim+intermittent pipeline")
+	crash := flag.Bool("crash", false, "crash-consistency mode: cut power before every commit-protocol NV write")
 	noShrink := flag.Bool("no-shrink", false, "report the raw counterexample without minimizing")
 	collect := flag.Bool("collect", false, "keep sweeping after the first counterexample and report all")
 	flag.Parse()
@@ -45,7 +49,15 @@ func main() {
 		CollectAll:  *collect,
 		NoShrink:    *noShrink,
 	}
-	if *diff {
+	switch {
+	case *crash:
+		// Cut positions are generated inside the harness; the schedule
+		// axis collapses to the continuous-power placeholder.
+		s.Schedules = []verify.Schedule{verify.FailAt(-1)}
+		s.MakeCheck = func() verify.CheckFunc {
+			return verify.NewCrashHarness(*n).Check
+		}
+	case *diff:
 		s.MakeCheck = func() verify.CheckFunc {
 			return verify.NewDiffHarness(*n).Check
 		}
@@ -56,7 +68,10 @@ func main() {
 	elapsed := time.Since(start)
 
 	mode := "mini-machine"
-	if *diff {
+	switch {
+	case *crash:
+		mode = "crash-consistency cut-point"
+	case *diff:
 		mode = "full-stack differential"
 	}
 	fmt.Printf("sweep n=%d words=%d vals=%d (%s, canonical=%v): %d patterns, %d runs, %d shards, %d config groups in %v\n",

@@ -1,0 +1,77 @@
+package armsim
+
+// WordJournal models the non-volatile Write-back scratchpad of the
+// two-phase commit (paper section 3.1.2): a small region of NV words
+// holding (address, value) journal entries plus an armed-count header. Like
+// Memory, its contents survive power failure — the intermittent machine
+// resets it only when booting a fresh image, never between power cycles.
+//
+// The header is the commit protocol's single word of truth: Arm(n) models
+// the checkpoint-pointer flip making entries [0, n) live in one word write,
+// and Clear models the journal-clear header write ending phase two. Entry
+// slots written by SetEntry before an Arm are staged but dead — a power
+// failure there leaves the journal unarmed, so recovery ignores them. The
+// slots deliberately retain stale values from previous commits (real NV
+// cells do), which is exactly what makes an arm-before-journal protocol bug
+// observable: recovery replays whatever garbage the armed window covers.
+type WordJournal struct {
+	addrs  []uint32
+	vals   []uint32
+	armed  int // entries [0, armed) are live; 0 = disarmed
+	writes uint64
+}
+
+// NewWordJournal returns an empty, disarmed journal.
+func NewWordJournal() *WordJournal { return &WordJournal{} }
+
+// SetEntry stages entry i as one NV word write of the packed (addr, value)
+// pair. Capacity grows on demand; conceptually the journal lives in the
+// compiler's reserved top-of-memory region (ccc.ReservedBytes), but the
+// model keeps it out of the flat image so unlimited-buffer configurations
+// are not artificially capped.
+func (j *WordJournal) SetEntry(i int, addr, value uint32) {
+	for len(j.addrs) <= i {
+		j.addrs = append(j.addrs, 0)
+		j.vals = append(j.vals, 0)
+	}
+	j.addrs[i] = addr
+	j.vals[i] = value
+	j.writes++
+}
+
+// Arm publishes entries [0, n) in a single header write.
+func (j *WordJournal) Arm(n int) {
+	j.armed = n
+	j.writes++
+}
+
+// Clear disarms the journal in a single header write.
+func (j *WordJournal) Clear() {
+	j.armed = 0
+	j.writes++
+}
+
+// Armed returns the live entry count; 0 means disarmed.
+func (j *WordJournal) Armed() int { return j.armed }
+
+// Entry returns staged entry i. Slots the header covers but nothing ever
+// wrote read back as erased NV cells — (0, 0) — which is what a buggy
+// protocol that arms the journal before staging it ends up replaying.
+func (j *WordJournal) Entry(i int) (addr, value uint32) {
+	if i >= len(j.addrs) {
+		return 0, 0
+	}
+	return j.addrs[i], j.vals[i]
+}
+
+// Writes counts every NV word write the journal has absorbed (entries and
+// header flips), for cost cross-checks.
+func (j *WordJournal) Writes() uint64 { return j.writes }
+
+// Reset forgets everything — a fresh image load, not a power cycle.
+func (j *WordJournal) Reset() {
+	j.addrs = j.addrs[:0]
+	j.vals = j.vals[:0]
+	j.armed = 0
+	j.writes = 0
+}

@@ -1,0 +1,64 @@
+package armsim
+
+import "testing"
+
+func TestWordJournalStagedEntriesSurviveUntilArm(t *testing.T) {
+	j := NewWordJournal()
+	if j.Armed() != 0 {
+		t.Fatal("fresh journal is armed")
+	}
+	j.SetEntry(0, 0x100, 7)
+	j.SetEntry(1, 0x104, 8)
+	if j.Armed() != 0 {
+		t.Fatal("staging entries armed the journal")
+	}
+	j.Arm(2)
+	if j.Armed() != 2 {
+		t.Fatalf("armed = %d, want 2", j.Armed())
+	}
+	if a, v := j.Entry(0); a != 0x100 || v != 7 {
+		t.Fatalf("entry 0 = (%#x, %d)", a, v)
+	}
+	if a, v := j.Entry(1); a != 0x104 || v != 8 {
+		t.Fatalf("entry 1 = (%#x, %d)", a, v)
+	}
+	j.Clear()
+	if j.Armed() != 0 {
+		t.Fatal("clear did not disarm")
+	}
+	// NV slots keep stale contents after a clear: a later arm over the old
+	// window exposes them again (the property that makes arm-before-journal
+	// bugs detectable).
+	j.Arm(1)
+	if a, v := j.Entry(0); a != 0x100 || v != 7 {
+		t.Fatalf("stale entry lost: (%#x, %d)", a, v)
+	}
+}
+
+func TestWordJournalWritesCountHeaderAndEntries(t *testing.T) {
+	j := NewWordJournal()
+	j.SetEntry(0, 4, 1)
+	j.SetEntry(1, 8, 2)
+	j.Arm(2)
+	j.Clear()
+	if j.Writes() != 4 {
+		t.Fatalf("writes = %d, want 4", j.Writes())
+	}
+	j.Reset()
+	if j.Writes() != 0 || j.Armed() != 0 {
+		t.Fatal("reset did not zero the journal")
+	}
+}
+
+func TestWordJournalGrowsAndReusesCapacity(t *testing.T) {
+	j := NewWordJournal()
+	for i := 0; i < 100; i++ {
+		j.SetEntry(i, uint32(i*4), uint32(i))
+	}
+	j.Arm(100)
+	for i := 0; i < 100; i++ {
+		if a, v := j.Entry(i); a != uint32(i*4) || v != uint32(i) {
+			t.Fatalf("entry %d = (%d, %d)", i, a, v)
+		}
+	}
+}

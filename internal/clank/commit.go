@@ -1,0 +1,159 @@
+package clank
+
+// Commit-protocol sequencing: the checkpoint routine decomposed into the
+// individual non-volatile word writes the paper's runtime performs (sections
+// 3.1.2 and 8). Power may fail between any two of these writes, so the
+// full-system machine walks this sequence one step at a time, spending each
+// step's cycle cost before performing it; the policy simulator walks the
+// same sequence to keep the two engines' cycle accounting aligned.
+//
+// The canonical order for a commit with d dirty Write-back entries:
+//
+//	journal[0..d)   copy each dirty entry (addr,value) into the scratchpad
+//	slot[0..17)     write the register checkpoint into the inactive slot
+//	flip            checkpoint-pointer flip + journal arm — the single
+//	                linearization point of the whole routine
+//	apply[0..d)     write each journaled entry to its home location
+//	slot2[0..17)    second checkpoint of the two-phase commit
+//	clear           journal-clear header write — commit fully drained
+//
+// With d == 0 the journal, apply, and phase-2 steps are omitted: the
+// routine is just the slot writes and the pointer flip, matching the
+// CheckpointBase-only cost of the aggregate model. Every write before the
+// flip is to the inactive slot or the unarmed scratchpad, so a cut there
+// leaves the previous checkpoint untouched; every write after it is
+// replayable from the armed journal, so a cut there is repaired by the
+// reboot recovery routine (AppendRecoverySteps).
+
+// SlotWords is the number of word granules in one register-checkpoint slot
+// write: 16 registers plus one metadata word (PSR, progress counter, and
+// output watermark) — the paper's "17 words".
+const SlotWords = 17
+
+// CommitStepKind identifies one class of NV word write in the commit
+// sequence.
+type CommitStepKind uint8
+
+const (
+	// StepJournal copies dirty Write-back entry Index into the scratchpad.
+	StepJournal CommitStepKind = iota
+	// StepSlot writes word Index of the register checkpoint into the
+	// inactive slot.
+	StepSlot
+	// StepFlip flips the checkpoint pointer and arms the journal in one
+	// word write: the linearization point.
+	StepFlip
+	// StepApply writes journaled entry Index to its home location.
+	StepApply
+	// StepSlot2 writes word Index of the second (phase-2) checkpoint.
+	StepSlot2
+	// StepClear clears the journal header: the commit is fully drained.
+	StepClear
+)
+
+// String names the step kind for counterexample reports.
+func (k CommitStepKind) String() string {
+	switch k {
+	case StepJournal:
+		return "journal"
+	case StepSlot:
+		return "slot"
+	case StepFlip:
+		return "flip"
+	case StepApply:
+		return "apply"
+	case StepSlot2:
+		return "slot2"
+	case StepClear:
+		return "clear"
+	}
+	return "?"
+}
+
+// CommitStep is one NV word write of the commit sequence with its share of
+// the routine's cycle cost. The granule costs of a sequence sum exactly to
+// CommitCost for the same dirty count, so interruptible walks charge the
+// same aggregate cycles as the old atomic model.
+type CommitStep struct {
+	Kind  CommitStepKind
+	Index int
+	Cost  uint64
+}
+
+// splitSlotCost spreads a checkpoint-write cost over the 17 slot-word
+// granules plus the pointer/header write, giving the division remainder to
+// the pointer write so the granules always sum exactly to total.
+func splitSlotCost(total uint64) (perWord, pointer uint64) {
+	perWord = total / (SlotWords + 1)
+	pointer = total - SlotWords*perWord
+	return
+}
+
+// splitEntryCost splits WBFlushPerEntry into its two NV word writes: the
+// scratchpad journal copy and the home-location apply.
+func splitEntryCost(c CostModel) (journal, apply uint64) {
+	journal = c.WBFlushPerEntry / 2
+	apply = c.WBFlushPerEntry - journal
+	return
+}
+
+// AppendCommitSteps appends the full commit sequence for a checkpoint with
+// the given dirty Write-back entry count, reusing dst's capacity.
+func AppendCommitSteps(dst []CommitStep, c CostModel, dirty int) []CommitStep {
+	jc, ac := splitEntryCost(c)
+	perWord, pointer := splitSlotCost(c.CheckpointBase)
+	for i := 0; i < dirty; i++ {
+		dst = append(dst, CommitStep{StepJournal, i, jc})
+	}
+	for i := 0; i < SlotWords; i++ {
+		dst = append(dst, CommitStep{StepSlot, i, perWord})
+	}
+	dst = append(dst, CommitStep{StepFlip, 0, pointer})
+	if dirty > 0 {
+		for i := 0; i < dirty; i++ {
+			dst = append(dst, CommitStep{StepApply, i, ac})
+		}
+		perWord2, header := splitSlotCost(c.WBFlushExtra)
+		for i := 0; i < SlotWords; i++ {
+			dst = append(dst, CommitStep{StepSlot2, i, perWord2})
+		}
+		dst = append(dst, CommitStep{StepClear, 0, header})
+	}
+	return dst
+}
+
+// AppendRecoverySteps appends the reboot-recovery sequence for an armed
+// journal of n entries: replay each entry to its home location, then clear
+// the journal header. Replay is idempotent — a second power failure during
+// recovery leaves the journal armed and the next boot replays it again from
+// entry zero.
+func AppendRecoverySteps(dst []CommitStep, c CostModel, armed int) []CommitStep {
+	_, ac := splitEntryCost(c)
+	_, header := splitSlotCost(c.WBFlushExtra)
+	for i := 0; i < armed; i++ {
+		dst = append(dst, CommitStep{StepApply, i, ac})
+	}
+	dst = append(dst, CommitStep{StepClear, 0, header})
+	return dst
+}
+
+// CommitCost is the aggregate cost of an uninterrupted commit with the
+// given dirty count — the historical atomic-checkpoint formula, and by
+// construction the exact sum of the matching AppendCommitSteps sequence.
+func CommitCost(c CostModel, dirty int) uint64 {
+	cost := c.CheckpointBase
+	if dirty > 0 {
+		cost += c.WBFlushExtra + uint64(dirty)*c.WBFlushPerEntry
+	}
+	return cost
+}
+
+// RecoveryCost is the aggregate cost of an uninterrupted reboot-time
+// journal replay of armed entries — the exact sum of the matching
+// AppendRecoverySteps sequence. The trace-driven policy simulator charges
+// it as a lump where the full-system machine walks the steps.
+func RecoveryCost(c CostModel, armed int) uint64 {
+	_, apply := splitEntryCost(c)
+	_, header := splitSlotCost(c.WBFlushExtra)
+	return uint64(armed)*apply + header
+}

@@ -1,0 +1,105 @@
+package clank
+
+import "testing"
+
+// The step-granule costs must sum exactly to the aggregate formula for
+// every dirty count and for skewed cost models, or the interruptible walk
+// would drift from the policy simulator's lump accounting.
+func TestCommitStepCostsSumToAggregate(t *testing.T) {
+	models := []CostModel{
+		DefaultCosts(),
+		{CheckpointBase: 80, WBFlushPerEntry: 8, WBFlushExtra: 40, Restart: 60},
+		{CheckpointBase: 41, WBFlushPerEntry: 7, WBFlushExtra: 39, Restart: 1},
+		{CheckpointBase: 1, WBFlushPerEntry: 1, WBFlushExtra: 1, Restart: 1},
+		{CheckpointBase: 1000003, WBFlushPerEntry: 17, WBFlushExtra: 13, Restart: 5},
+	}
+	for _, c := range models {
+		for dirty := 0; dirty <= 40; dirty++ {
+			steps := AppendCommitSteps(nil, c, dirty)
+			var sum uint64
+			for _, s := range steps {
+				sum += s.Cost
+			}
+			if want := CommitCost(c, dirty); sum != want {
+				t.Fatalf("costs %+v dirty=%d: step sum %d != aggregate %d", c, dirty, sum, want)
+			}
+		}
+	}
+}
+
+func TestCommitStepOrdering(t *testing.T) {
+	c := DefaultCosts()
+
+	// Clean commit: slot writes then the flip, nothing else.
+	steps := AppendCommitSteps(nil, c, 0)
+	if len(steps) != SlotWords+1 {
+		t.Fatalf("clean commit has %d steps, want %d", len(steps), SlotWords+1)
+	}
+	for i := 0; i < SlotWords; i++ {
+		if steps[i].Kind != StepSlot || steps[i].Index != i {
+			t.Fatalf("step %d = %v/%d, want slot/%d", i, steps[i].Kind, steps[i].Index, i)
+		}
+	}
+	if steps[SlotWords].Kind != StepFlip {
+		t.Fatalf("last clean-commit step is %v, want flip", steps[SlotWords].Kind)
+	}
+
+	// Dirty commit: journal entries strictly before the flip, applies and
+	// the phase-2 checkpoint strictly after, clear last.
+	const dirty = 3
+	steps = AppendCommitSteps(steps[:0], c, dirty)
+	want := []CommitStepKind{
+		StepJournal, StepJournal, StepJournal,
+	}
+	for i := 0; i < SlotWords; i++ {
+		want = append(want, StepSlot)
+	}
+	want = append(want, StepFlip, StepApply, StepApply, StepApply)
+	for i := 0; i < SlotWords; i++ {
+		want = append(want, StepSlot2)
+	}
+	want = append(want, StepClear)
+	if len(steps) != len(want) {
+		t.Fatalf("dirty commit has %d steps, want %d", len(steps), len(want))
+	}
+	for i, k := range want {
+		if steps[i].Kind != k {
+			t.Fatalf("step %d = %v, want %v", i, steps[i].Kind, k)
+		}
+	}
+}
+
+func TestRecoveryStepsMatchPostFlipTail(t *testing.T) {
+	c := DefaultCosts()
+	const armed = 5
+	rec := AppendRecoverySteps(nil, c, armed)
+	if len(rec) != armed+1 {
+		t.Fatalf("recovery has %d steps, want %d", len(rec), armed+1)
+	}
+	for i := 0; i < armed; i++ {
+		if rec[i].Kind != StepApply || rec[i].Index != i {
+			t.Fatalf("recovery step %d = %v/%d, want apply/%d", i, rec[i].Kind, rec[i].Index, i)
+		}
+	}
+	if rec[armed].Kind != StepClear {
+		t.Fatalf("recovery tail is %v, want clear", rec[armed].Kind)
+	}
+	// Recovery apply/clear granules carry the same costs as the commit
+	// sequence's own post-flip steps of the same kind.
+	commit := AppendCommitSteps(nil, c, armed)
+	byKind := map[CommitStepKind]uint64{}
+	for _, s := range commit {
+		byKind[s.Kind] = s.Cost
+	}
+	if rec[0].Cost != byKind[StepApply] || rec[armed].Cost != byKind[StepClear] {
+		t.Fatalf("recovery costs (%d,%d) diverge from commit (%d,%d)",
+			rec[0].Cost, rec[armed].Cost, byKind[StepApply], byKind[StepClear])
+	}
+	var sum uint64
+	for _, s := range rec {
+		sum += s.Cost
+	}
+	if want := RecoveryCost(c, armed); sum != want {
+		t.Fatalf("recovery step sum %d != RecoveryCost %d", sum, want)
+	}
+}

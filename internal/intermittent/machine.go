@@ -61,7 +61,44 @@ type Options struct {
 	// with it — where the cycle-driven Supply cannot hit exact access
 	// boundaries.
 	FailAfterAccess func(addr uint32, write bool) bool
+
+	// FailAtCommitWrite, when non-nil, is consulted before every NV word
+	// write of the commit protocol and of reboot-time journal recovery,
+	// identified by a run-global monotone write counter (Stats.CommitWrites
+	// is its final value); returning true cuts power before that write
+	// lands, discarding the rest of the boot's budget. It places outages at
+	// every individual commit-step boundary — the granularity the
+	// cycle-driven Supply cannot hit — and is how the crash-consistency
+	// sweep proves the two-phase protocol recoverable at every cut. The
+	// counter advances on consultation, so a fired single-index hook (see
+	// CutAtCommitWrite) never re-fires on the redone commit.
+	FailAtCommitWrite func(write int) bool
+
+	// CommitBug deliberately breaks the commit protocol for meta-testing:
+	// the crash-consistency sweep must catch the corruption the bug makes
+	// reachable. Production runs leave it at BugNone.
+	CommitBug CommitBug
 }
+
+// CutAtCommitWrite returns a FailAtCommitWrite hook that cuts power exactly
+// before the n-th (0-based) commit-protocol NV write of the run.
+func CutAtCommitWrite(n int) func(int) bool {
+	return func(w int) bool { return w == n }
+}
+
+// CommitBug selects a deliberately broken commit-protocol variant.
+type CommitBug uint8
+
+const (
+	// BugNone is the correct protocol.
+	BugNone CommitBug = iota
+	// BugEarlyFlip flips the checkpoint pointer (and arms the journal)
+	// before the journal entries are written — the classic torn-commit
+	// bug: a cut between the flip and the last journal write leaves an
+	// armed journal full of stale garbage that recovery happily replays,
+	// while the real Write-back values are lost with the volatile buffer.
+	BugEarlyFlip
+)
 
 // Stats is the outcome of an intermittent run.
 type Stats struct {
@@ -79,6 +116,10 @@ type Stats struct {
 	ProgWatchdogs int // checkpoints forced by the Progress Watchdog
 	PerfWatchdogs int // checkpoints forced by the Performance Watchdog
 	Outputs       []uint32
+
+	CommitWrites     int // NV word writes attempted by commit + recovery routines
+	TornCommits      int // commit routines interrupted by a power failure
+	RecoveredCommits int // reboots that replayed an armed journal to completion
 
 	Reasons map[clank.Reason]int
 }
@@ -116,7 +157,14 @@ type Machine struct {
 	mon  *refmon.Monitor
 	opts Options
 
-	ckpt           checkpointSlot
+	// Non-volatile runtime state (conceptually in the ccc reserved region):
+	// the double-buffered checkpoint slots, the checkpoint pointer, and the
+	// Write-back scratchpad journal. Power failures never clear these.
+	slots   [2]checkpointSlot
+	active  int // committed slot index: the checkpoint-pointer word
+	journal *armsim.WordJournal
+
+	commitWrites   int // run-global commit-protocol NV write counter
 	cyclesThisBoot uint64
 	sinceCkpt      uint64 // wall cycles since last committed checkpoint
 	powerLeft      uint64
@@ -129,7 +177,8 @@ type Machine struct {
 	cutPower          bool         // FailAfterAccess fired: outage after this instruction
 	consecutiveBarren int
 
-	dirtyScratch []clank.WBEntry // reused by every checkpoint drain
+	dirtyScratch []clank.WBEntry    // reused by every checkpoint drain
+	stepScratch  []clank.CommitStep // reused by every commit/recovery walk
 
 	stats Stats
 	img   *ccc.Image
@@ -157,10 +206,11 @@ func NewMachine(img *ccc.Image, opts Options) (*Machine, error) {
 		cfg.TextStart, cfg.TextEnd = img.TextStart, img.TextEnd
 	}
 	m := &Machine{
-		mem:  armsim.NewMemory(),
-		k:    clank.New(cfg),
-		opts: opts,
-		img:  img,
+		mem:     armsim.NewMemory(),
+		k:       clank.New(cfg),
+		journal: armsim.NewWordJournal(),
+		opts:    opts,
+		img:     img,
 	}
 	if opts.Verify {
 		m.mon = refmon.New()
@@ -180,7 +230,8 @@ func NewMachine(img *ccc.Image, opts Options) (*Machine, error) {
 	// The compiler pre-creates checkpoint 0: boot state entering main
 	// (paper section 4.2), so the start-up routine never special-cases
 	// the first boot.
-	m.ckpt = checkpointSlot{regs: m.cpu.Regs(), psr: m.cpu.PSR(), cycle: m.cpu.Cycle}
+	m.active = 0
+	m.slots[0] = checkpointSlot{regs: m.cpu.Regs(), psr: m.cpu.PSR(), cycle: m.cpu.Cycle}
 	return m, nil
 }
 
@@ -214,24 +265,17 @@ func (m *Machine) Reboot(img *ccc.Image) error {
 	m.consecutiveBarren = 0
 	m.stats = Stats{Reasons: make(map[clank.Reason]int)}
 	m.img = img
-	m.ckpt = checkpointSlot{regs: m.cpu.Regs(), psr: m.cpu.PSR(), cycle: m.cpu.Cycle}
+	m.journal.Reset()
+	m.commitWrites = 0
+	m.active = 0
+	m.slots[0] = checkpointSlot{regs: m.cpu.Regs(), psr: m.cpu.PSR(), cycle: m.cpu.Cycle}
+	m.slots[1] = checkpointSlot{}
 	return nil
 }
 
 // MemWord reads an aligned word of non-volatile memory without access
 // tracking (final-state inspection by the differential harness).
 func (m *Machine) MemWord(addr uint32) uint32 { return m.mem.ReadWord(addr) }
-
-// commitCheckpoint records the committed machine state, including the
-// output-log watermark.
-func (m *Machine) commitCheckpoint() {
-	m.ckpt = checkpointSlot{
-		regs:    m.cpu.Regs(),
-		psr:     m.cpu.PSR(),
-		cycle:   m.cpu.Cycle,
-		outputs: len(m.mem.Outputs),
-	}
-}
 
 // busAdapter routes CPU memory traffic through Clank.
 type busAdapter struct{ m *Machine }

@@ -38,19 +38,17 @@ func (m *Machine) Run() (Stats, error) {
 			continue
 		}
 
-		// Watchdogs fire at instruction boundaries.
+		// Watchdogs fire at instruction boundaries. The per-cause counters
+		// are charged at the commit point inside checkpoint() — a routine
+		// that dies after its linearization point has still committed.
 		if w := m.opts.PerfWatchdog; w != 0 && m.sinceCkpt >= w {
-			if m.checkpoint(clank.ReasonPerfWatchdog) {
-				m.stats.PerfWatchdogs++
-			}
+			m.checkpoint(clank.ReasonPerfWatchdog)
 			continue
 		}
 		if m.progEnabled && m.cyclesThisBoot >= m.progLoad {
 			// Progress Watchdog: force a superfluous checkpoint so runt
 			// power cycles still advance (paper section 3.1.4).
-			if m.checkpoint(clank.ReasonProgWatchdog) {
-				m.stats.ProgWatchdogs++
-			}
+			m.checkpoint(clank.ReasonProgWatchdog)
 			continue
 		}
 
@@ -98,7 +96,12 @@ func (m *Machine) Run() (Stats, error) {
 }
 
 // chargeRestart pays the start-up routine at the beginning of a power
-// cycle. It returns false if the boot is too short to finish it.
+// cycle, then — if the previous commit died after its linearization point —
+// replays the armed Write-back journal to the home locations. It returns
+// false if the boot is too short to finish either part. Both the `<=`
+// comparison (a boot exactly equal to the restart cost is barren: the
+// routine completes with nothing left to run) and the replay are pinned by
+// tests.
 func (m *Machine) chargeRestart() bool {
 	cost := m.opts.Costs.Restart
 	if m.powerLeft <= cost {
@@ -111,15 +114,47 @@ func (m *Machine) chargeRestart() bool {
 	m.stats.WallCycles += cost
 	m.stats.RestartCycles += cost
 	m.cyclesThisBoot += cost
+	if m.journal.Armed() > 0 {
+		return m.recoverJournal()
+	}
+	return true
+}
+
+// recoverJournal is the reboot-time recovery routine for a torn commit: the
+// checkpoint pointer flipped (so the journal header is armed) but power
+// died before every journaled value reached its home location. Replay each
+// armed entry, then clear the header. Every step is itself an NV word write
+// subject to the fault injector and the power budget; replay is idempotent,
+// so dying inside it leaves the journal armed and the next boot replays
+// again from entry zero. Cuts before the flip need no recovery at all — the
+// journal is disarmed and the staged entries are dead.
+func (m *Machine) recoverJournal() bool {
+	m.stepScratch = clank.AppendRecoverySteps(m.stepScratch[:0], m.opts.Costs, m.journal.Armed())
+	for _, s := range m.stepScratch {
+		if !m.commitWrite(s.Cost, &m.stats.RestartCycles) {
+			return false
+		}
+		switch s.Kind {
+		case clank.StepApply:
+			addr, val := m.journal.Entry(s.Index)
+			m.mem.WriteWord(addr, val)
+		case clank.StepClear:
+			m.journal.Clear()
+		}
+	}
+	m.stats.RecoveredCommits++
 	return true
 }
 
 // account charges delta executed cycles against the power budget and the
-// wall clock, clamping at the power boundary.
+// wall clock, clamping at the power boundary. The clamped path charges
+// sinceCkpt too: the Performance Watchdog's notion of work since the last
+// checkpoint must match the wall clock right up to the outage.
 func (m *Machine) account(delta uint64) {
 	if delta >= m.powerLeft {
 		m.stats.WallCycles += m.powerLeft
 		m.cyclesThisBoot += m.powerLeft
+		m.sinceCkpt += m.powerLeft
 		m.powerLeft = 0
 		return
 	}
@@ -129,41 +164,112 @@ func (m *Machine) account(delta uint64) {
 	m.sinceCkpt += delta
 }
 
-// checkpoint runs the modeled checkpoint routine: drain the Write-back
-// Buffer through the scratchpad (two-phase), save the register file to the
-// inactive slot, flip the checkpoint pointer, reset Clank. Returns false if
-// power failed during the routine — nothing committed; the top of the run
-// loop performs the rollback.
-func (m *Machine) checkpoint(reason clank.Reason) bool {
-	m.dirtyScratch = m.k.DirtyEntries(m.dirtyScratch[:0])
-	dirty := m.dirtyScratch
-	cost := m.opts.Costs.CheckpointBase
-	if len(dirty) > 0 {
-		cost += m.opts.Costs.WBFlushExtra + uint64(len(dirty))*m.opts.Costs.WBFlushPerEntry
+// commitWrite spends one commit-protocol NV word write against the power
+// budget (attributed to the given overhead counter) and consults the fault
+// injector. The write counter advances on consultation — before the write
+// lands — so a single-index cut hook never re-fires on the redone commit.
+// Returns false if power dies before the write: an injected cut discards
+// the rest of the boot's budget (the device is simply off, mirroring
+// FailAfterAccess); a budget death burns the remainder into the wall clock
+// exactly as the old atomic model did.
+func (m *Machine) commitWrite(cost uint64, counter *uint64) bool {
+	w := m.stats.CommitWrites
+	m.stats.CommitWrites++
+	if m.opts.FailAtCommitWrite != nil && m.opts.FailAtCommitWrite(w) {
+		m.powerLeft = 0
+		return false
 	}
 	if m.powerLeft <= cost {
 		m.stats.WallCycles += m.powerLeft
-		m.stats.CkptCycles += m.powerLeft
+		*counter += m.powerLeft
 		m.powerLeft = 0
 		return false
 	}
 	m.powerLeft -= cost
 	m.stats.WallCycles += cost
-	m.stats.CkptCycles += cost
+	*counter += cost
 	m.cyclesThisBoot += cost
+	return true
+}
 
-	for _, e := range dirty {
-		m.mem.WriteWord(e.Word<<2, e.Value)
+// checkpoint runs the modeled checkpoint routine as the explicit sequence
+// of non-volatile word writes of the two-phase commit (clank.CommitStep):
+// journal every dirty Write-back entry to the scratchpad, write the
+// register file into the inactive slot, flip the checkpoint pointer (the
+// single linearization point — it also arms the journal), apply the
+// journaled entries to their home locations, write the second checkpoint,
+// and clear the journal. Power may die between any two of these writes.
+//
+// Returns false if power failed anywhere in the routine; the top of the run
+// loop then performs the rollback. Whether anything committed is carried by
+// the non-volatile state, not the return value: a cut before the flip left
+// the old checkpoint live (the staged journal and slot writes are dead),
+// while a cut after it committed the new checkpoint — powerFail restores
+// from it, and chargeRestart finishes the interrupted drain by replaying
+// the armed journal.
+func (m *Machine) checkpoint(reason clank.Reason) bool {
+	m.dirtyScratch = m.k.DirtyEntries(m.dirtyScratch[:0])
+	dirty := m.dirtyScratch
+	m.stepScratch = clank.AppendCommitSteps(m.stepScratch[:0], m.opts.Costs, len(dirty))
+	steps := m.stepScratch
+	if m.opts.CommitBug == BugEarlyFlip {
+		steps = reorderEarlyFlip(steps)
 	}
-	m.commitCheckpoint()
+	for _, s := range steps {
+		if !m.commitWrite(s.Cost, &m.stats.CkptCycles) {
+			m.stats.TornCommits++
+			return false
+		}
+		switch s.Kind {
+		case clank.StepJournal:
+			e := dirty[s.Index]
+			m.journal.SetEntry(s.Index, e.Word<<2, e.Value)
+		case clank.StepSlot, clank.StepSlot2:
+			// Staging writes into the inactive slot: invisible until the
+			// flip, so the model materializes the whole slot there.
+		case clank.StepFlip:
+			m.slots[1-m.active] = checkpointSlot{
+				regs:    m.cpu.Regs(),
+				psr:     m.cpu.PSR(),
+				cycle:   m.cpu.Cycle,
+				outputs: len(m.mem.Outputs),
+			}
+			m.active = 1 - m.active
+			if len(dirty) > 0 {
+				m.journal.Arm(len(dirty))
+			}
+			m.commitBookkeeping(reason)
+		case clank.StepApply:
+			addr, val := m.journal.Entry(s.Index)
+			m.mem.WriteWord(addr, val)
+		case clank.StepClear:
+			m.journal.Clear()
+		}
+	}
+	// Fully drained: the volatile detector state is dead weight now.
 	m.k.Reset()
 	if m.mon != nil {
 		m.mon.Reset()
 	}
+	return true
+}
+
+// commitBookkeeping runs at the linearization point: everything keyed on "a
+// checkpoint committed" happens here, whether or not the rest of the drain
+// survives.
+func (m *Machine) commitBookkeeping(reason clank.Reason) {
 	m.sinceCkpt = 0
 	m.ckptThisBoot = true
 	m.consecutiveBarren = 0
-	if reason != clank.ReasonNone {
+	switch reason {
+	case clank.ReasonNone:
+	case clank.ReasonPerfWatchdog:
+		m.stats.PerfWatchdogs++
+		m.stats.Reasons[reason]++
+	case clank.ReasonProgWatchdog:
+		m.stats.ProgWatchdogs++
+		m.stats.Reasons[reason]++
+	default:
 		m.stats.Reasons[reason]++
 	}
 	m.stats.Checkpoints++
@@ -171,28 +277,55 @@ func (m *Machine) checkpoint(reason clank.Reason) bool {
 	// and clears its load value (paper section 3.1.4).
 	m.progEnabled = false
 	m.progLoad = 0
-	return true
+}
+
+// reorderEarlyFlip rearranges the commit sequence into the deliberately
+// broken variant BugEarlyFlip describes: the slot writes and the pointer
+// flip run first, the journal writes after. The cost granules are
+// unchanged, only the write order — exactly the kind of bug the
+// crash-consistency sweep exists to catch.
+func reorderEarlyFlip(steps []clank.CommitStep) []clank.CommitStep {
+	out := make([]clank.CommitStep, 0, len(steps))
+	var journals, tail []clank.CommitStep
+	flipped := false
+	for _, s := range steps {
+		switch {
+		case s.Kind == clank.StepJournal:
+			journals = append(journals, s)
+		case !flipped:
+			out = append(out, s)
+			if s.Kind == clank.StepFlip {
+				flipped = true
+			}
+		default:
+			tail = append(tail, s)
+		}
+	}
+	out = append(out, journals...)
+	return append(out, tail...)
 }
 
 // powerFail models the loss of all volatile state: Clank's buffers (with
 // any un-flushed Write-back entries — free rollback via redo logging) and
-// the register file. The CPU resumes from the last committed checkpoint,
-// and the next boot's Progress Watchdog bookkeeping runs.
+// the register file. The CPU resumes from the checkpoint the NV pointer
+// selects — the new slot if a dying commit got past its flip, the old one
+// otherwise — and the next boot's Progress Watchdog bookkeeping runs.
 func (m *Machine) powerFail() {
 	m.stats.Restarts++
 	m.k.Reset()
 	if m.mon != nil {
 		m.mon.Reset()
 	}
-	m.cpu.R = m.ckpt.regs
-	m.cpu.SetPSR(m.ckpt.psr)
-	m.cpu.Cycle = m.ckpt.cycle
+	ckpt := &m.slots[m.active]
+	m.cpu.R = ckpt.regs
+	m.cpu.SetPSR(ckpt.psr)
+	m.cpu.Cycle = ckpt.cycle
 	m.cpu.Halt = false
 	m.forceCkptAfter = false
 	// Discard outputs emitted after the committed checkpoint: their
 	// trailing checkpoint never landed, so the re-executed section will
 	// emit them again (checkpointSlot.outputs watermark).
-	m.mem.Outputs = m.mem.Outputs[:m.ckpt.outputs]
+	m.mem.Outputs = m.mem.Outputs[:ckpt.outputs]
 
 	madeProgress := m.ckptThisBoot
 	m.powerLeft = m.opts.Supply.NextOn()

@@ -106,7 +106,8 @@ type simulator struct {
 
 	shadow *shadowStore
 
-	dirtyScratch []clank.WBEntry // reused by every checkpoint drain
+	dirtyScratch []clank.WBEntry    // reused by every checkpoint drain
+	stepScratch  []clank.CommitStep // reused by every sequenced commit walk
 
 	pos     int
 	ckptPos int
@@ -123,6 +124,7 @@ type simulator struct {
 
 	minStackWrite uint32 // mixed volatility: deepest stack write this section
 	undoEntries   int    // undo-log mode: journaled writes this section
+	jarmed        int    // armed Write-back journal entries pending replay
 
 	res Result
 }
@@ -265,17 +267,15 @@ func (s *simulator) run() error {
 		}
 
 	watchdogs:
-		// Watchdogs, quantized to access boundaries.
+		// Watchdogs, quantized to access boundaries. Like the full system,
+		// the per-cause counters are charged at the commit point inside
+		// checkpoint().
 		if w := s.o.PerfWatchdog; w != 0 && s.sinceCkpt >= w {
-			if s.checkpoint(clank.ReasonPerfWatchdog) {
-				s.res.PerfWatchdogs++
-			}
+			s.checkpoint(clank.ReasonPerfWatchdog)
 			continue
 		}
 		if s.progEnabled && s.cyclesThisBoot >= s.progLoad {
-			if s.checkpoint(clank.ReasonProgWatchdog) {
-				s.res.ProgWatchdogs++
-			}
+			s.checkpoint(clank.ReasonProgWatchdog)
 		}
 	}
 }
@@ -357,48 +357,74 @@ func (s *simulator) spendOverhead(cost uint64, counter *uint64) bool {
 	return true
 }
 
-// checkpoint models the checkpoint routine; false means power died during
-// it (nothing committed).
+// checkpoint models the checkpoint routine as the same sequence of NV word
+// writes the full-system machine walks (clank.AppendCommitSteps), so the
+// two engines die at the same cycle boundaries and agree on what a
+// mid-routine power failure committed: a death before the pointer flip
+// committed nothing, a death after it committed the checkpoint — the
+// replay resumes from the new position and the reboot pays to drain the
+// armed journal. Returns false when power died anywhere in the routine.
 func (s *simulator) checkpoint(reason clank.Reason) bool {
 	s.dirtyScratch = s.k.DirtyEntries(s.dirtyScratch[:0])
 	dirty := s.dirtyScratch
-	cost := s.o.Costs.CheckpointBase
 	if s.o.UndoLog {
 		// Undo discipline: values are already in NV; committing just
 		// truncates the journal.
 		dirty = nil
-	} else if len(dirty) > 0 {
-		cost += s.o.Costs.WBFlushExtra + uint64(len(dirty))*s.o.Costs.WBFlushPerEntry
 	}
 	if s.o.Mixed != nil && s.minStackWrite < s.o.Mixed.StackTop {
+		// The volatile-stack save precedes the slot writes: all pre-flip.
 		words := uint64(s.o.Mixed.StackTop-s.minStackWrite) / 4
-		cost += words * s.o.Costs.StackWordSave
+		if !s.spendOverhead(words*s.o.Costs.StackWordSave, &s.res.CkptCycles) {
+			return false
+		}
 	}
-	if !s.spendOverhead(cost, &s.res.CkptCycles) {
-		return false
+	s.stepScratch = clank.AppendCommitSteps(s.stepScratch[:0], s.o.Costs, len(dirty))
+	for _, st := range s.stepScratch {
+		if !s.spendOverhead(st.Cost, &s.res.CkptCycles) {
+			return false
+		}
+		switch st.Kind {
+		case clank.StepFlip:
+			// The linearization point: the values the journal carries are
+			// committed from here on (the shadow store models the final NV
+			// state, so the not-yet-applied entries land now; a post-flip
+			// death replays them at reboot, charged there).
+			for _, e := range dirty {
+				s.setShadow(e.Word, e.Value)
+			}
+			s.ckptPos = s.pos
+			s.ckptT = s.prevT
+			s.undoEntries = 0
+			s.jarmed = len(dirty)
+			s.sinceCkpt = 0
+			s.ckptThisBoot = true
+			s.consecBarren = 0
+			if s.o.Mixed != nil {
+				s.minStackWrite = s.o.Mixed.StackTop
+			}
+			switch reason {
+			case clank.ReasonNone:
+			case clank.ReasonPerfWatchdog:
+				s.res.PerfWatchdogs++
+				s.res.Reasons[reason]++
+			case clank.ReasonProgWatchdog:
+				s.res.ProgWatchdogs++
+				s.res.Reasons[reason]++
+			default:
+				s.res.Reasons[reason]++
+			}
+			s.res.Checkpoints++
+			s.progEnabled = false
+			s.progLoad = 0
+		case clank.StepClear:
+			s.jarmed = 0
+		}
 	}
-	for _, e := range dirty {
-		s.setShadow(e.Word, e.Value)
-	}
-	s.ckptPos = s.pos
-	s.ckptT = s.prevT
-	s.undoEntries = 0
 	s.k.Reset()
 	if s.mon != nil {
 		s.mon.Reset()
 	}
-	s.sinceCkpt = 0
-	s.ckptThisBoot = true
-	s.consecBarren = 0
-	if s.o.Mixed != nil {
-		s.minStackWrite = s.o.Mixed.StackTop
-	}
-	if reason != clank.ReasonNone {
-		s.res.Reasons[reason]++
-	}
-	s.res.Checkpoints++
-	s.progEnabled = false
-	s.progLoad = 0
 	return true
 }
 
@@ -443,13 +469,18 @@ func (s *simulator) reboot() error {
 			s.progEnabled = false
 		}
 		// The start-up routine, plus (in undo mode) rolling the journal
-		// back — both must fit in the new boot or it is barren.
+		// back, plus — after a post-flip commit death — replaying the armed
+		// Write-back journal; all must fit in the new boot or it is barren.
 		bootCost := s.o.Costs.Restart
 		if s.o.UndoLog {
 			bootCost += uint64(s.undoEntries) * s.o.Costs.WBFlushPerEntry
 		}
+		if s.jarmed > 0 {
+			bootCost += clank.RecoveryCost(s.o.Costs, s.jarmed)
+		}
 		if s.spendOverhead(bootCost, &s.res.RestartCycles) {
 			s.undoEntries = 0
+			s.jarmed = 0
 			return nil
 		}
 	}

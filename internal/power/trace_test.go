@@ -1,0 +1,109 @@
+package power
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceReplaysAndWraps(t *testing.T) {
+	tr := NewTrace([]uint64{100, 200, 300})
+	want := []uint64{100, 200, 300, 100, 200, 300, 100}
+	for i, w := range want {
+		if got := tr.NextOn(); got != w {
+			t.Fatalf("NextOn %d = %d, want %d", i, got, w)
+		}
+	}
+	if tr.Laps() != 2 {
+		t.Fatalf("Laps = %d, want 2", tr.Laps())
+	}
+	tr.Reset()
+	if got := tr.NextOn(); got != 100 {
+		t.Fatalf("after Reset, NextOn = %d, want 100", got)
+	}
+	if tr.Laps() != 0 {
+		t.Fatalf("after Reset, Laps = %d, want 0", tr.Laps())
+	}
+}
+
+func TestNewTraceCopiesInput(t *testing.T) {
+	ons := []uint64{7, 8}
+	tr := NewTrace(ons)
+	ons[0] = 999
+	if got := tr.NextOn(); got != 7 {
+		t.Fatalf("trace aliased caller slice: NextOn = %d, want 7", got)
+	}
+}
+
+func TestNewTracePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTrace(nil) did not panic")
+		}
+	}()
+	NewTrace(nil)
+}
+
+func TestParseTrace(t *testing.T) {
+	in := `# captured from an RF harvesting frontend
+38000
+120ms
+
+	95 ms
+7
+`
+	tr, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{38000, 120 * CyclesPerMilli, 95 * CyclesPerMilli, 7}
+	if tr.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(want))
+	}
+	for i, w := range want {
+		if got := tr.NextOn(); got != w {
+			t.Fatalf("entry %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", "# only comments\n\n"},
+		{"zero", "100\n0\n"},
+		{"garbage", "100\nforty\n"},
+		{"negative", "-5\n"},
+	}
+	for _, c := range cases {
+		if _, err := ParseTrace(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: ParseTrace accepted %q", c.name, c.in)
+		}
+	}
+}
+
+func TestLoadTraceFile(t *testing.T) {
+	tr, err := LoadTraceFile("testdata/sample.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("sample trace is empty")
+	}
+	// The committed sample is representative of the paper's 100 ms-mean
+	// environment: every on-time must at least cover a restart, and the
+	// mean should be in the right decade.
+	var sum uint64
+	for i := 0; i < tr.Len(); i++ {
+		v := tr.NextOn()
+		if v < 500 {
+			t.Fatalf("entry %d = %d cycles: below any plausible boot cost", i, v)
+		}
+		sum += v
+	}
+	mean := sum / uint64(tr.Len())
+	if mean < 10*CyclesPerMilli || mean > 1000*CyclesPerMilli {
+		t.Fatalf("sample mean on-time = %d cycles, want a 100 ms-decade environment", mean)
+	}
+	if _, err := LoadTraceFile("testdata/does-not-exist.trace"); err == nil {
+		t.Fatal("LoadTraceFile on a missing file did not error")
+	}
+}

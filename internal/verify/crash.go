@@ -1,0 +1,145 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/ccc"
+	"repro/internal/clank"
+	"repro/internal/intermittent"
+)
+
+// Crash-consistency mode: where the differential harness places power
+// failures at committed data accesses, this harness places them inside the
+// checkpoint routine itself — before every individual non-volatile word
+// write of the two-phase commit (journal entries, slot writes, the pointer
+// flip, home-location applies, the phase-2 checkpoint, the journal clear)
+// and of the reboot-time recovery replay. For each (pattern, configuration)
+// it first runs the lowered program on continuous power to count the
+// protocol's NV writes, then re-runs the full armsim+intermittent pipeline
+// once per possible cut position, demanding oracle-exact reads, outputs,
+// and final NV image every time.
+//
+// Exhaustiveness: on continuous power the pipeline is deterministic, so a
+// run cut at write n is identical to the baseline up to that write — the
+// baseline's Stats.CommitWrites therefore enumerates every reachable
+// single-cut boundary, including the recovery writes a cut itself induces
+// (they get indices above the baseline's count and are covered by the
+// dedicated double-cut tests at the intermittent layer).
+type CrashHarness struct {
+	// Bug injects a deliberately broken commit protocol (meta-tests: the
+	// sweep must catch it). Production sweeps leave it at BugNone.
+	Bug intermittent.CommitBug
+
+	maxOps   int
+	machines map[string]*intermittent.Machine
+	cut      int // commit write to cut power at; -1 = baseline (no cut)
+}
+
+// NewCrashHarness returns a harness for patterns of up to maxOps ops. Like
+// DiffHarness it caches one machine per configuration and is not safe for
+// concurrent use — the sweep builds one per worker via Sweep.MakeCheck.
+func NewCrashHarness(maxOps int) *CrashHarness {
+	return &CrashHarness{maxOps: maxOps, machines: make(map[string]*intermittent.Machine), cut: -1}
+}
+
+func (h *CrashHarness) commitHook(w int) bool { return w == h.cut }
+
+// Check runs the full cut-point sweep for one (pattern, configuration).
+// The schedule argument exists to satisfy CheckFunc and is ignored: the
+// harness generates its own failure placements.
+func (h *CrashHarness) Check(p Pattern, words int, cfg clank.Config, _ Schedule) error {
+	if err := h.lowerable(p, words); err != nil {
+		return err
+	}
+	img := buildDiffImage(p, h.maxOps)
+	m, err := h.machine(cfg, img)
+	if err != nil {
+		return err
+	}
+	base, err := h.runCut(m, img, p, words, cfg, -1)
+	if err != nil {
+		return err
+	}
+	for n := 0; n < base.CommitWrites; n++ {
+		if err := m.Reboot(img); err != nil {
+			return err
+		}
+		if _, err := h.runCut(m, img, p, words, cfg, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckCut runs a single cut position (or none, if the position exceeds the
+// run's commit-write count) — the fuzzing entry point, where the cut index
+// comes from the fuzzer rather than an exhaustive loop.
+func (h *CrashHarness) CheckCut(p Pattern, words int, cfg clank.Config, cut int) error {
+	if err := h.lowerable(p, words); err != nil {
+		return err
+	}
+	img := buildDiffImage(p, h.maxOps)
+	m, err := h.machine(cfg, img)
+	if err != nil {
+		return err
+	}
+	_, err = h.runCut(m, img, p, words, cfg, cut)
+	return err
+}
+
+func (h *CrashHarness) lowerable(p Pattern, words int) error {
+	if len(p) > h.maxOps {
+		return fmt.Errorf("verify: pattern of %d ops exceeds harness budget %d", len(p), h.maxOps)
+	}
+	if words > diffMaxWords {
+		return fmt.Errorf("verify: %d words exceeds the %d-word lowering limit", words, diffMaxWords)
+	}
+	for _, op := range p {
+		if op.Write && op.Val > 0xFF {
+			return fmt.Errorf("verify: value %d exceeds the MOV imm8 lowering limit", op.Val)
+		}
+	}
+	return nil
+}
+
+// runCut executes one pipeline run with power cut before commit write n
+// (n < 0: no cut) and compares it against the continuous oracle.
+func (h *CrashHarness) runCut(m *intermittent.Machine, img *ccc.Image, p Pattern, words int, cfg clank.Config, n int) (intermittent.Stats, error) {
+	h.cut = n
+	stats, err := m.Run()
+	h.cut = -1
+	desc := fmt.Sprintf("crash config %s cut %d/%d", cfg, n, stats.CommitWrites)
+	if err != nil {
+		return stats, fmt.Errorf("%s: %w", desc, err)
+	}
+	if !stats.Completed {
+		return stats, fmt.Errorf("%s: run did not complete", desc)
+	}
+	if n >= 0 && n < stats.CommitWrites && stats.TornCommits == 0 {
+		return stats, fmt.Errorf("%s: cut did not fire", desc)
+	}
+	return stats, compareAgainstOracle(desc, stats, m, p, words)
+}
+
+// machine returns the cached per-configuration machine rebooted into img.
+func (h *CrashHarness) machine(cfg clank.Config, img *ccc.Image) (*intermittent.Machine, error) {
+	key := fmt.Sprintf("%+v", cfg)
+	if m, ok := h.machines[key]; ok {
+		return m, m.Reboot(img)
+	}
+	tcfg, err := translateDiffConfig(cfg, h.maxOps)
+	if err != nil {
+		return nil, err
+	}
+	m, err := intermittent.NewMachine(img, intermittent.Options{
+		Config:            tcfg,
+		Verify:            true,
+		FailAtCommitWrite: h.commitHook,
+		CommitBug:         h.Bug,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.machines[key] = m
+	return m, nil
+}

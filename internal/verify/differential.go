@@ -122,21 +122,28 @@ func (h *DiffHarness) Check(p Pattern, words int, cfg clank.Config, sched Schedu
 		return fmt.Errorf("full-stack config %s sched %v: run did not complete", cfg, sched)
 	}
 
+	return compareAgainstOracle(fmt.Sprintf("full-stack config %s sched %v", cfg, sched), stats, m, p, words)
+}
+
+// compareAgainstOracle checks a completed pipeline run against the
+// continuous oracle: the committed output stream must equal the oracle's
+// read history exactly (the output-commit bracketing permits no stuttering
+// on these programs), and every pattern word of the final NV image must
+// match the oracle's final store. Shared by the differential and
+// crash-consistency harnesses.
+func compareAgainstOracle(desc string, stats intermittent.Stats, m *intermittent.Machine, p Pattern, words int) error {
 	oracleReads, oracleFinal := Oracle(p, words)
 	if len(stats.Outputs) != len(oracleReads) {
-		return fmt.Errorf("full-stack config %s sched %v: %d outputs, oracle has %d reads",
-			cfg, sched, len(stats.Outputs), len(oracleReads))
+		return fmt.Errorf("%s: %d outputs, oracle has %d reads", desc, len(stats.Outputs), len(oracleReads))
 	}
 	for j, want := range oracleReads {
 		if stats.Outputs[j] != want {
-			return fmt.Errorf("full-stack config %s sched %v: output %d = %d, oracle read is %d",
-				cfg, sched, j, stats.Outputs[j], want)
+			return fmt.Errorf("%s: output %d = %d, oracle read is %d", desc, j, stats.Outputs[j], want)
 		}
 	}
 	for w, want := range oracleFinal {
 		if got := m.MemWord(diffDataBase + uint32(w)*4); got != want {
-			return fmt.Errorf("full-stack config %s sched %v: final mem[%d] = %d, oracle says %d",
-				cfg, sched, w, got, want)
+			return fmt.Errorf("%s: final mem[%d] = %d, oracle says %d", desc, w, got, want)
 		}
 	}
 	return nil

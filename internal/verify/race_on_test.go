@@ -1,0 +1,9 @@
+//go:build race
+
+package verify
+
+// raceDetectorEnabled lets the heaviest sweeps scale their bounds down
+// under `go test -race`, where the interpreter loops at the bottom of
+// every pipeline run cost an order of magnitude more. The full bounds
+// run in the plain test job and the verify-deep CI job.
+const raceDetectorEnabled = true
