@@ -60,6 +60,12 @@ type CPU struct {
 	// buses (trace recorder, the intermittent Clank adapter) leave it nil
 	// so every access stays visible to them.
 	mem *Memory
+
+	// TEXT window for predecode-time literal-load classification
+	// (SetTextWindow): word-address bounds [textLoW, textHiW) and the
+	// bus's TextLitLoader implementation, nil when the bus has none.
+	textLoW, textHiW uint32
+	textLit          TextLitLoader
 }
 
 // NewCPU returns a CPU attached to bus with all state zeroed.
@@ -118,8 +124,12 @@ func (c *CPU) setNZ(v uint32) {
 	c.Z = v == 0
 }
 
-// addWithCarry implements the ARM AddWithCarry pseudocode, returning the
-// result and updating no state.
+// addWithCarry implements the ARM AddWithCarry pseudocode via 64-bit
+// widening, returning the result and updating no state. It is the
+// reference model for addFlags (TestAddFlagsMatchesAddWithCarry proves
+// them identical); the executors call addFlags, whose bit-twiddled flag
+// formulas fit the inliner budget where this function's widened
+// arithmetic does not.
 func addWithCarry(x, y uint32, carryIn bool) (result uint32, carryOut, overflow bool) {
 	ci := uint64(0)
 	if carryIn {
@@ -133,11 +143,19 @@ func addWithCarry(x, y uint32, carryIn bool) (result uint32, carryOut, overflow 
 	return result, carryOut, overflow
 }
 
+// addFlags is r = x + y + carryIn with NZCV updated, entirely in 32 bits:
+// carry-out is the standard full-adder majority form at bit 31, and
+// overflow is "operands agree in sign, result disagrees".
 func (c *CPU) addFlags(x, y uint32, carryIn bool) uint32 {
-	r, co, ov := addWithCarry(x, y, carryIn)
-	c.setNZ(r)
-	c.C = co
-	c.V = ov
+	var ci uint32
+	if carryIn {
+		ci = 1
+	}
+	r := x + y + ci
+	c.N = r&0x80000000 != 0
+	c.Z = r == 0
+	c.C = (x&y|(x|y)&^r)&0x80000000 != 0
+	c.V = ((x^r)&(y^r))&0x80000000 != 0
 	return r
 }
 

@@ -113,6 +113,12 @@ const (
 	kindBL
 	kindSYS32
 
+	// PC-relative literal load whose absolute address (precomputed into
+	// Imm at fill time — the cache is indexed by pc, so the record may be
+	// pc-specific) lies inside the CPU's TEXT window. Only produced when a
+	// TextLitLoader bus is attached; see SetTextWindow.
+	kindLDRLitText
+
 	// Anything else: execute through the legacy decoder so undefined
 	// encodings keep their exact legacy errors.
 	kindUndef
@@ -191,6 +197,28 @@ func (c *CPU) EnablePredecode(mem *Memory) {
 // DisablePredecode detaches the cache, forcing every Step through the
 // legacy fetch+decode path (the reference model for differential testing).
 func (c *CPU) DisablePredecode() { c.pd, c.mem = nil, nil }
+
+// TextLitLoader is an optional Bus extension for loads the predecoder
+// proved lie inside the TEXT window: monitored buses implement it to serve
+// the word without per-access classification (the detector's verdict for a
+// TEXT read is statically known). The legacy decode path never uses it, so
+// implementations must keep it observably identical to Load — same value,
+// same side effects on monitors and failure hooks.
+type TextLitLoader interface {
+	LoadTextLit(addr, pc uint32) (uint32, error)
+}
+
+// SetTextWindow marks word addresses [lo, hi) as the TEXT region for
+// predecode-time load classification. The bounds are WORD addresses,
+// copied verbatim from the detector's own classification (for Clank,
+// Clank.TextWords) — deriving them independently from byte bounds risks
+// disagreeing at an unaligned TextEnd, where the detector rounds up to
+// cover the straddling word. The window takes effect for instructions
+// decoded after the call and only when the bus implements TextLitLoader.
+func (c *CPU) SetTextWindow(lo, hi uint32) {
+	c.textLoW, c.textHiW = lo, hi
+	c.textLit, _ = c.Bus.(TextLitLoader)
+}
 
 // predecode decodes one instruction into its flat record. op2 is the
 // following halfword, consulted only for 32-bit encodings. The mapping
@@ -696,6 +724,13 @@ func (c *CPU) execDecoded(d *DecodedInsn, pc uint32) (cycles int, next uint32, e
 		}
 		c.R[d.Rd] = v
 		return cycLoad, next, nil
+	case kindLDRLitText:
+		v, err := c.textLit.LoadTextLit(d.Imm, pc)
+		if err != nil {
+			return 0, 0, err
+		}
+		c.R[d.Rd] = v
+		return cycLoad, next, nil
 	case kindSTRReg:
 		return c.storeD(c.R[d.Rn]+c.R[d.Rm], 4, c.R[d.Rd], pc, next)
 	case kindSTRHReg:
@@ -923,6 +958,16 @@ func (c *CPU) fillDecoded(d *DecodedInsn, pc uint32) (cached bool, err error) {
 		*d = predecode(op, op2)
 	} else {
 		*d = predecode(op, 0)
+	}
+	// Pre-classify literal loads against the TEXT window: the literal's
+	// address depends only on pc, which the cache slot fixes, so the
+	// classification is as immutable as the decode itself. (Text-region
+	// stores invalidate the slot through the write hook like any other
+	// entry; the refill reclassifies to the same verdict.)
+	if d.Kind == kindLDRLit && c.textLit != nil {
+		if addr := ((pc + 4) &^ 3) + d.Imm; addr>>2 >= c.textLoW && addr>>2 < c.textHiW {
+			*d = DecodedInsn{Kind: kindLDRLitText, Rd: d.Rd, Imm: addr}
+		}
 	}
 	if slot := int(pc >> 1); slot > c.pd.maxSlot {
 		c.pd.maxSlot = slot

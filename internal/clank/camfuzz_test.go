@@ -11,15 +11,17 @@ const fuzzExemptPC uint32 = 0x100
 
 // bigDiffConfig decodes five bytes like diffConfig but over capacities that
 // cross camLinearMax (the CAM's linear-scan/map-index switchover), wider
-// APB geometries, and optional ExemptPCs — the territory the original
+// APB geometries, optional ExemptPCs, and the access filter toggled both
+// ways (bit 5 of b4, above the five Opt bits) — the territory the original
 // FuzzCAMMatchesMapModel never reaches.
 func bigDiffConfig(b0, b1, b2, b3, b4 byte) Config {
 	cfg := Config{
-		ReadFirst:  int(b0%100) + 1,
-		WriteFirst: int(b1 % 100),
-		WriteBack:  int(b2 % 100),
-		AddrPrefix: int(b3%4) * 3, // 0, 3, 6, 9
-		Opts:       Opt(b4) & OptAll,
+		ReadFirst:     int(b0%100) + 1,
+		WriteFirst:    int(b1 % 100),
+		WriteBack:     int(b2 % 100),
+		AddrPrefix:    int(b3%4) * 3, // 0, 3, 6, 9
+		Opts:          Opt(b4) & OptAll,
+		DisableFilter: b4&0x20 != 0,
 	}
 	if cfg.AddrPrefix > 0 {
 		cfg.PrefixLowBits = int(b3>>2)%6 + 1
@@ -120,6 +122,18 @@ func FuzzCAMvsMap(f *testing.F) {
 	f.Add([]byte{7, 0, 3, 1, 0x1F, 3, 0, 3, 16, 3, 32, 3, 48})
 	// TEXT segment plus big write-back.
 	f.Add([]byte{65, 65, 65, 2, 0x10, 9, 1, 9, 0, 2, 2, 9, 3})
+	// Access-filter eviction: words 0, 64, and 128 collide in the 64-entry
+	// direct-mapped filter, and the w0 violation invalidates mid-stream.
+	f.Add([]byte{16, 8, 4, 0, 0x03,
+		0x00, 0x00 /* R w0 */, 0x00, 0x04 /* R w64 */, 0x00, 0x00, /* R w0 */
+		0x01, 0x00 /* W w0: violation */, 0x00, 0x00 /* R w0: FromWB */, 0x01, 0x04, /* W w64 */
+		0x00, 0x08 /* R w128 */, 0x02, 0x00 /* fail+R w0 */, 0x00, 0x00})
+	// Same stream with the filter disabled (b4 bit 5): both paths must
+	// agree with the map model and with each other.
+	f.Add([]byte{16, 8, 4, 0, 0x23,
+		0x00, 0x00, 0x00, 0x04, 0x00, 0x00,
+		0x01, 0x00, 0x00, 0x00, 0x01, 0x04,
+		0x00, 0x08, 0x02, 0x00, 0x00, 0x00})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) < 6 {
 			return

@@ -169,6 +169,76 @@ func (c *wbCAM) reset() {
 	}
 }
 
+// Access filter. Hardware Clank answers every access in one cycle because
+// the four CAMs probe in parallel; the software model pays a linear scan
+// per access, so the reproduction's bottleneck would be an artifact of the
+// model, not the design. The filter is a small direct-mapped table in
+// front of the CAMs answering the repeated-access common case — "this word
+// is already tracked and this access cannot change detector state" — with
+// two loads and two compares. It is semantics-free: a hit returns exactly
+// what the CAM path would (Outcome{} plus the access count), a miss falls
+// through to the scan, and every transition that could invalidate an entry
+// clears it (see the invalidation matrix in DESIGN.md).
+//
+// The filter is two direct-mapped tag arrays so the hot probe is one load
+// and one compare (cheap enough that Read/Write inline into monitored-bus
+// drivers). There is no separate valid bit: an empty or invalidated slot i
+// holds a value whose low six bits do not equal i (^uint32(i) at reset,
+// ^word on point invalidation — the bitwise NOT maps low bits i to 63-i,
+// and 63-i == i has no integer solution), so no probe of any 32-bit word
+// address can ever match an empty slot.
+//
+//	fltRead[w&fltMask] == w asserts Read(w,·,·) returns Outcome{} and
+//	    changes no buffer state. True while w is in RF or WF or has a
+//	    clean (saved-read) Write-back entry. Never true for dirty
+//	    Write-back words — those reads return FromWB.
+//	fltWrite[w&fltMask] == w asserts Write(w,·,·,·) returns Outcome{}
+//	    and changes no buffer state. True only while w is in WF: WF words
+//	    can never reach the violation path or acquire Write-back entries
+//	    (both Read and Write bail on the WF hit first), and a WF hit
+//	    returns Outcome{} even in untracked mode. Since nothing ever
+//	    leaves WF mid-section, write entries invalidate only at Reset.
+//
+// Both assertions hold for every pc: exempt-PC accesses to such words
+// return Outcome{} through a different branch of the same decision tree,
+// so the filter need not be pc-aware.
+const (
+	fltEntries = 64
+	fltMask    = fltEntries - 1
+
+	// FilterEntries exports the slot count of each direct-mapped filter
+	// array for hardware-cost accounting (internal/hwcost).
+	FilterEntries = fltEntries
+)
+
+// fltEmpty is the all-slots-invalid tag array (slot i holds ^i).
+var fltEmpty = func() (a [fltEntries]uint32) {
+	for i := range a {
+		a[i] = ^uint32(i)
+	}
+	return
+}()
+
+// FilterBug selects a deliberately broken access-filter invalidation mode.
+// It exists only for meta-tests proving the differential and bounded-sweep
+// machinery catches a stale filter; see SetFilterBug.
+type FilterBug int
+
+const (
+	// FilterBugNone is the correct filter.
+	FilterBugNone FilterBug = iota
+	// FilterBugSkipViolationInvalidate leaves a word's filter entry intact
+	// when its violating write is buffered (the WAR transition that makes
+	// the word dirty in the Write-back Buffer). A later read of the word
+	// then fast-paths to Outcome{} instead of being served FromWB.
+	FilterBugSkipViolationInvalidate
+)
+
+// outcomeOK is the zero Outcome ("proceed, nothing to do"). The filter
+// fast paths return this named value instead of a composite literal to
+// stay inside the inliner budget.
+var outcomeOK Outcome
+
 // Outcome is the detector's verdict on one access.
 type Outcome struct {
 	// NeedCheckpoint means a checkpoint must be taken BEFORE this access
@@ -203,6 +273,13 @@ type Clank struct {
 	accesses  int // accesses classified since the last Reset
 
 	textStartW, textEndW uint32
+
+	// Access-filter front end (see the block comment above FilterBug).
+	// Embedded arrays keep the probe one pointer dereference from k.
+	fltRead  [fltEntries]uint32
+	fltWrite [fltEntries]uint32
+	fltOn    bool
+	fltBug   FilterBug
 }
 
 // New builds the hardware model for cfg. It panics on an invalid
@@ -220,8 +297,44 @@ func New(cfg Config) *Clank {
 		apb:        newAddrCAM(cfg.AddrPrefix),
 		textStartW: cfg.TextStart >> 2,
 		textEndW:   (cfg.TextEnd + 3) >> 2,
+		fltOn:      !cfg.DisableFilter,
 	}
+	k.fltRead = fltEmpty
+	k.fltWrite = fltEmpty
 	return k
+}
+
+// SetFilterBug installs a deliberately broken filter-invalidation mode.
+// Test-only: it exists so meta-tests can prove the verification machinery
+// detects a filter missing one invalidation.
+func (k *Clank) SetFilterBug(b FilterBug) { k.fltBug = b }
+
+// fltSetRead records that reads of word are answerable by the filter,
+// evicting whatever shared the slot.
+func (k *Clank) fltSetRead(word uint32) {
+	if k.fltOn {
+		k.fltRead[word&fltMask] = word
+	}
+}
+
+// fltSetWrite records that both reads and writes of word are answerable
+// by the filter (the word is write-dominated).
+func (k *Clank) fltSetWrite(word uint32) {
+	if k.fltOn {
+		k.fltRead[word&fltMask] = word
+		k.fltWrite[word&fltMask] = word
+	}
+}
+
+// fltDropRead invalidates word's read entry, if present. Dropping a word
+// that was never cached is a no-op, so callers invalidate on every
+// transition that could matter without tracking residency. (Write entries
+// never need point invalidation: words leave the Write-first Buffer only
+// at Reset.)
+func (k *Clank) fltDropRead(word uint32) {
+	if i := word & fltMask; k.fltRead[i] == word {
+		k.fltRead[i] = ^word
+	}
 }
 
 // Config returns the configuration the hardware was built with.
@@ -238,11 +351,37 @@ func (k *Clank) Reset() {
 	k.wbDirty = 0
 	k.untracked = false
 	k.accesses = 0
+	// Restoring the all-invalid tag pattern empties the filter. Checkpoint
+	// commit/clear and power-failure reboot both land here, so the filter
+	// can never carry entries across a section boundary — and a second
+	// Reset before any access finds the arrays already emptied (reboot
+	// idempotency).
+	k.fltRead = fltEmpty
+	k.fltWrite = fltEmpty
 }
 
 // SectionAccesses reports how many accesses the current section has
 // classified (used by drivers for output- and TEXT-write bracketing).
 func (k *Clank) SectionAccesses() int { return k.accesses }
+
+// NoteIgnoredAccess records an access the driver classified outside the
+// detector — a TEXT-segment read pre-classified at predecode time under
+// OptIgnoreText. The detector's verdict for such an access is always
+// Outcome{} (TEXT words can never be buffer-resident while OptIgnoreText
+// is on, because the TEXT check precedes every insert), but the access
+// still counts toward SectionAccesses so output- and TEXT-write bracketing
+// sees the same access stream no matter where classification happened.
+func (k *Clank) NoteIgnoredAccess() { k.accesses++ }
+
+// TextWords returns the word-address bounds [lo, hi) of the TEXT segment
+// exactly as the detector classifies it (TextEnd rounds up to the next
+// word boundary) and whether OptIgnoreText is active. Drivers that
+// pre-classify TEXT reads must derive their window from these bounds:
+// recomputing from the byte bounds diverges for an access in the word
+// straddling an unaligned TextEnd.
+func (k *Clank) TextWords() (lo, hi uint32, active bool) {
+	return k.textStartW, k.textEndW, k.cfg.Opts&OptIgnoreText != 0
+}
 
 // Untracked reports whether the detector is in the post-fill untracked mode
 // of the Latest-Checkpoint optimization.
@@ -331,8 +470,18 @@ func (k *Clank) ensurePrefix(w uint32) bool {
 }
 
 // Read classifies a read of word (whose current non-volatile value is
-// memValue) performed by the instruction at pc.
+// memValue) performed by the instruction at pc. The filter probe up front
+// answers re-reads of already-tracked words without touching the CAMs;
+// the function is small enough to inline into monitored-bus drivers.
 func (k *Clank) Read(word, memValue, pc uint32) Outcome {
+	if k.fltRead[word&fltMask] == word {
+		k.accesses++
+		return outcomeOK
+	}
+	return k.readSlow(word, memValue, pc)
+}
+
+func (k *Clank) readSlow(word, memValue, pc uint32) Outcome {
 	k.accesses++
 	// One CAM probe answers both Write-back questions: a dirty entry
 	// shadows memory unconditionally (its value must be visible to
@@ -342,15 +491,23 @@ func (k *Clank) Read(word, memValue, pc uint32) Outcome {
 		if k.wb.slots[i].dirty {
 			return Outcome{FromWB: true, ReadValue: k.wb.slots[i].val}
 		}
+		k.fltSetRead(word)
 		return Outcome{}
 	}
 	if k.exempt(pc) || k.inText(word) || k.untracked {
+		// Not cacheable: the verdict depends on pc (exempt) or on mode
+		// state rather than the word's own tracking (untracked). TEXT
+		// words would be cacheable for reads but writes to them must
+		// still reach the checkpoint logic, and they never recur here
+		// once drivers pre-classify them (NoteIgnoredAccess).
 		return Outcome{}
 	}
 	if k.rf.contains(word) {
+		k.fltSetRead(word)
 		return Outcome{}
 	}
 	if k.wf.contains(word) {
+		k.fltSetWrite(word)
 		return Outcome{}
 	}
 	// Insert into the Read-first Buffer.
@@ -366,6 +523,7 @@ func (k *Clank) Read(word, memValue, pc uint32) Outcome {
 	if k.cfg.Opts&OptIgnoreFalseWrites != 0 && k.cfg.WriteBack > 0 && !k.wb.full() {
 		k.wb.insert(word, memValue, false)
 	}
+	k.fltSetRead(word)
 	return Outcome{}
 }
 
@@ -378,8 +536,18 @@ func (k *Clank) fillOnRead(r Reason) Outcome {
 }
 
 // Write classifies a write of value to word (whose current non-volatile
-// value is memValue) performed by the instruction at pc.
+// value is memValue) performed by the instruction at pc. The filter probe
+// up front answers re-writes of write-dominated words without touching
+// the CAMs.
 func (k *Clank) Write(word, value, memValue, pc uint32) Outcome {
+	if k.fltWrite[word&fltMask] == word {
+		k.accesses++
+		return outcomeOK
+	}
+	return k.writeSlow(word, value, memValue, pc)
+}
+
+func (k *Clank) writeSlow(word, value, memValue, pc uint32) Outcome {
 	k.accesses++
 	wbIdx := k.wb.find(word)
 	if wbIdx >= 0 && k.wb.slots[wbIdx].dirty {
@@ -403,6 +571,7 @@ func (k *Clank) Write(word, value, memValue, pc uint32) Outcome {
 		// Write-dominated: safe even in untracked mode — reads of this
 		// address were ignored while it sat in the Write-first Buffer,
 		// so no untracked read can depend on its old value.
+		k.fltSetWrite(word)
 		return Outcome{}
 	}
 	if k.rf.contains(word) {
@@ -437,6 +606,7 @@ func (k *Clank) Write(word, value, memValue, pc uint32) Outcome {
 		return k.fillOnWrite(ReasonAPOverflow)
 	}
 	k.wf.insert(word)
+	k.fltSetWrite(word)
 	return Outcome{}
 }
 
@@ -464,6 +634,12 @@ func (k *Clank) violation(word, value, memValue uint32, wbIdx int) Outcome {
 	}
 	if k.cfg.WriteBack == 0 {
 		return Outcome{NeedCheckpoint: true, Reason: ReasonViolation}
+	}
+	// The word is about to gain a dirty Write-back entry: reads must now
+	// be served FromWB, so any cached read-safe verdict is stale. (This
+	// also covers the OptRemoveDuplicates RF removal below — same word.)
+	if k.fltBug != FilterBugSkipViolationInvalidate {
+		k.fltDropRead(word)
 	}
 	if wbIdx >= 0 {
 		// Upgrade the saved-read entry in place.
@@ -501,6 +677,11 @@ func (k *Clank) evictClean() bool {
 	if victim < 0 {
 		return false
 	}
+	// Conservative invalidation: the evicted word stays read-safe (it is
+	// still in RF and reads of it return Outcome{}), but dropping it keeps
+	// the invariant simple — a word's entry never outlives any Write-back
+	// transition involving it.
+	k.fltDropRead(k.wb.slots[victim].word)
 	k.wb.removeAt(victim)
 	return true
 }

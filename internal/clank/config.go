@@ -89,6 +89,12 @@ type Config struct {
 	// TextStart/TextEnd bound the TEXT segment in bytes, for
 	// OptIgnoreText.
 	TextStart, TextEnd uint32
+
+	// DisableFilter turns off the access-filter front end (on by
+	// default). The filter is semantics-free — disabling it only costs
+	// speed — and differential tests toggle it to cross-check the
+	// filtered and unfiltered paths against each other.
+	DisableFilter bool
 }
 
 // Validate reports configuration errors.

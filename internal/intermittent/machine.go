@@ -177,6 +177,15 @@ type Machine struct {
 	cutPower          bool         // FailAfterAccess fired: outage after this instruction
 	consecutiveBarren int
 
+	// TEXT-read fast path (OptIgnoreText): word-address window copied
+	// from the detector's own classification (clank.TextWords). Reads of
+	// words in [textLoW, textLoW+textSpanW) skip detector classification —
+	// the verdict is statically Outcome{} — and only bump the section
+	// access count. textSpanW stays 0 when OptIgnoreText is off, making
+	// the unsigned window test below always false.
+	textLoW   uint32
+	textSpanW uint32
+
 	dirtyScratch []clank.WBEntry    // reused by every checkpoint drain
 	stepScratch  []clank.CommitStep // reused by every commit/recovery walk
 
@@ -226,6 +235,14 @@ func NewMachine(img *ccc.Image, opts Options) (*Machine, error) {
 	// (self-modifying code, checkpoint drains of buffered text writes)
 	// invalidate the affected lines through the Memory write hook.
 	m.cpu.EnablePredecode(m.mem)
+	// Both TEXT fast paths — the dynamic window in load and the predecode
+	// literal pre-classifier — take their word bounds from the detector so
+	// all three classifiers agree at an unaligned TextEnd (the detector
+	// rounds up to cover the straddling word).
+	if lo, hi, ok := m.k.TextWords(); ok && hi > lo {
+		m.textLoW, m.textSpanW = lo, hi-lo
+		m.cpu.SetTextWindow(lo, hi)
+	}
 	m.cpu.ResetInto(img.InitialSP, img.Entry)
 	// The compiler pre-creates checkpoint 0: boot state entering main
 	// (paper section 4.2), so the start-up routine never special-cases
@@ -277,6 +294,10 @@ func (m *Machine) Reboot(img *ccc.Image) error {
 // tracking (final-state inspection by the differential harness).
 func (m *Machine) MemWord(addr uint32) uint32 { return m.mem.ReadWord(addr) }
 
+// Insns returns the CPU's monotonic retired-instruction counter, including
+// re-executed instructions (throughput benchmarks divide wall time by it).
+func (m *Machine) Insns() uint64 { return m.cpu.Insns }
+
 // busAdapter routes CPU memory traffic through Clank.
 type busAdapter struct{ m *Machine }
 
@@ -290,12 +311,47 @@ func (b busAdapter) Store(addr uint32, size uint8, value uint32, pc uint32) erro
 	return b.m.store(addr, size, value, pc)
 }
 
+// LoadTextLit serves a literal-pool load the predecoder proved lies inside
+// the TEXT window (armsim.TextLitLoader). Classification already happened
+// at decode time: under OptIgnoreText a TEXT word can never be
+// buffer-resident, so the detector's verdict for reading it is statically
+// Outcome{} and the access skips clank.Read entirely. Everything else —
+// the section access count (NoteIgnoredAccess, for output bracketing
+// parity), the reference monitor, the failure-injection hook — observes
+// exactly what the generic path would.
+func (b busAdapter) LoadTextLit(addr, pc uint32) (uint32, error) {
+	m := b.m
+	m.k.NoteIgnoredAccess()
+	memWord := m.mem.ReadWord(addr)
+	if m.mon != nil {
+		m.mon.ReadNV(addr>>2, memWord)
+	}
+	if m.opts.FailAfterAccess != nil && m.opts.FailAfterAccess(addr, false) {
+		m.cutPower = true
+	}
+	return memWord, nil
+}
+
 func (m *Machine) load(addr uint32, size uint8, pc uint32) (uint32, error) {
 	if addr >= armsim.MemSize {
 		// Reads of the output region are not tracked state.
 		return m.mem.Load(addr, size, pc)
 	}
 	word := addr >> 2
+	if word-m.textLoW < m.textSpanW {
+		// TEXT read under OptIgnoreText: same statically-known verdict as
+		// LoadTextLit, reached dynamically (register-based addressing the
+		// predecoder cannot classify, and the legacy reference path).
+		m.k.NoteIgnoredAccess()
+		memWord := m.mem.ReadWord(addr)
+		if m.mon != nil {
+			m.mon.ReadNV(word, memWord)
+		}
+		if m.opts.FailAfterAccess != nil && m.opts.FailAfterAccess(addr, false) {
+			m.cutPower = true
+		}
+		return extract(memWord, addr, size), nil
+	}
 	memWord := m.mem.ReadWord(addr)
 	out := m.k.Read(word, memWord, pc)
 	if out.NeedCheckpoint {

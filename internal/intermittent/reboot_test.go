@@ -1,0 +1,78 @@
+package intermittent
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/clank"
+	"repro/internal/power"
+)
+
+// TestDoubleRebootIdempotent pins Reset idempotency at the machine level:
+// rebooting twice back to back (the power-fails-during-boot pattern) must
+// leave the machine in exactly the state one reboot does — in particular
+// the detector's access filter must not carry entries across either reset.
+// All three runs use the same deterministic supply, so the full Stats of
+// the single- and double-reboot runs must be identical, not merely
+// equivalent.
+func TestDoubleRebootIdempotent(t *testing.T) {
+	img := compileTest(t, testProgram)
+	cfg := clank.Config{ReadFirst: 8, WriteFirst: 4, WriteBack: 2, Opts: clank.OptAll}
+	m, err := NewMachine(img, Options{
+		Config:          cfg,
+		Supply:          power.Always{},
+		ProgressDefault: 30_000,
+		Verify:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(reboots int) Stats {
+		t.Helper()
+		for i := 0; i < reboots; i++ {
+			if err := m.Reboot(img); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatalf("run after %d reboot(s): %v", reboots, err)
+		}
+		if !st.Completed {
+			t.Fatalf("run after %d reboot(s) did not complete", reboots)
+		}
+		return st
+	}
+	fresh := run(0) // the machine as NewMachine built it
+	single := run(1)
+	double := run(2)
+	if !reflect.DeepEqual(single, double) {
+		t.Errorf("double reboot diverged from single:\n single: %+v\n double: %+v", single, double)
+	}
+	if !reflect.DeepEqual(fresh, single) {
+		t.Errorf("Reboot diverged from NewMachine:\n  fresh: %+v\n single: %+v", fresh, single)
+	}
+}
+
+// TestInterruptedRestoreIdempotent drives the real double-reset scenario:
+// a supply whose minimum budget can expire inside the restore routine
+// itself, so some boots make no forward progress and the next boot resets
+// an already-reset detector. The run must still complete with outputs
+// equivalent to continuous execution.
+func TestInterruptedRestoreIdempotent(t *testing.T) {
+	img := compileTest(t, testProgram)
+	contOut, _, _ := continuousRun(t, img)
+	cfg := clank.Config{ReadFirst: 8, WriteFirst: 4, WriteBack: 2, Opts: clank.OptAll}
+	barren := 0
+	for _, seed := range []int64{2, 5, 13} {
+		supply := power.NewSupply(power.Exponential{Mean: 3000, Min: 40}, seed)
+		st := runIntermittent(t, img, cfg, supply, 0)
+		if !outputsEquivalent(contOut, st.Outputs) {
+			t.Errorf("seed %d: outputs diverge after interrupted restores", seed)
+		}
+		barren += st.BarrenBoots
+	}
+	if barren == 0 {
+		t.Error("no barren boots across any seed; no restore was ever interrupted")
+	}
+}
