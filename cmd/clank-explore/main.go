@@ -1,14 +1,17 @@
 // Command clank-explore sweeps Clank buffer configurations for one
 // benchmark (or a user program) and prints the hardware-size-vs-overhead
 // tradeoff, including the Pareto frontier — the per-program version of the
-// paper's design-space exploration.
+// paper's design-space exploration. The grid replays as one batched,
+// sharded sweep over the columnar trace, so the output is byte-identical
+// at any -workers count.
 //
 // Usage:
 //
-//	clank-explore [-bench fft | prog.c] [-max-rf 32]
+//	clank-explore [-bench fft | prog.c] [-max-rf 32] [-workers 4]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +29,7 @@ func main() {
 	maxRF := flag.Int("max-rf", 32, "largest Read-first Buffer size swept")
 	saveTrace := flag.String("save-trace", "", "write the collected access log to this file")
 	loadTrace := flag.String("load-trace", "", "replay a previously saved access log instead of re-simulating")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS; results are identical at any count)")
 	flag.Parse()
 
 	var src, name string
@@ -54,9 +58,23 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		trace, cycles, err = armsim.ReadTrace(f)
+		var meta *armsim.TraceMeta
+		trace, cycles, meta, err = armsim.ReadTraceMeta(f)
 		f.Close()
 		if err != nil {
+			fatal(err)
+		}
+		// A trace replays faithfully only against the program it was
+		// captured from; v2 traces carry the binding, v1 traces cannot be
+		// checked.
+		if meta == nil {
+			fmt.Fprintf(os.Stderr, "clank-explore: warning: %s is a legacy v1 trace with no program binding; "+
+				"results are garbage if it was captured from a different program\n", *loadTrace)
+		} else if err := meta.Check(img.Bytes, img.TextStart, img.TextEnd); err != nil {
+			if errors.Is(err, armsim.ErrTraceMismatch) {
+				fatal(fmt.Errorf("%s was captured from a different program: %w (re-run with -save-trace to recapture)",
+					*loadTrace, err))
+			}
 			fatal(err)
 		}
 	} else {
@@ -70,7 +88,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := armsim.WriteTrace(f, trace, cycles); err != nil {
+		meta := armsim.TraceMeta{
+			ImageDigest: armsim.ImageDigest(img.Bytes),
+			TextStart:   img.TextStart,
+			TextEnd:     img.TextEnd,
+		}
+		if err := armsim.WriteTraceMeta(f, trace, cycles, meta); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -81,12 +104,7 @@ func main() {
 	fmt.Printf("%s: %d cycles, %d memory accesses, %d Program Idempotent PCs\n\n",
 		name, cycles, len(trace), len(exempt))
 
-	type point struct {
-		cfg  clank.Config
-		bits int
-		ovr  float64
-	}
-	var pts []point
+	var cfgs []clank.Config
 	for rf := 1; rf <= *maxRF; rf *= 2 {
 		for _, wf := range []int{0, rf / 2} {
 			for _, wb := range []int{0, 1, 2, 4} {
@@ -97,14 +115,33 @@ func main() {
 					if ap > 0 {
 						cfg.PrefixLowBits = 6
 					}
-					res, err := policysim.Simulate(trace, cycles, cfg, policysim.Options{Verify: true})
-					if err != nil {
-						fatal(err)
-					}
-					pts = append(pts, point{cfg, cfg.BufferBits(), res.CheckpointOverhead()})
+					cfgs = append(cfgs, cfg)
 				}
 			}
 		}
+	}
+	jobs := make([]policysim.Job, len(cfgs))
+	for i, cfg := range cfgs {
+		jobs[i] = policysim.Job{Config: cfg, Opts: policysim.Options{Verify: true}}
+	}
+	sweep := &policysim.Sweep{
+		Trace:   policysim.NewBatchTrace(trace, cycles, img.TextStart, img.TextEnd),
+		Jobs:    jobs,
+		Workers: *workers,
+	}
+	results, err := sweep.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	type point struct {
+		cfg  clank.Config
+		bits int
+		ovr  float64
+	}
+	pts := make([]point, len(cfgs))
+	for i, cfg := range cfgs {
+		pts[i] = point{cfg, cfg.BufferBits(), results[i].CheckpointOverhead()}
 	}
 	sort.Slice(pts, func(i, j int) bool {
 		if pts[i].bits != pts[j].bits {

@@ -1,0 +1,148 @@
+package armsim
+
+// Columnar trace capture: the struct-of-arrays twin of Recorder. The
+// policy simulator's batched design-space engine consumes traces column by
+// column; capturing straight into columns skips the row-to-column
+// transpose for traces that never need the []Access form.
+
+// TraceCols is a memory-access log as parallel columns. Invariants match
+// Recorder's row output: memory accesses are word-normalized (Addr
+// word-aligned, Value/Prev whole words, Size 4), output-port stores keep
+// their raw address and size.
+type TraceCols struct {
+	Write []bool
+	Addr  []uint32
+	Size  []uint8
+	Value []uint32
+	Prev  []uint32
+	PC    []uint32
+	Cycle []uint64
+
+	Total uint64 // total cycle count of the run
+}
+
+// Len returns the number of recorded accesses.
+func (tc *TraceCols) Len() int { return len(tc.Addr) }
+
+func (tc *TraceCols) append(write bool, addr uint32, size uint8, value, prev, pc uint32, cycle uint64) {
+	tc.Write = append(tc.Write, write)
+	tc.Addr = append(tc.Addr, addr)
+	tc.Size = append(tc.Size, size)
+	tc.Value = append(tc.Value, value)
+	tc.Prev = append(tc.Prev, prev)
+	tc.PC = append(tc.PC, pc)
+	tc.Cycle = append(tc.Cycle, cycle)
+}
+
+// Rows materializes the []Access row form.
+func (tc *TraceCols) Rows() []Access {
+	rows := make([]Access, tc.Len())
+	for i := range rows {
+		rows[i] = Access{
+			Write: tc.Write[i],
+			Addr:  tc.Addr[i],
+			Size:  tc.Size[i],
+			Value: tc.Value[i],
+			Prev:  tc.Prev[i],
+			PC:    tc.PC[i],
+			Cycle: tc.Cycle[i],
+		}
+	}
+	return rows
+}
+
+// ColsFromRows transposes a row trace into columns.
+func ColsFromRows(trace []Access, totalCycles uint64) *TraceCols {
+	tc := &TraceCols{
+		Write: make([]bool, len(trace)),
+		Addr:  make([]uint32, len(trace)),
+		Size:  make([]uint8, len(trace)),
+		Value: make([]uint32, len(trace)),
+		Prev:  make([]uint32, len(trace)),
+		PC:    make([]uint32, len(trace)),
+		Cycle: make([]uint64, len(trace)),
+		Total: totalCycles,
+	}
+	for i, a := range trace {
+		tc.Write[i] = a.Write
+		tc.Addr[i] = a.Addr
+		tc.Size[i] = a.Size
+		tc.Value[i] = a.Value
+		tc.Prev[i] = a.Prev
+		tc.PC[i] = a.PC
+		tc.Cycle[i] = a.Cycle
+	}
+	return tc
+}
+
+// ColsRecorder is a Bus recording the access log directly into columns —
+// Recorder's struct-of-arrays twin, with identical normalization.
+type ColsRecorder struct {
+	Mem     *Memory
+	CycleFn func() uint64
+	Trace   TraceCols
+}
+
+// NewColsRecorder wires a columnar recorder around mem.
+func NewColsRecorder(mem *Memory) *ColsRecorder {
+	return &ColsRecorder{Mem: mem}
+}
+
+func (r *ColsRecorder) cycle() uint64 {
+	if r.CycleFn == nil {
+		return 0
+	}
+	return r.CycleFn()
+}
+
+// Load implements Bus.
+func (r *ColsRecorder) Load(addr uint32, size uint8, pc uint32) (uint32, error) {
+	v, err := r.Mem.Load(addr, size, pc)
+	if err != nil {
+		return 0, err
+	}
+	if addr < MemSize {
+		r.Trace.append(false, addr&^3, 4, r.Mem.ReadWord(addr), 0, pc, r.cycle())
+	}
+	return v, nil
+}
+
+// Store implements Bus.
+func (r *ColsRecorder) Store(addr uint32, size uint8, value uint32, pc uint32) error {
+	if addr >= MemSize {
+		if err := r.Mem.Store(addr, size, value, pc); err != nil {
+			return err
+		}
+		r.Trace.append(true, addr, size, value, 0, pc, r.cycle())
+		return nil
+	}
+	prev := r.Mem.ReadWord(addr)
+	if err := r.Mem.Store(addr, size, value, pc); err != nil {
+		return err
+	}
+	r.Trace.append(true, addr&^3, 4, r.Mem.ReadWord(addr), prev, pc, r.cycle())
+	return nil
+}
+
+// Fetch16 implements Bus (instruction fetches are not tracked).
+func (r *ColsRecorder) Fetch16(addr uint32) (uint16, error) { return r.Mem.Fetch16(addr) }
+
+// CollectTraceCols is CollectTrace capturing straight into columns.
+func CollectTraceCols(image []byte, maxCycles uint64) (*TraceCols, error) {
+	mem := NewMemory()
+	if err := mem.LoadImage(0, image); err != nil {
+		return nil, err
+	}
+	rec := NewColsRecorder(mem)
+	cpu := NewCPU(rec)
+	cpu.EnablePredecode(mem)
+	rec.CycleFn = func() uint64 { return cpu.Cycle }
+	cpu.ResetInto(mem.ReadWord(0), mem.ReadWord(4))
+	m := &Machine{CPU: cpu, Mem: mem}
+	total, err := m.Run(maxCycles)
+	if err != nil {
+		return nil, err
+	}
+	rec.Trace.Total = total
+	return &rec.Trace, nil
+}

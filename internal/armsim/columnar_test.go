@@ -1,0 +1,61 @@
+package armsim
+
+import "testing"
+
+// columnarTestOps is a program mixing word stores, byte stores (which
+// exercise word normalization), loads, and an output-port store.
+func columnarTestOps() []uint16 {
+	ops := []uint16{
+		movImm8(2, 0x40), // address base
+		movImm8(0, 0x11),
+	}
+	for i := 0; i < 10; i++ {
+		ops = append(ops,
+			uint16(0b0110<<12|0<<11|0<<6|2<<3|0), // STR r0, [r2]
+			uint16(0b0111<<12|0<<11|2<<6|2<<3|0), // STRB r0, [r2, #2]
+			uint16(0b0110<<12|1<<11|0<<6|2<<3|4), // LDR r4, [r2]
+		)
+	}
+	ops = append(ops,
+		movImm8(5, 0x40),
+		uint16(0b00000<<11|24<<6|5<<3|5),     // LSLS r5, #24 -> output port
+		uint16(0b0110<<12|0<<11|0<<6|5<<3|0), // STR r0, [r5]
+		opBKPT,
+	)
+	return ops
+}
+
+// TestCollectTraceColsMatchesRows pins the columnar recorder to the row
+// recorder: same program, identical access log and total, field by field.
+func TestCollectTraceColsMatchesRows(t *testing.T) {
+	image := asmImage(columnarTestOps()...)
+	rows, total, err := CollectTrace(image, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := CollectTraceCols(image, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols.Total != total {
+		t.Fatalf("total %d, rows %d", cols.Total, total)
+	}
+	if cols.Len() != len(rows) {
+		t.Fatalf("recorded %d accesses, rows %d", cols.Len(), len(rows))
+	}
+	back := cols.Rows()
+	for i, a := range rows {
+		if back[i] != a {
+			t.Fatalf("access %d: cols %+v != rows %+v", i, back[i], a)
+		}
+	}
+	// And the transpose of the rows is the same columns.
+	tc := ColsFromRows(rows, total)
+	for i := range rows {
+		if tc.Write[i] != cols.Write[i] || tc.Addr[i] != cols.Addr[i] ||
+			tc.Value[i] != cols.Value[i] || tc.Prev[i] != cols.Prev[i] ||
+			tc.PC[i] != cols.PC[i] || tc.Cycle[i] != cols.Cycle[i] {
+			t.Fatalf("transposed access %d differs", i)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package armsim
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -14,31 +15,62 @@ import (
 // paper's artifact, which passed Thumbulator logs to the Clank policy
 // simulator.
 //
-// Format (little-endian):
+// Version 2 (little-endian):
 //
-//	magic "CLNKTRC1" | uint64 totalCycles | uint64 count | count records
+//	magic "CLNKTRC2" | uint64 totalCycles | uint64 count |
+//	sha256 imageDigest (32 bytes) | uint32 textStart | uint32 textEnd |
+//	count records
+//
+// The digest and TEXT bounds bind a trace to the program image it was
+// captured from: replaying a trace against a different program silently
+// produces garbage results (the detector classifies the wrong addresses,
+// the monitor verifies the wrong values), so loaders refuse mismatches.
+//
+// Version 1 lacks the binding header (magic "CLNKTRC1", records follow
+// the count immediately) and is still readable; ReadTraceMeta reports a
+// nil TraceMeta so callers can warn that the trace is unverifiable.
 //
 // Each record is 25 bytes: flags(1) addr(4) value(4) prev(4) pc(4) cycle(8).
 
-var traceMagic = [8]byte{'C', 'L', 'N', 'K', 'T', 'R', 'C', '1'}
+var (
+	traceMagic   = [8]byte{'C', 'L', 'N', 'K', 'T', 'R', 'C', '1'}
+	traceMagicV2 = [8]byte{'C', 'L', 'N', 'K', 'T', 'R', 'C', '2'}
+)
 
 // ErrBadTrace reports a malformed trace stream.
 var ErrBadTrace = errors.New("armsim: malformed trace file")
 
+// ErrTraceMismatch reports a trace whose recorded provenance does not
+// match the program it is being replayed against.
+var ErrTraceMismatch = errors.New("armsim: trace does not match program")
+
 const traceRecordSize = 1 + 4 + 4 + 4 + 4 + 8
 
-// WriteTrace serializes a trace and its total cycle count to w.
-func WriteTrace(w io.Writer, trace []Access, totalCycles uint64) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(traceMagic[:]); err != nil {
-		return err
+// TraceMeta binds a trace to the program image it was captured from.
+type TraceMeta struct {
+	ImageDigest [32]byte // SHA-256 of the program image bytes
+	TextStart   uint32   // byte bounds of the image's TEXT segment
+	TextEnd     uint32
+}
+
+// ImageDigest computes the digest TraceMeta records for an image.
+func ImageDigest(image []byte) [32]byte { return sha256.Sum256(image) }
+
+// Check verifies that a trace captured with this metadata replays
+// faithfully against the given image and TEXT bounds.
+func (m TraceMeta) Check(image []byte, textStart, textEnd uint32) error {
+	if d := ImageDigest(image); d != m.ImageDigest {
+		return fmt.Errorf("%w: image digest %x, trace was captured from %x",
+			ErrTraceMismatch, d[:8], m.ImageDigest[:8])
 	}
-	var hdr [16]byte
-	binary.LittleEndian.PutUint64(hdr[0:], totalCycles)
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(trace)))
-	if _, err := bw.Write(hdr[:]); err != nil {
-		return err
+	if m.TextStart != textStart || m.TextEnd != textEnd {
+		return fmt.Errorf("%w: TEXT bounds [%#x,%#x), trace recorded [%#x,%#x)",
+			ErrTraceMismatch, textStart, textEnd, m.TextStart, m.TextEnd)
 	}
+	return nil
+}
+
+func writeTraceRecords(bw *bufio.Writer, trace []Access) error {
 	var rec [traceRecordSize]byte
 	for _, a := range trace {
 		rec[0] = 0
@@ -57,32 +89,91 @@ func WriteTrace(w io.Writer, trace []Access, totalCycles uint64) error {
 	return bw.Flush()
 }
 
-// ReadTrace deserializes a trace written by WriteTrace.
+// WriteTrace serializes a trace in the legacy unverifiable v1 format.
+// New captures should use WriteTraceMeta.
+func WriteTrace(w io.Writer, trace []Access, totalCycles uint64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], totalCycles)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(trace)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	return writeTraceRecords(bw, trace)
+}
+
+// WriteTraceMeta serializes a trace in the v2 format, binding it to the
+// program it was captured from.
+func WriteTraceMeta(w io.Writer, trace []Access, totalCycles uint64, meta TraceMeta) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagicV2[:]); err != nil {
+		return err
+	}
+	var hdr [16 + 32 + 8]byte
+	binary.LittleEndian.PutUint64(hdr[0:], totalCycles)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(trace)))
+	copy(hdr[16:], meta.ImageDigest[:])
+	binary.LittleEndian.PutUint32(hdr[48:], meta.TextStart)
+	binary.LittleEndian.PutUint32(hdr[52:], meta.TextEnd)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	return writeTraceRecords(bw, trace)
+}
+
+// ReadTrace deserializes a trace of either version, discarding any
+// provenance metadata. Callers that replay against a specific program
+// should prefer ReadTraceMeta and Check.
 func ReadTrace(r io.Reader) ([]Access, uint64, error) {
+	trace, total, _, err := ReadTraceMeta(r)
+	return trace, total, err
+}
+
+// ReadTraceMeta deserializes a trace written by WriteTrace or
+// WriteTraceMeta. For v2 traces meta identifies the source program; for
+// legacy v1 traces meta is nil (the trace cannot be verified).
+func ReadTraceMeta(r io.Reader) ([]Access, uint64, *TraceMeta, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, 0, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		return nil, 0, nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
 	}
-	if magic != traceMagic {
-		return nil, 0, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic[:])
+	var meta *TraceMeta
+	switch magic {
+	case traceMagic:
+	case traceMagicV2:
+		meta = &TraceMeta{}
+	default:
+		return nil, 0, nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic[:])
 	}
 	var hdr [16]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, 0, fmt.Errorf("%w: truncated header", ErrBadTrace)
+		return nil, 0, nil, fmt.Errorf("%w: truncated header", ErrBadTrace)
 	}
 	total := binary.LittleEndian.Uint64(hdr[0:])
 	count := binary.LittleEndian.Uint64(hdr[8:])
+	if meta != nil {
+		var ext [32 + 8]byte
+		if _, err := io.ReadFull(br, ext[:]); err != nil {
+			return nil, 0, nil, fmt.Errorf("%w: truncated v2 header", ErrBadTrace)
+		}
+		copy(meta.ImageDigest[:], ext[:32])
+		meta.TextStart = binary.LittleEndian.Uint32(ext[32:])
+		meta.TextEnd = binary.LittleEndian.Uint32(ext[36:])
+	}
 	const maxRecords = 1 << 31
 	if count > maxRecords {
-		return nil, 0, fmt.Errorf("%w: implausible record count %d", ErrBadTrace, count)
+		return nil, 0, nil, fmt.Errorf("%w: implausible record count %d", ErrBadTrace, count)
 	}
 	trace := make([]Access, 0, count)
 	var rec [traceRecordSize]byte
 	var prevCycle uint64
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, 0, fmt.Errorf("%w: truncated at record %d", ErrBadTrace, i)
+			return nil, 0, nil, fmt.Errorf("%w: truncated at record %d", ErrBadTrace, i)
 		}
 		a := Access{
 			Write: rec[0]&1 != 0,
@@ -94,13 +185,13 @@ func ReadTrace(r io.Reader) ([]Access, uint64, error) {
 			Cycle: binary.LittleEndian.Uint64(rec[17:]),
 		}
 		if a.Cycle < prevCycle {
-			return nil, 0, fmt.Errorf("%w: cycle stamps not monotonic at record %d", ErrBadTrace, i)
+			return nil, 0, nil, fmt.Errorf("%w: cycle stamps not monotonic at record %d", ErrBadTrace, i)
 		}
 		prevCycle = a.Cycle
 		trace = append(trace, a)
 	}
 	if prevCycle > total {
-		return nil, 0, fmt.Errorf("%w: last stamp %d beyond total %d", ErrBadTrace, prevCycle, total)
+		return nil, 0, nil, fmt.Errorf("%w: last stamp %d beyond total %d", ErrBadTrace, prevCycle, total)
 	}
-	return trace, total, nil
+	return trace, total, meta, nil
 }

@@ -2,6 +2,7 @@ package armsim
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -103,5 +104,68 @@ func TestTraceRejectsCorruption(t *testing.T) {
 	// Empty input.
 	if _, _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
 		t.Error("empty input accepted")
+	}
+}
+
+func TestTraceMetaRoundTrip(t *testing.T) {
+	image := asmImage(columnarTestOps()...)
+	trace, total, err := CollectTrace(image, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := TraceMeta{ImageDigest: ImageDigest(image), TextStart: 0x40, TextEnd: 0x80}
+	var buf bytes.Buffer
+	if err := WriteTraceMeta(&buf, trace, total, meta); err != nil {
+		t.Fatal(err)
+	}
+	got, gotTotal, gotMeta, err := ReadTraceMeta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTotal != total || len(got) != len(trace) {
+		t.Fatalf("round trip: %d/%d records, %d/%d cycles", len(got), len(trace), gotTotal, total)
+	}
+	for i := range trace {
+		if got[i] != trace[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], trace[i])
+		}
+	}
+	if gotMeta == nil || *gotMeta != meta {
+		t.Fatalf("meta round trip: %+v != %+v", gotMeta, meta)
+	}
+
+	// The bound trace verifies against its own image and bounds...
+	if err := gotMeta.Check(image, 0x40, 0x80); err != nil {
+		t.Errorf("matching image rejected: %v", err)
+	}
+	// ...and is rejected against a different program or different bounds.
+	other := append([]byte{}, image...)
+	other[len(other)-1] ^= 0x01
+	if err := gotMeta.Check(other, 0x40, 0x80); err == nil {
+		t.Error("trace accepted against a different program image")
+	} else if !errors.Is(err, ErrTraceMismatch) {
+		t.Errorf("mismatch not reported as ErrTraceMismatch: %v", err)
+	}
+	if err := gotMeta.Check(image, 0x40, 0x84); err == nil {
+		t.Error("trace accepted with different TEXT bounds")
+	}
+
+	// ReadTrace (version-agnostic) also reads the v2 stream.
+	got2, _, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(got2) != len(trace) {
+		t.Fatalf("ReadTrace on v2: %d records, err %v", len(got2), err)
+	}
+
+	// A legacy v1 stream reads back with nil meta.
+	buf.Reset()
+	if err := WriteTrace(&buf, trace, total); err != nil {
+		t.Fatal(err)
+	}
+	_, _, v1meta, err := ReadTraceMeta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1meta != nil {
+		t.Fatalf("v1 stream produced meta %+v", v1meta)
 	}
 }

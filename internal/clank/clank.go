@@ -32,10 +32,18 @@ type addrCAM struct {
 	idx      map[uint32]struct{} // non-nil only beyond camLinearMax
 }
 
-func newAddrCAM(capacity int) addrCAM {
+// newAddrCAM builds a CAM whose backing is carved from *pool when the
+// capacity is linear-scan sized and pool is non-nil (the batch arena), or
+// allocated individually otherwise. Map-indexed buffers beyond
+// camLinearMax always own their index.
+func newAddrCAM(capacity int, pool *[]uint32) addrCAM {
 	c := addrCAM{capacity: capacity}
 	if capacity > camLinearMax {
 		c.idx = make(map[uint32]struct{})
+	} else if pool != nil {
+		p := *pool
+		c.words = p[:0:capacity]
+		*pool = p[capacity:]
 	} else {
 		c.words = make([]uint32, 0, capacity)
 	}
@@ -112,11 +120,16 @@ type wbCAM struct {
 	idx      map[uint32]int // word -> slot position, beyond camLinearMax
 }
 
-func newWBCAM(capacity int) wbCAM {
+// newWBCAM mirrors newAddrCAM's pool-carving contract.
+func newWBCAM(capacity int, pool *[]wbSlot) wbCAM {
 	c := wbCAM{capacity: capacity}
 	if capacity > camLinearMax {
 		c.idx = make(map[uint32]int)
 		c.slots = make([]wbSlot, 0, camLinearMax)
+	} else if pool != nil {
+		p := *pool
+		c.slots = p[:0:capacity]
+		*pool = p[capacity:]
 	} else {
 		c.slots = make([]wbSlot, 0, capacity)
 	}
@@ -183,27 +196,39 @@ func (c *wbCAM) reset() {
 // The filter is two direct-mapped tag arrays so the hot probe is one load
 // and one compare (cheap enough that Read/Write inline into monitored-bus
 // drivers). There is no separate valid bit: an empty or invalidated slot i
-// holds a value whose low six bits do not equal i (^uint32(i) at reset,
-// ^word on point invalidation — the bitwise NOT maps low bits i to 63-i,
-// and 63-i == i has no integer solution), so no probe of any 32-bit word
-// address can ever match an empty slot.
+// holds a value whose low nine bits do not equal i (^uint32(i) at reset,
+// ^word on point invalidation — the bitwise NOT maps low bits i to 511-i,
+// and 511-i == i has no integer solution), so no probe of any 32-bit word
+// address can ever match an empty slot. fltEntries is sized so the
+// lookup-table working sets of real programs (MiBench's 256-entry CRC and
+// AES tables) do not thrash the direct mapping; Reset stays cheap at that
+// size because every slot written during a section is recorded in a
+// bounded undo list and only those slots are restored (a section that
+// writes more slots than the list holds falls back to the full restore).
 //
 //	fltRead[w&fltMask] == w asserts Read(w,·,·) returns Outcome{} and
-//	    changes no buffer state. True while w is in RF or WF or has a
-//	    clean (saved-read) Write-back entry. Never true for dirty
-//	    Write-back words — those reads return FromWB.
+//	    changes no buffer state. True while w is in RF or WF, has a
+//	    clean (saved-read) Write-back entry, or was read in untracked
+//	    mode (where reads mutate nothing and the mode outlives every
+//	    entry — it ends only at Reset). Never true for dirty Write-back
+//	    words — those reads return FromWB.
 //	fltWrite[w&fltMask] == w asserts Write(w,·,·,·) returns Outcome{}
-//	    and changes no buffer state. True only while w is in WF: WF words
+//	    and changes no buffer state. True while w is in WF — WF words
 //	    can never reach the violation path or acquire Write-back entries
 //	    (both Read and Write bail on the WF hit first), and a WF hit
-//	    returns Outcome{} even in untracked mode. Since nothing ever
-//	    leaves WF mid-section, write entries invalidate only at Reset.
+//	    returns Outcome{} even in untracked mode — or while w is a
+//	    passthrough word (WriteFirst == 0, w untracked by any buffer):
+//	    those writes stay Outcome{} until the word enters the Read-first
+//	    Buffer (the insert point-invalidates) or the section goes
+//	    untracked (the transition wipes all write entries, since an
+//	    untracked write must checkpoint). WF entries themselves
+//	    invalidate only at Reset.
 //
 // Both assertions hold for every pc: exempt-PC accesses to such words
 // return Outcome{} through a different branch of the same decision tree,
 // so the filter need not be pc-aware.
 const (
-	fltEntries = 64
+	fltEntries = 512
 	fltMask    = fltEntries - 1
 
 	// FilterEntries exports the slot count of each direct-mapped filter
@@ -211,13 +236,55 @@ const (
 	FilterEntries = fltEntries
 )
 
-// fltEmpty is the all-slots-invalid tag array (slot i holds ^i).
+// fltEmpty is the all-slots-invalid tag array (slot i holds ^i: the low
+// nine bits come out as 511-i, and 511-i == i has no integer solution, so
+// no probe of any word address can match an empty slot).
 var fltEmpty = func() (a [fltEntries]uint32) {
 	for i := range a {
 		a[i] = ^uint32(i)
 	}
 	return
 }()
+
+// Word-state index. The access filter above answers "this access repeats
+// and cannot change state"; everything else still walks the CAM scans —
+// and in a batched design-space sweep those scans dominate the replay,
+// because every section's first touch of a word and every state
+// transition pays O(RF+WF+WB). The index is a direct-mapped, epoch-tagged
+// table in front of the scans answering the full question "where is this
+// word tracked" in one load: each entry packs the word, its tracking kind
+// (Read-first / Write-first / clean or dirty Write-back, plus the
+// Write-back slot position), and the epoch it was written in.
+//
+//	bits  0-31  word address
+//	bits 32-39  Write-back slot (kinds idxWBC/idxWBD only)
+//	bits 40-41  kind
+//	bits 43-63  epoch
+//
+// Reset bumps the epoch, instantly invalidating every entry without
+// touching the table (it wraps every ~2M sections, forcing one real
+// clear). A hash collision never evicts: the incumbent stays and the
+// sticky idxIncomplete flag records that a probe miss is no longer
+// authoritative — lookups then fall back to the scans until the next
+// Reset. Sections touch far fewer distinct words than idxEntries, so in
+// steady state the index is complete and a miss proves the word untracked,
+// skipping all three CAM probes. The index mirrors buffer state; it never
+// defines it, so a bug here is a divergence the differential suites
+// (FuzzCAMvsMap, the bounded sweeps, the batch-vs-scalar tests) catch.
+const (
+	idxEntries    = 512
+	idxMask       = idxEntries - 1
+	idxSlotShift  = 32
+	idxKindShift  = 40
+	idxEpochShift = 43
+	idxEpochMax   = 1<<(64-idxEpochShift) - 1
+	idxMetaMask   = uint64(0x7FF) << idxSlotShift // slot + kind + spare bit
+
+	idxRF  = 0 // in the Read-first Buffer only
+	idxWF  = 1 // in the Write-first Buffer
+	idxWBC = 2 // clean (saved-read) Write-back entry; word also in RF
+	idxWBD = 3 // dirty Write-back entry
+)
 
 // FilterBug selects a deliberately broken access-filter invalidation mode.
 // It exists only for meta-tests proving the differential and bounded-sweep
@@ -276,10 +343,20 @@ type Clank struct {
 
 	// Access-filter front end (see the block comment above FilterBug).
 	// Embedded arrays keep the probe one pointer dereference from k.
-	fltRead  [fltEntries]uint32
-	fltWrite [fltEntries]uint32
-	fltOn    bool
-	fltBug   FilterBug
+	fltRead    [fltEntries]uint32
+	fltWrite   [fltEntries]uint32
+	fltTouched [fltEntries]uint16 // slots written this section (undo list)
+	fltN       int                // undo-list length; -1 = overflowed
+	fltOn      bool
+	fltBug     FilterBug
+
+	// Word-state index (see the block comment above idxEntries). The
+	// epoch is shared with the filter arrays above.
+	idx           [idxEntries]uint64
+	idxEpochTag   uint64 // current epoch, pre-shifted to its bit position
+	idxEpoch      uint32
+	idxOn         bool // all of RF/WF/WB linear-scan sized
+	idxIncomplete bool // an insert collided; misses are not authoritative
 }
 
 // New builds the hardware model for cfg. It panics on an invalid
@@ -289,19 +366,33 @@ func New(cfg Config) *Clank {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	k := &Clank{
+	k := &Clank{}
+	k.initInto(cfg, nil, nil)
+	return k
+}
+
+// initInto initializes *k for cfg, carving linear CAM backing from the
+// pools when they are non-nil (see NewArena).
+func (k *Clank) initInto(cfg Config, wordPool *[]uint32, slotPool *[]wbSlot) {
+	*k = Clank{
 		cfg:        cfg,
-		rf:         newAddrCAM(cfg.ReadFirst),
-		wf:         newAddrCAM(cfg.WriteFirst),
-		wb:         newWBCAM(cfg.WriteBack),
-		apb:        newAddrCAM(cfg.AddrPrefix),
+		rf:         newAddrCAM(cfg.ReadFirst, wordPool),
+		wf:         newAddrCAM(cfg.WriteFirst, wordPool),
+		wb:         newWBCAM(cfg.WriteBack, slotPool),
+		apb:        newAddrCAM(cfg.AddrPrefix, wordPool),
 		textStartW: cfg.TextStart >> 2,
 		textEndW:   (cfg.TextEnd + 3) >> 2,
 		fltOn:      !cfg.DisableFilter,
 	}
 	k.fltRead = fltEmpty
 	k.fltWrite = fltEmpty
-	return k
+	// The index requires linear CAMs: its slot field assumes Write-back
+	// positions below camLinearMax, and map-indexed buffers are already
+	// O(1). Unlimited configurations simply leave it off.
+	k.idxOn = cfg.ReadFirst <= camLinearMax && cfg.WriteFirst <= camLinearMax &&
+		cfg.WriteBack <= camLinearMax
+	k.idxEpoch = 1
+	k.idxEpochTag = 1 << idxEpochShift
 }
 
 // SetFilterBug installs a deliberately broken filter-invalidation mode.
@@ -313,7 +404,24 @@ func (k *Clank) SetFilterBug(b FilterBug) { k.fltBug = b }
 // evicting whatever shared the slot.
 func (k *Clank) fltSetRead(word uint32) {
 	if k.fltOn {
-		k.fltRead[word&fltMask] = word
+		i := word & fltMask
+		k.fltNote(i)
+		k.fltRead[i] = word
+	}
+}
+
+// fltNote records slot i in the undo list so Reset can restore it without
+// sweeping the arrays. Duplicates are harmless (restoring twice is
+// idempotent); a section that fills the list flips fltN to -1 and Reset
+// falls back to the full restore.
+func (k *Clank) fltNote(i uint32) {
+	if n := k.fltN; n >= 0 {
+		if n < fltEntries {
+			k.fltTouched[n] = uint16(i)
+			k.fltN = n + 1
+		} else {
+			k.fltN = -1
+		}
 	}
 }
 
@@ -321,20 +429,94 @@ func (k *Clank) fltSetRead(word uint32) {
 // by the filter (the word is write-dominated).
 func (k *Clank) fltSetWrite(word uint32) {
 	if k.fltOn {
-		k.fltRead[word&fltMask] = word
-		k.fltWrite[word&fltMask] = word
+		i := word & fltMask
+		k.fltNote(i)
+		k.fltRead[i] = word
+		k.fltWrite[i] = word
+	}
+}
+
+// fltSetPass records that writes of word pass through (WriteFirst == 0,
+// word untracked): the write verdict is cached but the read side is not —
+// a read of a passthrough word still inserts it into the Read-first
+// Buffer, and that insert point-invalidates the write entry.
+func (k *Clank) fltSetPass(word uint32) {
+	if k.fltOn {
+		i := word & fltMask
+		k.fltNote(i)
+		k.fltWrite[i] = word
 	}
 }
 
 // fltDropRead invalidates word's read entry, if present. Dropping a word
 // that was never cached is a no-op, so callers invalidate on every
-// transition that could matter without tracking residency. (Write entries
-// never need point invalidation: words leave the Write-first Buffer only
-// at Reset.)
+// transition that could matter without tracking residency.
 func (k *Clank) fltDropRead(word uint32) {
 	if i := word & fltMask; k.fltRead[i] == word {
 		k.fltRead[i] = ^word
 	}
+}
+
+// fltDropWrite invalidates word's write entry, if present. Write-first
+// entries never need this (words leave WF only at Reset); it exists for
+// passthrough entries, whose verdict dies when the word enters the
+// Read-first Buffer.
+func (k *Clank) fltDropWrite(word uint32) {
+	if i := word & fltMask; k.fltWrite[i] == word {
+		k.fltWrite[i] = ^word
+	}
+}
+
+// fltWipeWrites invalidates every live write entry (the read side is
+// untouched). Entering untracked mode calls this: passthrough verdicts
+// are stale there — an untracked write must checkpoint — and they cannot
+// be distinguished from still-valid Write-first entries, so both go
+// (dropping a valid entry is always safe, it only costs a re-probe).
+func (k *Clank) fltWipeWrites() {
+	if k.fltN < 0 {
+		k.fltWrite = fltEmpty
+		return
+	}
+	for _, i := range k.fltTouched[:k.fltN] {
+		k.fltWrite[i] = ^uint32(i)
+	}
+}
+
+// idxProbe decodes word's index entry. ok=false means the index has no
+// verdict — the entry is stale, holds a colliding word, or the index is
+// off or incomplete — and the caller must fall back to the CAM scans. On
+// a live miss with a complete index the word is provably untracked and
+// the zero answer is authoritative. For a dirty Write-back word inRF is
+// reported false even when the word also sits in RF: both decision trees
+// consume wbIdx (and its dirty bit) before ever looking at inRF.
+func (k *Clank) idxProbe(word uint32) (wbIdx int, inRF, inWF, ok bool) {
+	e := k.idx[word&idxMask]
+	if e&^idxMetaMask != uint64(word)|k.idxEpochTag {
+		return -1, false, false, k.idxOn && !k.idxIncomplete
+	}
+	kind := (e >> idxKindShift) & 3
+	wbIdx = -1
+	if kind >= idxWBC {
+		wbIdx = int(e>>idxSlotShift) & 0xff
+	}
+	return wbIdx, kind == idxRF || kind == idxWBC, kind == idxWF, true
+}
+
+// idxPut records word's tracking state. A collision with a live entry for
+// a different word keeps the incumbent and flips the section to
+// incomplete: dropping either word from the index silently would turn a
+// later authoritative miss into a wrong "untracked" verdict.
+func (k *Clank) idxPut(word uint32, kind, slot int) {
+	if !k.idxOn {
+		return
+	}
+	h := word & idxMask
+	if e := k.idx[h]; e>>idxEpochShift == uint64(k.idxEpoch) && uint32(e) != word {
+		k.idxIncomplete = true
+		return
+	}
+	k.idx[h] = uint64(word) | uint64(slot)<<idxSlotShift |
+		uint64(kind)<<idxKindShift | k.idxEpochTag
 }
 
 // Config returns the configuration the hardware was built with.
@@ -351,13 +533,31 @@ func (k *Clank) Reset() {
 	k.wbDirty = 0
 	k.untracked = false
 	k.accesses = 0
-	// Restoring the all-invalid tag pattern empties the filter. Checkpoint
-	// commit/clear and power-failure reboot both land here, so the filter
-	// can never carry entries across a section boundary — and a second
-	// Reset before any access finds the arrays already emptied (reboot
-	// idempotency).
-	k.fltRead = fltEmpty
-	k.fltWrite = fltEmpty
+	// Emptying the filter walks the undo list rather than the arrays
+	// (the full restore only after an overflow). Checkpoint commit/clear
+	// and power-failure reboot both land here, so the filter can never
+	// carry entries across a section boundary — and a second Reset before
+	// any access finds an empty undo list (reboot idempotency).
+	if k.fltN < 0 {
+		k.fltRead = fltEmpty
+		k.fltWrite = fltEmpty
+	} else {
+		for _, i := range k.fltTouched[:k.fltN] {
+			k.fltRead[i] = ^uint32(i)
+			k.fltWrite[i] = ^uint32(i)
+		}
+	}
+	k.fltN = 0
+	// Bumping the epoch invalidates every word-state index entry without
+	// touching the table; the wrap forces the one real clear per ~2M
+	// sections.
+	k.idxIncomplete = false
+	k.idxEpoch++
+	if k.idxEpoch > idxEpochMax {
+		k.idxEpoch = 1
+		k.idx = [idxEntries]uint64{}
+	}
+	k.idxEpochTag = uint64(k.idxEpoch) << idxEpochShift
 }
 
 // SectionAccesses reports how many accesses the current section has
@@ -372,6 +572,80 @@ func (k *Clank) SectionAccesses() int { return k.accesses }
 // still counts toward SectionAccesses so output- and TEXT-write bracketing
 // sees the same access stream no matter where classification happened.
 func (k *Clank) NoteIgnoredAccess() { k.accesses++ }
+
+// Driver-owned filter probes. A batched replay loop that streams a
+// columnar trace can probe the access filter itself and skip the whole
+// Read/Write call on a hit: a hit certifies the verdict is Outcome{}
+// (see the filter invariants above), so the only remaining obligation is
+// the access count, which the driver accumulates locally and settles in
+// bulk with AddAccesses. This matters because on a hit the driver then
+// never needs the access's value/prev operands or its exempt/TEXT
+// classification — those loads move behind the miss branch. On a miss the
+// driver calls the normal entry point, which re-probes (a guaranteed
+// miss, two instructions) and counts that access itself.
+//
+// The contract: every probe hit must be credited via AddAccesses before
+// the driver next calls any counting entry point (Read/Write/*Pre,
+// NoteIgnoredAccess) or reads SectionAccesses — the count is part of the
+// detector's visible state (TEXT-write and output bracketing).
+
+// FilterHitRead reports whether a read of word is certified Outcome{} by
+// the access filter. The caller owes one AddAccesses credit per hit.
+func (k *Clank) FilterHitRead(word uint32) bool { return k.fltRead[word&fltMask] == word }
+
+// FilterHitWrite reports whether a write of word is certified Outcome{}
+// by the access filter. The caller owes one AddAccesses credit per hit.
+func (k *Clank) FilterHitWrite(word uint32) bool { return k.fltWrite[word&fltMask] == word }
+
+// AddAccesses credits n accesses the driver classified through the
+// filter probes above.
+func (k *Clank) AddAccesses(n int) { k.accesses += n }
+
+// IdxMiss reports authoritatively that word is tracked by no buffer: the
+// word-state index is live, collision-free, and holds no entry for word.
+// A false return says nothing — the word may have an entry, or the index
+// may simply be unable to answer. Drivers combine a true miss with
+// per-access classification to resolve whole decision-tree branches
+// without entering the detector: an exempt write of an untracked word is
+// Outcome{} (it cannot be dirty, and the exempt branch precedes every
+// insert), and under WriteFirst == 0 a plain write of an untracked word
+// in tracked mode is the passthrough Outcome{}.
+func (k *Clank) IdxMiss(word uint32) bool {
+	e := k.idx[word&idxMask]
+	return e&^idxMetaMask != uint64(word)|k.idxEpochTag && k.idxOn && !k.idxIncomplete
+}
+
+// BufferedRead reports whether a read of word is answered by a dirty
+// Write-back entry, resolved through the word-state index. A hit
+// certifies the full verdict: Outcome{FromWB, ReadValue}, no state
+// change — drivers that do not consume the read value (no monitor
+// attached) can skip the Read call entirely. A hit in the index is
+// always authoritative even when the index is incomplete; a miss says
+// nothing, and the caller falls back to the normal entry point. The
+// caller owes one AddAccesses credit per hit.
+func (k *Clank) BufferedRead(word uint32) bool {
+	e := k.idx[word&idxMask]
+	return e&^idxMetaMask == uint64(word)|k.idxEpochTag &&
+		(e>>idxKindShift)&3 == idxWBD
+}
+
+// BufferedWrite absorbs a write to a word holding a dirty Write-back
+// entry: the stored value is updated in place and the verdict is
+// Outcome{Buffered} — exactly the first branch of the write decision
+// tree, which precedes every other classification, so probing it first
+// is order-equivalent. Dirty entries never revert or move without the
+// index being updated (violation, evictClean) or the epoch advancing
+// (Reset), so a hit is authoritative. The caller owes one AddAccesses
+// credit per hit.
+func (k *Clank) BufferedWrite(word, value uint32) bool {
+	e := k.idx[word&idxMask]
+	if e&^idxMetaMask != uint64(word)|k.idxEpochTag ||
+		(e>>idxKindShift)&3 != idxWBD {
+		return false
+	}
+	k.wb.slots[(e>>idxSlotShift)&0xff].val = value
+	return true
+}
 
 // TextWords returns the word-address bounds [lo, hi) of the TEXT segment
 // exactly as the detector classifies it (TextEnd rounds up to the next
@@ -481,32 +755,71 @@ func (k *Clank) Read(word, memValue, pc uint32) Outcome {
 	return k.readSlow(word, memValue, pc)
 }
 
+// ReadPre is Read for drivers that pre-classify accesses: exempt carries
+// the verdict of the ExemptPCs lookup for the access's pc, and inText the
+// verdict of the TEXT test — word inside the TextWords window AND the
+// window active (OptIgnoreText set). The batch replay engine computes the
+// window membership once per trace and ANDs the per-config active flag
+// per slot; outcomes match Read(word, memValue, pc) exactly when the two
+// bits agree with the per-pc classification. Like Read, it stays inside
+// the inliner budget.
+func (k *Clank) ReadPre(word, memValue uint32, exempt, inText bool) Outcome {
+	if k.fltRead[word&fltMask] == word {
+		k.accesses++
+		return outcomeOK
+	}
+	return k.readSlowPre(word, memValue, exempt, inText)
+}
+
 func (k *Clank) readSlow(word, memValue, pc uint32) Outcome {
+	return k.readSlowPre(word, memValue, k.exempt(pc), k.inText(word))
+}
+
+func (k *Clank) readSlowPre(word, memValue uint32, exempt, inText bool) Outcome {
 	k.accesses++
-	// One CAM probe answers both Write-back questions: a dirty entry
-	// shadows memory unconditionally (its value must be visible to
+	wbIdx, inRF, inWF, ok := k.idxProbe(word)
+	if !ok {
+		wbIdx, inRF, inWF = k.wb.find(word), k.rf.contains(word), k.wf.contains(word)
+	}
+	// The Write-back lookup answers both Write-back questions: a dirty
+	// entry shadows memory unconditionally (its value must be visible to
 	// subsequent reads), a clean saved-read entry implies the word is
 	// already tracked.
-	if i := k.wb.find(word); i >= 0 {
-		if k.wb.slots[i].dirty {
-			return Outcome{FromWB: true, ReadValue: k.wb.slots[i].val}
+	if wbIdx >= 0 {
+		if k.wb.slots[wbIdx].dirty {
+			return Outcome{FromWB: true, ReadValue: k.wb.slots[wbIdx].val}
 		}
 		k.fltSetRead(word)
 		return Outcome{}
 	}
-	if k.exempt(pc) || k.inText(word) || k.untracked {
-		// Not cacheable: the verdict depends on pc (exempt) or on mode
-		// state rather than the word's own tracking (untracked). TEXT
-		// words would be cacheable for reads but writes to them must
-		// still reach the checkpoint logic, and they never recur here
-		// once drivers pre-classify them (NoteIgnoredAccess).
+	if exempt || inText || k.untracked {
+		if exempt {
+		}
+		// TEXT and untracked-mode read verdicts are cacheable: both are
+		// pc-independent (any read of the word returns Outcome{}), both
+		// mutate nothing, and both outlive every filter entry — TEXT
+		// membership is configuration-static and TEXT words can never
+		// become buffer-resident while OptIgnoreText is on (this branch
+		// precedes every insert), while untracked mode ends only at Reset
+		// and the one transition that could make such a read stale (the
+		// word acquiring a dirty Write-back entry, possible only for
+		// RF-resident words) already invalidates through the violation
+		// path. Exempt-only verdicts stay uncached: they depend on pc,
+		// and a later read of the same word from a non-exempt pc must
+		// still reach the insert path. Without this, literal pools and
+		// flash-resident lookup tables pay the full classification on
+		// every load, as does every read after a section overflows into
+		// untracked mode.
+		if inText || k.untracked {
+			k.fltSetRead(word)
+		}
 		return Outcome{}
 	}
-	if k.rf.contains(word) {
+	if inRF {
 		k.fltSetRead(word)
 		return Outcome{}
 	}
-	if k.wf.contains(word) {
+	if inWF {
 		k.fltSetWrite(word)
 		return Outcome{}
 	}
@@ -518,10 +831,17 @@ func (k *Clank) readSlow(word, memValue, pc uint32) Outcome {
 		return k.fillOnRead(ReasonAPOverflow)
 	}
 	k.rf.insert(word)
+	// The word is now read-dominated: a cached passthrough-write verdict
+	// (WriteFirst == 0) is stale — later writes must reach the violation
+	// path.
+	k.fltDropWrite(word)
 	// Remember the read value for false-write detection, co-opting spare
 	// Write-back capacity (section 3.2.1).
 	if k.cfg.Opts&OptIgnoreFalseWrites != 0 && k.cfg.WriteBack > 0 && !k.wb.full() {
 		k.wb.insert(word, memValue, false)
+		k.idxPut(word, idxWBC, len(k.wb.slots)-1)
+	} else {
+		k.idxPut(word, idxRF, 0)
 	}
 	k.fltSetRead(word)
 	return Outcome{}
@@ -529,7 +849,10 @@ func (k *Clank) readSlow(word, memValue, pc uint32) Outcome {
 
 func (k *Clank) fillOnRead(r Reason) Outcome {
 	if k.cfg.Opts&OptLatestCheckpoint != 0 {
+		// Untracked writes checkpoint (Latest-Checkpoint is due), so every
+		// cached write verdict from tracked mode is now stale.
 		k.untracked = true
+		k.fltWipeWrites()
 		return Outcome{}
 	}
 	return Outcome{NeedCheckpoint: true, Reason: r}
@@ -547,18 +870,34 @@ func (k *Clank) Write(word, value, memValue, pc uint32) Outcome {
 	return k.writeSlow(word, value, memValue, pc)
 }
 
+// WritePre is Write for drivers that pre-classify accesses; see ReadPre.
+func (k *Clank) WritePre(word, value, memValue uint32, exempt, inText bool) Outcome {
+	if k.fltWrite[word&fltMask] == word {
+		k.accesses++
+		return outcomeOK
+	}
+	return k.writeSlowPre(word, value, memValue, exempt, inText)
+}
+
 func (k *Clank) writeSlow(word, value, memValue, pc uint32) Outcome {
+	return k.writeSlowPre(word, value, memValue, k.exempt(pc), k.inText(word))
+}
+
+func (k *Clank) writeSlowPre(word, value, memValue uint32, exempt, inText bool) Outcome {
 	k.accesses++
-	wbIdx := k.wb.find(word)
+	wbIdx, inRF, inWF, ok := k.idxProbe(word)
+	if !ok {
+		wbIdx, inRF, inWF = k.wb.find(word), k.rf.contains(word), k.wf.contains(word)
+	}
 	if wbIdx >= 0 && k.wb.slots[wbIdx].dirty {
 		// Already buffered: update in place, never touches memory.
 		k.wb.slots[wbIdx].val = value
 		return Outcome{Buffered: true}
 	}
-	if k.exempt(pc) {
+	if exempt {
 		return Outcome{}
 	}
-	if k.inText(word) {
+	if inText {
 		// Self-modifying code support: a TEXT write forces a checkpoint
 		// first and then passes through as the opening access of the
 		// fresh section (section 3.2.4).
@@ -567,14 +906,14 @@ func (k *Clank) writeSlow(word, value, memValue, pc uint32) Outcome {
 		}
 		return Outcome{}
 	}
-	if k.wf.contains(word) {
+	if inWF {
 		// Write-dominated: safe even in untracked mode — reads of this
 		// address were ignored while it sat in the Write-first Buffer,
 		// so no untracked read can depend on its old value.
 		k.fltSetWrite(word)
 		return Outcome{}
 	}
-	if k.rf.contains(word) {
+	if inRF {
 		// Known read-dominated: the violation machinery (Write-back
 		// buffering or checkpoint) handles it, untracked or not; any
 		// untracked reads of it were served consistently.
@@ -590,7 +929,13 @@ func (k *Clank) writeSlow(word, value, memValue, pc uint32) Outcome {
 	if k.cfg.WriteFirst == 0 {
 		// No Write-first Buffer: writes to unread addresses pass through.
 		// A later read of this address will classify it read-dominated,
-		// pessimistically, which is safe.
+		// pessimistically, which is safe. The verdict is cacheable on the
+		// write side only: it holds until the word enters the Read-first
+		// Buffer (the insert drops it) or the section goes untracked
+		// (fillOnRead wipes all write entries). Exempt and TEXT status
+		// cannot flip it — exempt writes return Outcome{} anyway, and a
+		// TEXT word would have been classified above, never here.
+		k.fltSetPass(word)
 		return Outcome{}
 	}
 	if k.wf.full() {
@@ -606,6 +951,7 @@ func (k *Clank) writeSlow(word, value, memValue, pc uint32) Outcome {
 		return k.fillOnWrite(ReasonAPOverflow)
 	}
 	k.wf.insert(word)
+	k.idxPut(word, idxWF, 0)
 	k.fltSetWrite(word)
 	return Outcome{}
 }
@@ -646,6 +992,7 @@ func (k *Clank) violation(word, value, memValue uint32, wbIdx int) Outcome {
 		k.wb.slots[wbIdx].val = value
 		k.wb.slots[wbIdx].dirty = true
 		k.wbDirty++
+		k.idxPut(word, idxWBD, wbIdx)
 	} else {
 		if k.wb.full() {
 			if !k.evictClean() {
@@ -654,10 +1001,13 @@ func (k *Clank) violation(word, value, memValue uint32, wbIdx int) Outcome {
 		}
 		k.wb.insert(word, value, true)
 		k.wbDirty++
+		k.idxPut(word, idxWBD, len(k.wb.slots)-1)
 	}
 	if k.cfg.Opts&OptRemoveDuplicates != 0 {
 		// The dirty Write-back entry now answers all future accesses to
-		// this address; free the Read-first slot (section 3.2.2).
+		// this address; free the Read-first slot (section 3.2.2). The index
+		// entry stays idxWBD either way — the dirty Write-back entry, not
+		// RF membership, decides every later verdict for this word.
 		k.rf.remove(word)
 	}
 	return Outcome{Buffered: true}
@@ -681,7 +1031,20 @@ func (k *Clank) evictClean() bool {
 	// still in RF and reads of it return Outcome{}), but dropping it keeps
 	// the invariant simple — a word's entry never outlives any Write-back
 	// transition involving it.
-	k.fltDropRead(k.wb.slots[victim].word)
+	vword := k.wb.slots[victim].word
+	k.fltDropRead(vword)
 	k.wb.removeAt(victim)
+	// Index maintenance: the victim falls back to plain RF tracking (clean
+	// entries only ever shadow saved reads, so the word is still in RF),
+	// and removeAt slid the tail slot into the vacated position.
+	k.idxPut(vword, idxRF, 0)
+	if victim < len(k.wb.slots) {
+		moved := k.wb.slots[victim]
+		kind := idxWBC
+		if moved.dirty {
+			kind = idxWBD
+		}
+		k.idxPut(moved.word, kind, victim)
+	}
 	return true
 }

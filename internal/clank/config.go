@@ -163,6 +163,10 @@ const (
 	ReasonOutput       // output-commit bracket
 	ReasonPerfWatchdog // Performance Watchdog expiry
 	ReasonProgWatchdog // Progress Watchdog expiry
+
+	// NumReasons is the number of Reason values; fixed-size per-reason
+	// counters (policysim.ReasonCounts) are indexed by Reason.
+	NumReasons = int(ReasonProgWatchdog) + 1
 )
 
 var reasonNames = [...]string{

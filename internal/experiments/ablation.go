@@ -9,7 +9,6 @@ import (
 	"repro/internal/clank"
 	"repro/internal/mibench"
 	"repro/internal/policysim"
-	"repro/internal/power"
 )
 
 // The ablation study quantifies this reproduction's key substitution: the
@@ -55,17 +54,24 @@ func Ablation(o Options) (*AblationData, error) {
 	}
 
 	measure := func(img *ccc.Image, trace []armsim.Access, cycles uint64, cfg clank.Config, watchdog uint64) (float64, error) {
-		var sum float64
-		for _, seed := range o.Seeds {
-			res, err := policysim.Simulate(trace, cycles, cfg, policysim.Options{
-				Supply:          power.NewSupply(power.Exponential{Mean: o.MeanOn, Min: 500}, seed),
+		// The ablation compiles fresh images outside the benchmark cache,
+		// so build the columnar trace inline; all seeds replay in one batch.
+		tr := policysim.NewBatchTrace(trace, cycles, img.TextStart, img.TextEnd)
+		jobs := make([]policysim.Job, len(o.Seeds))
+		for si, seed := range o.Seeds {
+			jobs[si] = policysim.Job{Config: cfg, Opts: policysim.Options{
+				Supply:          newSupply(o.MeanOn, seed),
 				ProgressDefault: o.MeanOn / 4,
 				PerfWatchdog:    watchdog,
 				Verify:          o.Verify,
-			})
-			if err != nil {
-				return 0, err
-			}
+			}}
+		}
+		results, err := policysim.SimulateBatch(tr, jobs)
+		if err != nil {
+			return 0, err
+		}
+		var sum float64
+		for _, res := range results {
 			sum += res.Overhead()
 		}
 		return sum / float64(len(o.Seeds)), nil

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/policysim"
+)
+
+// TestBatchMatchesScalarAcrossSuite is the sweep-scale differential: the
+// full Table 2 configuration set replays every benchmark in the suite
+// through the batch engine — with power cycling and dynamic verification
+// on, exactly as the experiments run it — and each Result must be
+// byte-identical (==) to the scalar Simulate reference for the same job.
+func TestBatchMatchesScalarAcrossSuite(t *testing.T) {
+	o := Options{Verify: true, Seeds: []int64{11}}.withDefaults()
+	suite, err := BuildSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := Table2Configs()
+	seed := o.Seeds[0]
+	err = parallelFor(len(suite), func(bi int) error {
+		c := suite[bi]
+		jobs := make([]policysim.Job, len(configs))
+		for ci, nc := range configs {
+			jobs[ci] = jobFor(c, nc, o, newSupply(o.MeanOn, seed))
+		}
+		got, err := batchRun(c, jobs)
+		if err != nil {
+			return err
+		}
+		for ci, nc := range configs {
+			ref := jobFor(c, nc, o, newSupply(o.MeanOn, seed))
+			want, err := policysim.Simulate(c.Trace, c.Cycles, ref.Config, ref.Opts)
+			if err != nil {
+				return fmt.Errorf("scalar %s on %s: %w", nc.Name, c.Bench.Name, err)
+			}
+			if got[ci] != want {
+				return fmt.Errorf("%s on %s: batch %+v != scalar %+v", nc.Name, c.Bench.Name, got[ci], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -101,10 +101,44 @@ func BuildSuite() ([]*mibench.Compiled, error) {
 	return out, nil
 }
 
-// simOne runs the policy simulator for one benchmark under one named
+// batchCache maps each compiled benchmark to its columnar trace, so every
+// experiment shares one BatchTrace (and its cached classification
+// columns) per benchmark.
+var batchCache sync.Map // *mibench.Compiled -> *policysim.BatchTrace
+
+// batchFor returns the benchmark's cached columnar trace.
+func batchFor(c *mibench.Compiled) *policysim.BatchTrace {
+	if v, ok := batchCache.Load(c); ok {
+		return v.(*policysim.BatchTrace)
+	}
+	tr := policysim.NewBatchTrace(c.Trace, c.Cycles, c.Image.TextStart, c.Image.TextEnd)
+	v, _ := batchCache.LoadOrStore(c, tr)
+	return v.(*policysim.BatchTrace)
+}
+
+// batchRun replays a job set against the benchmark's columnar trace in
+// one batched pass, attributing the first failure to its configuration
+// and benchmark.
+func batchRun(c *mibench.Compiled, jobs []policysim.Job) ([]policysim.Result, error) {
+	b, err := policysim.NewBatch(batchFor(c), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", c.Bench.Name, err)
+	}
+	res := make([]policysim.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	b.Run(res, errs)
+	for i, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("config %s on %s: %w", jobs[i].Config, c.Bench.Name, e)
+		}
+	}
+	return res, nil
+}
+
+// jobFor builds the batch job for one benchmark under one named
 // configuration, wiring in the image's TEXT bounds and, when requested,
 // the profiler's exemptions and the optimal Performance Watchdog.
-func simOne(c *mibench.Compiled, nc NamedConfig, o Options, supply power.Source) (policysim.Result, error) {
+func jobFor(c *mibench.Compiled, nc NamedConfig, o Options, supply power.Source) policysim.Job {
 	cfg := nc.Config
 	cfg.TextStart, cfg.TextEnd = c.Image.TextStart, c.Image.TextEnd
 	if nc.Compiler {
@@ -125,34 +159,75 @@ func simOne(c *mibench.Compiled, nc NamedConfig, o Options, supply power.Source)
 		// conservative one at a quarter of the mean on-time.
 		po.PerfWatchdog = o.MeanOn / 4
 	}
-	return policysim.Simulate(c.Trace, c.Cycles, cfg, po)
+	return policysim.Job{Config: cfg, Opts: po}
 }
 
-// simulateWithWatchdog is simOne with an explicit Performance Watchdog
-// load value (used by the Figure 8 sweep).
-func simulateWithWatchdog(c *mibench.Compiled, cfg clank.Config, o Options, supply power.Source, watchdog uint64) (policysim.Result, error) {
-	return policysim.Simulate(c.Trace, c.Cycles, cfg, policysim.Options{
+// contJobFor builds a continuous-power job for one raw configuration on a
+// benchmark (the Figure 5/6 design-space sweeps; checkpoint overhead is
+// power-timing invariant, so these replay on the batch engine's lockstep
+// core).
+func contJobFor(c *mibench.Compiled, cfg clank.Config, compiler, verify bool) policysim.Job {
+	cfg.TextStart, cfg.TextEnd = c.Image.TextStart, c.Image.TextEnd
+	if compiler {
+		cfg.ExemptPCs = c.ExemptPCs
+	}
+	return policysim.Job{Config: cfg, Opts: policysim.Options{Verify: verify}}
+}
+
+// watchdogJob is jobFor with an explicit Performance Watchdog load value
+// (the Figure 8 and power sweeps).
+func watchdogJob(c *mibench.Compiled, cfg clank.Config, o Options, supply power.Source, watchdog uint64) policysim.Job {
+	cfg.TextStart, cfg.TextEnd = c.Image.TextStart, c.Image.TextEnd
+	return policysim.Job{Config: cfg, Opts: policysim.Options{
 		Supply:          supply,
 		ProgressDefault: o.MeanOn / 4,
 		PerfWatchdog:    watchdog,
 		Verify:          o.Verify,
-	})
+	}}
+}
+
+// newSupply builds the experiments' standard harvested-power source. Each
+// batch job gets a private instance so sweep results are independent of
+// replay order.
+func newSupply(meanOn uint64, seed int64) power.Source {
+	return power.NewSupply(power.Exponential{Mean: meanOn, Min: 500}, seed)
+}
+
+// poweredRows replays every named configuration at every seed on one
+// benchmark as a single batch, returning per-configuration (last seed's
+// Result, mean overhead across seeds).
+func poweredRows(c *mibench.Compiled, configs []NamedConfig, o Options) ([]policysim.Result, []float64, error) {
+	jobs := make([]policysim.Job, 0, len(configs)*len(o.Seeds))
+	for _, nc := range configs {
+		for _, seed := range o.Seeds {
+			jobs = append(jobs, jobFor(c, nc, o, newSupply(o.MeanOn, seed)))
+		}
+	}
+	all, err := batchRun(c, jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	last := make([]policysim.Result, len(configs))
+	avg := make([]float64, len(configs))
+	for ci := range configs {
+		var sum float64
+		for si := range o.Seeds {
+			r := all[ci*len(o.Seeds)+si]
+			sum += r.Overhead()
+			last[ci] = r
+		}
+		avg[ci] = sum / float64(len(o.Seeds))
+	}
+	return last, avg, nil
 }
 
 // simPowered averages total overhead across the option seeds.
 func simPowered(c *mibench.Compiled, nc NamedConfig, o Options) (avg policysim.Result, overhead float64, err error) {
-	var sum float64
-	var last policysim.Result
-	for _, seed := range o.Seeds {
-		supply := power.NewSupply(power.Exponential{Mean: o.MeanOn, Min: 500}, seed)
-		res, e := simOne(c, nc, o, supply)
-		if e != nil {
-			return policysim.Result{}, 0, fmt.Errorf("%s on %s (seed %d): %w", nc.Name, c.Bench.Name, seed, e)
-		}
-		sum += res.Overhead()
-		last = res
+	last, avgs, err := poweredRows(c, []NamedConfig{nc}, o)
+	if err != nil {
+		return policysim.Result{}, 0, err
 	}
-	return last, sum / float64(len(o.Seeds)), nil
+	return last[0], avgs[0], nil
 }
 
 // parallelFor runs fn(i) for i in [0, n) on all cores, returning the first

@@ -3,10 +3,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"repro/internal/clank"
-	"repro/internal/mibench"
 	"repro/internal/policysim"
 )
 
@@ -82,28 +80,12 @@ func figure5Families(quick bool) []struct {
 	}
 }
 
-// avgCheckpointOverhead runs one configuration over the whole suite under
-// continuous power (checkpoint overhead is invariant of power-cycle timing
-// outside runt cycles — paper footnote 4) and averages the checkpoint
-// overhead fraction.
-func avgCheckpointOverhead(suite []*mibench.Compiled, cfg clank.Config, compiler, verify bool) (float64, error) {
-	var sum float64
-	for _, c := range suite {
-		cc := cfg
-		cc.TextStart, cc.TextEnd = c.Image.TextStart, c.Image.TextEnd
-		if compiler {
-			cc.ExemptPCs = c.ExemptPCs
-		}
-		res, err := policysim.Simulate(c.Trace, c.Cycles, cc, policysim.Options{Verify: verify})
-		if err != nil {
-			return 0, fmt.Errorf("config %s on %s: %w", cfg, c.Bench.Name, err)
-		}
-		sum += res.CheckpointOverhead()
-	}
-	return sum / float64(len(suite)), nil
-}
-
-// Figure5 runs the design-space sweep.
+// Figure5 runs the design-space sweep. All configurations of a family
+// replay each benchmark's trace in one batched pass under continuous
+// power (checkpoint overhead is invariant of power-cycle timing outside
+// runt cycles — paper footnote 4); the per-configuration average across
+// the suite is reduced in benchmark order, so the figure is deterministic
+// at any worker count.
 func Figure5(o Options) (*Figure5Data, error) {
 	o = o.withDefaults()
 	suite, err := BuildSuite()
@@ -112,22 +94,37 @@ func Figure5(o Options) (*Figure5Data, error) {
 	}
 	fams := figure5Families(o.Quick)
 	data := &Figure5Data{Families: make([]Family, len(fams))}
-	var mu sync.Mutex
 	for fi, fam := range fams {
-		pts := make([]Point, len(fam.configs))
+		// perBench[bi][i] is config i's checkpoint overhead on benchmark bi.
+		perBench := make([][]float64, len(suite))
 		fam := fam
-		err := parallelFor(len(fam.configs), func(i int) error {
-			ov, err := avgCheckpointOverhead(suite, fam.configs[i], fam.compiler, o.Verify)
+		err := parallelFor(len(suite), func(bi int) error {
+			c := suite[bi]
+			jobs := make([]policysim.Job, len(fam.configs))
+			for i, cfg := range fam.configs {
+				jobs[i] = contJobFor(c, cfg, fam.compiler, o.Verify)
+			}
+			res, err := batchRun(c, jobs)
 			if err != nil {
 				return err
 			}
-			mu.Lock()
-			pts[i] = Point{Bits: fam.configs[i].BufferBits(), Overhead: ov, Config: fam.configs[i]}
-			mu.Unlock()
+			row := make([]float64, len(res))
+			for i, r := range res {
+				row[i] = r.CheckpointOverhead()
+			}
+			perBench[bi] = row
 			return nil
 		})
 		if err != nil {
 			return nil, err
+		}
+		pts := make([]Point, len(fam.configs))
+		for i, cfg := range fam.configs {
+			sum := 0.0
+			for bi := range suite {
+				sum += perBench[bi][i]
+			}
+			pts[i] = Point{Bits: cfg.BufferBits(), Overhead: sum / float64(len(suite)), Config: cfg}
 		}
 		data.Families[fi] = Family{Name: fam.name, Frontier: paretoFrontier(pts)}
 	}

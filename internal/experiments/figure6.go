@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"strings"
-	"sync"
 
 	"repro/internal/clank"
 	"repro/internal/policysim"
@@ -72,28 +71,25 @@ func Figure6(o Options) (*Figure6Data, error) {
 			overheads[s][c] = make([]float64, len(suite))
 		}
 	}
-	type job struct{ s, c int }
-	var jobs []job
-	for s := range settings {
-		for c := range configs {
-			jobs = append(jobs, job{s, c})
-		}
-	}
-	var mu sync.Mutex
-	err = parallelFor(len(jobs), func(i int) error {
-		j := jobs[i]
-		cfg := configs[j.c]
-		cfg.Opts = settings[j.s].opts
-		for bi, bench := range suite {
-			cc := cfg
-			cc.TextStart, cc.TextEnd = bench.Image.TextStart, bench.Image.TextEnd
-			res, err := policysim.Simulate(bench.Trace, bench.Cycles, cc, policysim.Options{Verify: o.Verify})
-			if err != nil {
-				return fmt.Errorf("%s/%s on %s: %w", settings[j.s].name, cfg, bench.Bench.Name, err)
+	// One batch per benchmark: the full settings x configs grid replays
+	// the benchmark's columnar trace in a single continuous-power pass.
+	err = parallelFor(len(suite), func(bi int) error {
+		bench := suite[bi]
+		jobs := make([]policysim.Job, 0, len(settings)*len(configs))
+		for _, set := range settings {
+			for _, cfg := range configs {
+				cfg.Opts = set.opts
+				jobs = append(jobs, contJobFor(bench, cfg, false, o.Verify))
 			}
-			mu.Lock()
-			overheads[j.s][j.c][bi] = res.CheckpointOverhead()
-			mu.Unlock()
+		}
+		res, err := batchRun(bench, jobs)
+		if err != nil {
+			return fmt.Errorf("figure 6: %w", err)
+		}
+		for s := range settings {
+			for c := range configs {
+				overheads[s][c][bi] = res[s*len(configs)+c].CheckpointOverhead()
+			}
 		}
 		return nil
 	})

@@ -3,11 +3,10 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"repro/internal/clank"
 	"repro/internal/mibench"
-	"repro/internal/power"
+	"repro/internal/policysim"
 )
 
 // Figure8Point is one Performance Watchdog setting's overhead split.
@@ -48,7 +47,6 @@ func Figure8(o Options) (*Figure8Data, error) {
 		Optimal: OptimalPerfWatchdog(clank.DefaultCosts().CheckpointBase, o.MeanOn),
 	}
 	d.Points = make([]Figure8Point, len(watchdogs))
-	var mu sync.Mutex
 	// The watchdog study concerns long-running programs: restrict the
 	// aggregate to benchmarks that cannot complete within a single mean
 	// power-on period (the paper notes the others are possible to run
@@ -59,20 +57,34 @@ func Figure8(o Options) (*Figure8Data, error) {
 			longRunning = append(longRunning, c)
 		}
 	}
-	err = parallelFor(len(watchdogs), func(wi int) error {
+	// One batch per benchmark covering the whole watchdog x seed grid;
+	// the per-watchdog averages reduce in (benchmark, seed) order so the
+	// figure is deterministic at any worker count.
+	perBench := make([][]policysim.Result, len(longRunning))
+	err = parallelFor(len(longRunning), func(bi int) error {
+		c := longRunning[bi]
+		jobs := make([]policysim.Job, 0, len(watchdogs)*len(o.Seeds))
+		for _, wdt := range watchdogs {
+			for _, seed := range o.Seeds {
+				jobs = append(jobs, watchdogJob(c, cfg, o, newSupply(o.MeanOn, seed), wdt))
+			}
+		}
+		res, err := batchRun(c, jobs)
+		if err != nil {
+			return err
+		}
+		perBench[bi] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, wdt := range watchdogs {
 		var ckpt, reexec, comb float64
 		n := 0
-		for _, c := range longRunning {
-			nc := NamedConfig{Name: "inf", Config: cfg}
-			for _, seed := range o.Seeds {
-				supply := power.NewSupply(power.Exponential{Mean: o.MeanOn, Min: 500}, seed)
-				// Inline simOne with an explicit watchdog value.
-				cc := nc.Config
-				cc.TextStart, cc.TextEnd = c.Image.TextStart, c.Image.TextEnd
-				res, err := simulateWithWatchdog(c, cc, o, supply, watchdogs[wi])
-				if err != nil {
-					return err
-				}
+		for bi := range longRunning {
+			for si := range o.Seeds {
+				res := perBench[bi][wi*len(o.Seeds)+si]
 				useful := float64(res.UsefulCycles)
 				ckpt += float64(res.CkptCycles+res.RestartCycles) / useful
 				reexec += float64(res.ReexecCycles) / useful
@@ -80,18 +92,12 @@ func Figure8(o Options) (*Figure8Data, error) {
 				n++
 			}
 		}
-		mu.Lock()
 		d.Points[wi] = Figure8Point{
-			Watchdog: watchdogs[wi],
+			Watchdog: wdt,
 			Ckpt:     ckpt / float64(n),
 			Reexec:   reexec / float64(n),
 			Combined: comb / float64(n),
 		}
-		mu.Unlock()
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	return d, nil
 }

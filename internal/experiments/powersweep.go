@@ -6,7 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/clank"
-	"repro/internal/power"
+	"repro/internal/policysim"
 )
 
 // PowerSweepPoint is the minimum achievable overhead at one mean
@@ -55,20 +55,23 @@ func PowerSweep(o Options) (*PowerSweepData, error) {
 	err = parallelFor(len(means), func(mi int) error {
 		meanOn := means[mi]
 		wdt := OptimalPerfWatchdog(ckptCost, meanOn)
+		mo := Options{MeanOn: meanOn, Verify: o.Verify, Seeds: o.Seeds}
 		var ckpt, reexec, comb float64
 		n := 0
 		for _, c := range suite {
 			if c.Cycles < meanOn {
 				continue // watchdog study targets long-running programs
 			}
-			cc := cfg
-			cc.TextStart, cc.TextEnd = c.Image.TextStart, c.Image.TextEnd
-			for _, seed := range o.Seeds {
-				supply := power.NewSupply(power.Exponential{Mean: meanOn, Min: 500}, seed)
-				res, err := simulateWithWatchdog(c, cc, Options{MeanOn: meanOn, Verify: o.Verify, Seeds: o.Seeds}, supply, wdt)
-				if err != nil {
-					return fmt.Errorf("power sweep %d on %s: %w", meanOn, c.Bench.Name, err)
-				}
+			// All seeds replay this benchmark in one batched pass.
+			jobs := make([]policysim.Job, len(o.Seeds))
+			for si, seed := range o.Seeds {
+				jobs[si] = watchdogJob(c, cfg, mo, newSupply(meanOn, seed), wdt)
+			}
+			results, err := batchRun(c, jobs)
+			if err != nil {
+				return fmt.Errorf("power sweep %d: %w", meanOn, err)
+			}
+			for _, res := range results {
 				useful := float64(res.UsefulCycles)
 				ckpt += float64(res.CkptCycles+res.RestartCycles) / useful
 				reexec += float64(res.ReexecCycles) / useful

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"repro/internal/hwcost"
 )
@@ -33,20 +32,24 @@ func Table2(o Options) (*Table2Data, error) {
 	}
 	configs := Table2Configs()
 	rows := make([]Table2Row, len(configs))
-	var mu sync.Mutex
-	err = parallelFor(len(configs)*len(suite), func(i int) error {
-		ci, bi := i/len(suite), i%len(suite)
-		_, ov, err := simPowered(suite[bi], configs[ci], o)
+	// One batch per benchmark: all configurations x seeds replay the
+	// benchmark's columnar trace in a single pass.
+	perBench := make([][]float64, len(suite))
+	err = parallelFor(len(suite), func(bi int) error {
+		_, avgs, err := poweredRows(suite[bi], configs, o)
 		if err != nil {
 			return err
 		}
-		mu.Lock()
-		rows[ci].AvgSW += ov / float64(len(suite))
-		mu.Unlock()
+		perBench[bi] = avgs
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	for _, avgs := range perBench {
+		for ci, ov := range avgs {
+			rows[ci].AvgSW += ov / float64(len(suite))
+		}
 	}
 	for ci, nc := range configs {
 		est := hwcost.ForConfig(nc.Config)
@@ -103,7 +106,6 @@ func Figure7(o Options) (*Figure7Data, error) {
 		d.Configs = append(d.Configs, nc.Name)
 	}
 	d.Rows = make([]Figure7Row, len(suite))
-	var mu sync.Mutex
 	err = parallelFor(len(suite), func(bi int) error {
 		c := suite[bi]
 		row := Figure7Row{
@@ -113,28 +115,29 @@ func Figure7(o Options) (*Figure7Data, error) {
 			Reexec:    make([]float64, len(configs)),
 			Restart:   make([]float64, len(configs)),
 		}
+		// One batch per benchmark covering every configuration and seed.
+		lasts, sws, err := poweredRows(c, configs, o)
+		if err != nil {
+			return err
+		}
 		for ci, nc := range configs {
-			res, sw, err := simPowered(c, nc, o)
-			if err != nil {
-				return err
-			}
 			hw := hwcost.ForConfig(nc.Config)
-			row.Total[ci] = hwcost.TotalOverhead(hw, sw)
-			useful := float64(res.UsefulCycles)
-			row.Ckpt[ci] = float64(res.CkptCycles) / useful
-			row.Reexec[ci] = float64(res.ReexecCycles) / useful
-			row.Restart[ci] = float64(res.RestartCycles) / useful
+			row.Total[ci] = hwcost.TotalOverhead(hw, sws[ci])
+			useful := float64(lasts[ci].UsefulCycles)
+			row.Ckpt[ci] = float64(lasts[ci].CkptCycles) / useful
+			row.Reexec[ci] = float64(lasts[ci].ReexecCycles) / useful
+			row.Restart[ci] = float64(lasts[ci].RestartCycles) / useful
 		}
-		mu.Lock()
 		d.Rows[bi] = row
-		for ci := range configs {
-			d.Average[ci] += row.Total[ci] / float64(len(suite))
-		}
-		mu.Unlock()
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	for ci := range configs {
+		for bi := range suite {
+			d.Average[ci] += d.Rows[bi].Total[ci] / float64(len(suite))
+		}
 	}
 	return d, nil
 }

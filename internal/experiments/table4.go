@@ -7,7 +7,6 @@ import (
 	"repro/internal/clank"
 	"repro/internal/mibench"
 	"repro/internal/policysim"
-	"repro/internal/power"
 )
 
 // Table4Row is one memory-composition / buffer-size measurement on DS.
@@ -51,29 +50,46 @@ func Table4(o Options) (*Table4Data, error) {
 		return nil, err
 	}
 	d := &Table4Data{DINOOverhead: 1.70}
-	for _, comp := range []string{"Clank mixed", "Clank wholly NV"} {
-		for _, sz := range table4Sizes() {
+	// Both compositions, all buffer budgets, and every seed replay the DS
+	// trace as a single batch; the batch engine shares one mixed-volatility
+	// classification column across the mixed jobs.
+	mixed := &policysim.MixedVolatility{
+		VolatileStart: c.Image.DataEnd,
+		VolatileEnd:   c.Image.ReservedBase,
+		StackTop:      c.Image.InitialSP,
+	}
+	comps := []string{"Clank mixed", "Clank wholly NV"}
+	sizes := table4Sizes()
+	var jobs []policysim.Job
+	for _, comp := range comps {
+		for _, sz := range sizes {
 			cfg := sz.cfg
 			cfg.TextStart, cfg.TextEnd = c.Image.TextStart, c.Image.TextEnd
-			var sum, reexecFrac float64
 			for _, seed := range o.Seeds {
 				po := policysim.Options{
-					Supply:          power.NewSupply(power.Exponential{Mean: o.MeanOn, Min: 500}, seed),
+					Supply:          newSupply(o.MeanOn, seed),
 					ProgressDefault: o.MeanOn / 4,
 					PerfWatchdog:    o.MeanOn / 4, // section 3.1.4 deployment guidance
 					Verify:          o.Verify,
 				}
 				if comp == "Clank mixed" {
-					po.Mixed = &policysim.MixedVolatility{
-						VolatileStart: c.Image.DataEnd,
-						VolatileEnd:   c.Image.ReservedBase,
-						StackTop:      c.Image.InitialSP,
-					}
+					po.Mixed = mixed
 				}
-				res, err := policysim.Simulate(c.Trace, c.Cycles, cfg, po)
-				if err != nil {
-					return nil, fmt.Errorf("%s %s: %w", comp, sz.label, err)
-				}
+				jobs = append(jobs, policysim.Job{Config: cfg, Opts: po})
+			}
+		}
+	}
+	all, err := batchRun(c, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("table 4: %w", err)
+	}
+	ji := 0
+	for _, comp := range comps {
+		for _, sz := range sizes {
+			var sum, reexecFrac float64
+			for range o.Seeds {
+				res := all[ji]
+				ji++
 				sum += res.Overhead()
 				if res.Overhead() > 0 {
 					reexecFrac += float64(res.ReexecCycles) / float64(res.WallCycles-res.UsefulCycles)

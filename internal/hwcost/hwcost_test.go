@@ -57,8 +57,8 @@ func TestAPBSavesComparatorsButAddsLogic(t *testing.T) {
 // filter zeroes the delta.
 func TestFilterAccountedSeparately(t *testing.T) {
 	cfg := clank.Config{ReadFirst: 16, WriteFirst: 8, WriteBack: 4}
-	// 2 arrays x 64 slots x (24 tag bits + 1 valid bit).
-	if got, want := FilterBits(cfg), 2*clank.FilterEntries*25; got != want {
+	// 2 arrays x 512 slots x (21 tag bits + 1 valid bit).
+	if got, want := FilterBits(cfg), 2*clank.FilterEntries*22; got != want {
 		t.Errorf("FilterBits = %d, want %d", got, want)
 	}
 	off := cfg

@@ -1,0 +1,723 @@
+package policysim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/clank"
+	"repro/internal/power"
+	"repro/internal/refmon"
+)
+
+// Batched replay: one pass over the columnar trace drives a whole batch of
+// configurations. Detector state for the batch lives in a flat
+// clank.NewArena slice indexed by config slot, and everything that is a
+// property of the trace (decode, address classification) is read once per
+// access and shared by every slot.
+//
+// Two cores divide the work:
+//
+//   - Continuous-power jobs replay in lockstep, access-major: the outer
+//     loop walks the trace once and an inner loop steps every live slot.
+//     Under continuous power the scalar engine never reboots, so the
+//     committed NV state always equals the continuous trace's own values
+//     (the shadow store is the identity) and a checkpoint's cost is the
+//     closed-form clank.CommitCost — no shadow array, no step walk, no
+//     power arithmetic per access.
+//
+//   - Power-cycled jobs replay config-major on a columnar port of the
+//     scalar simulator (colSim below), one job at a time, because each
+//     job's reboot schedule desynchronizes its trace position from every
+//     other's. They still share the decoded columns, the classification,
+//     the arena, and the scratch buffers.
+//
+// Both cores are differentially tested to be byte-identical to scalar
+// Simulate (TestBatchMatchesScalar*); keep every accounting change in
+// policysim.go mirrored here.
+
+// Job is one design-space point: a hardware configuration plus simulation
+// options. For deterministic sweeps each job's Opts.Supply must be a
+// private power source instance (sharing one stateful Supply across jobs
+// would make results depend on replay order).
+type Job struct {
+	Config clank.Config
+	Opts   Options
+}
+
+// validateJob checks a job against the trace it will replay.
+func validateJob(tr *BatchTrace, j Job) error {
+	if err := j.Config.Validate(); err != nil {
+		return err
+	}
+	if j.Config.Opts&clank.OptIgnoreText != 0 &&
+		(j.Config.TextStart != tr.textStart || j.Config.TextEnd != tr.textEnd) {
+		return fmt.Errorf("policysim: config TEXT bounds [%#x,%#x) do not match the trace's [%#x,%#x)",
+			j.Config.TextStart, j.Config.TextEnd, tr.textStart, tr.textEnd)
+	}
+	return nil
+}
+
+// slot is one job's replay state inside a batch.
+type slot struct {
+	k     *clank.Clank
+	mon   *refmon.Monitor
+	o     Options // normalized
+	class []uint8 // classification column (trace-wide bits + group bits)
+	skip  []uint8 // bypass-read run lengths; nil unless textOn (the
+	// column counts TEXT reads as skippable, so a slot that tracks TEXT
+	// must not use it — it falls back to the per-access bypass test,
+	// which its textMask correctly narrows to exempt-only)
+	textOn   bool   // OptIgnoreText active: faText bits apply
+	textMask uint8  // faText when textOn, else 0 (hoists the && per access)
+	fast     bool   // no monitor, no undo log: eligible for the inline path
+	wdt      uint64 // o.PerfWatchdog, hoisted
+
+	// ckptLimit hoists the scalar loop-top wall checks out of the
+	// per-access path. Under continuous power the wall at any point is
+	// (some cycle stamp) + res.CkptCycles, and the stamp never exceeds the
+	// trace's maxCycle — so as long as CkptCycles stays at or below
+	// ckptLimit, neither the MaxWallCycles check nor the continuousGuard
+	// can trip anywhere in the trace, and the checks only need to run
+	// where CkptCycles changes: at commits and undo-journal charges. A
+	// slot that exceeds the limit (or starts beyond it: neverSafe) bails
+	// to the powered core, which reproduces the scalar engine — including
+	// its exact failure point and error — from scratch.
+	ckptLimit uint64
+	neverSafe bool
+
+	// Lockstep (continuous-power) replay state. Wall cycles so far are
+	// always prevT + res.CkptCycles: useful cycles accrue with the shared
+	// trace cursor and restarts never happen.
+	ckptT         uint64 // trace time of the last checkpoint
+	minStackWrite uint32
+	undoEntries   int
+
+	res          Result
+	err          error
+	done         bool
+	needsPowered bool // lockstep bailed out; re-run on the powered core
+}
+
+// Batch replays one trace against a fixed set of jobs. Build it once with
+// NewBatch and call Run; a Batch is reusable (the CI alloc guard holds a
+// steady-state Run to zero allocations) but not concurrency-safe, and
+// re-running jobs with stateful power supplies continues their sequence,
+// exactly as calling Simulate twice with one Supply would.
+type Batch struct {
+	tr   *BatchTrace
+	jobs []Job // options normalized
+	ks   []clank.Clank
+	sl   []slot
+
+	lockstep []*slot // continuous-power jobs, in job order
+	powered  []int   // job indices for the config-major core
+	live     []*slot // runLockstep's not-yet-done scratch list
+
+	dirtyScratch []clank.WBEntry
+	stepScratch  []clank.CommitStep
+	cs           colSim
+}
+
+// NewBatch validates the jobs and allocates every per-batch structure:
+// the detector arena, the classification columns, and the monitors.
+func NewBatch(tr *BatchTrace, jobs []Job) (*Batch, error) {
+	cfgs := make([]clank.Config, len(jobs))
+	njobs := make([]Job, len(jobs))
+	for i, j := range jobs {
+		if err := validateJob(tr, j); err != nil {
+			return nil, fmt.Errorf("policysim: job %d: %w", i, err)
+		}
+		njobs[i] = Job{Config: j.Config, Opts: j.Opts.normalized(tr.total)}
+		cfgs[i] = j.Config
+	}
+	ks, err := clank.NewArena(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	b := &Batch{tr: tr, jobs: njobs, ks: ks, sl: make([]slot, len(jobs))}
+	for i := range b.sl {
+		s := &b.sl[i]
+		o := njobs[i].Opts
+		s.k = &ks[i]
+		s.o = o
+		var skip []uint8
+		s.class, skip = tr.classFor(njobs[i].Config.ExemptPCs, o.Mixed)
+		_, _, s.textOn = s.k.TextWords()
+		if s.textOn {
+			s.textMask = faText
+			s.skip = skip
+		}
+		s.wdt = o.PerfWatchdog
+		if o.Verify && !o.UndoLog {
+			s.mon = refmon.New()
+		}
+		s.fast = s.mon == nil && !o.UndoLog
+		// Checkpoint-cycle budget within which the lockstep core is exact
+		// (see the ckptLimit field comment); min() keeps the sums
+		// overflow-free.
+		if o.MaxWallCycles < tr.maxCycle || continuousGuard-1 < tr.maxCycle {
+			s.neverSafe = true
+		} else {
+			s.ckptLimit = min(o.MaxWallCycles-tr.maxCycle, continuousGuard-1-tr.maxCycle)
+		}
+		if _, always := o.Supply.(power.Always); always {
+			b.lockstep = append(b.lockstep, s)
+		} else {
+			b.powered = append(b.powered, i)
+		}
+	}
+	return b, nil
+}
+
+// Run replays the trace against every job, writing job i's Result into
+// dst[i] and (when errs is non-nil) its error into errs[i]. Jobs fail
+// independently; the returned error is the lowest-index failure.
+func (b *Batch) Run(dst []Result, errs []error) error {
+	if len(dst) != len(b.jobs) {
+		return fmt.Errorf("policysim: Run dst holds %d results for %d jobs", len(dst), len(b.jobs))
+	}
+	if errs != nil && len(errs) != len(b.jobs) {
+		return fmt.Errorf("policysim: Run errs holds %d slots for %d jobs", len(errs), len(b.jobs))
+	}
+	for i := range b.sl {
+		b.resetSlot(&b.sl[i])
+	}
+	b.runLockstep()
+	for _, s := range b.lockstep {
+		if s.needsPowered {
+			b.resetSlot(s)
+			s.err = b.runPowered(s)
+		}
+	}
+	for _, ji := range b.powered {
+		s := &b.sl[ji]
+		s.err = b.runPowered(s)
+	}
+	var first error
+	for i := range b.sl {
+		s := &b.sl[i]
+		dst[i] = s.res
+		if errs != nil {
+			errs[i] = s.err
+		}
+		if s.err != nil && first == nil {
+			first = fmt.Errorf("policysim: job %d (%s): %w", i, b.jobs[i].Config, s.err)
+		}
+	}
+	return first
+}
+
+func (b *Batch) resetSlot(s *slot) {
+	s.k.Reset()
+	if s.mon != nil {
+		s.mon.Reset()
+	}
+	s.ckptT = 0
+	s.undoEntries = 0
+	s.minStackWrite = 0
+	if s.o.Mixed != nil {
+		s.minStackWrite = s.o.Mixed.StackTop
+	}
+	s.res = Result{UsefulCycles: b.tr.total}
+	s.err = nil
+	s.done = false
+	s.needsPowered = false
+}
+
+// SimulateBatch replays the trace against the jobs in one batch and
+// returns their Results; the error is the lowest-index job failure.
+func SimulateBatch(tr *BatchTrace, jobs []Job) ([]Result, error) {
+	b, err := NewBatch(tr, jobs)
+	if err != nil {
+		return nil, err
+	}
+	res := make([]Result, len(jobs))
+	err = b.Run(res, nil)
+	return res, err
+}
+
+// continuousGuard bounds lockstep wall cycles. Beyond it the scalar
+// engine's 1<<62-cycle continuous power budget could deplete (it reboots
+// and draws a fresh budget), a path the lockstep core does not model;
+// jobs that approach it re-run from scratch on the powered core, which
+// models it exactly.
+const continuousGuard = uint64(1) << 61
+
+// spanChunk is the lockstep span length: big enough to amortize the
+// per-slot setup of runSpan, small enough that one span's columns
+// (addr/value/prev/class ≈ 13 bytes per access on the fast path) stay
+// cache-resident while every slot replays them.
+const spanChunk = 4096
+
+// runLockstep replays every continuous-power slot over the trace in
+// cache-sized spans: the outer loop walks span boundaries, the inner
+// loop gives each live slot the whole span with its state held in
+// locals. Slots under continuous power never interact, so span order is
+// pure scheduling — results are identical to access-major stepping.
+// Accesses from tr.mono on (a non-monotonic stamp, only in malformed
+// hand-built traces) are not replayed here: the scalar engine's unsigned
+// delta wraps into its reboot machinery, which only the powered core
+// models.
+func (b *Batch) runLockstep() {
+	if len(b.lockstep) == 0 {
+		return
+	}
+	live := b.live[:0]
+	for _, s := range b.lockstep {
+		if s.neverSafe {
+			s.needsPowered = true
+			s.done = true
+			continue
+		}
+		live = append(live, s)
+	}
+	tr := b.tr
+	n := tr.mono
+	for lo := 0; lo < n && len(live) > 0; lo += spanChunk {
+		hi := min(lo+spanChunk, n)
+		for si := 0; si < len(live); {
+			if live[si].runSpan(b, lo, hi) {
+				si++
+			} else {
+				live[si] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+	}
+	b.live = live[:0]
+	if n < len(tr.addr) {
+		for _, s := range b.lockstep {
+			if !s.done {
+				s.needsPowered = true
+				s.done = true
+			}
+		}
+		return
+	}
+	var prevT uint64
+	if n > 0 {
+		prevT = tr.cycle[n-1]
+	}
+	for _, s := range b.lockstep {
+		if !s.done {
+			s.tail(b, prevT)
+		}
+	}
+}
+
+// runSpan replays accesses [lo, hi) for one slot. The common case — no
+// monitor, no undo log, no Performance Watchdog — runs in a tight loop
+// that touches only the addr/value/prev/class columns and the inlined
+// detector verdict; the cycle column is read only when a checkpoint
+// actually commits. Everything rarer (output commits, volatile skips,
+// monitor hooks, undo journaling, armed watchdogs) drops into stepRare
+// or the general loop below, and the scalar loop-top wall checks are
+// hoisted into slot.ckptLimit so they cost nothing per access. Returns
+// false once the slot is done.
+func (s *slot) runSpan(b *Batch, lo, hi int) bool {
+	tr := b.tr
+	class := s.class
+	k := s.k
+	textMask := s.textMask
+	rdBypass := textMask | faExempt // read flags that certify Outcome{} with no state change
+	wfZero := k.Config().WriteFirst == 0
+	if s.fast && s.wdt == 0 {
+		// Probe the access filter from the driver side: a hit certifies
+		// the verdict is Outcome{}, so the value/prev operands and the
+		// exempt/TEXT bools are never computed for it, and the access
+		// count is settled in a local (flushed before anything that can
+		// observe SectionAccesses — slow calls, rare steps, span end).
+		// Iterating a sliced window (not class[i]/tr.addr[i] on the full
+		// columns) lets the compiler drop the per-access bounds checks.
+		acc := 0
+		addrs := tr.addr[lo:hi]
+		vals := tr.value[lo:hi]
+		cls := class[lo:hi]
+		var sk []uint8
+		if s.skip != nil {
+			sk = s.skip[lo:hi]
+		}
+		for j := 0; j < len(addrs); j++ {
+			f := cls[j]
+			if f&(faOutput|faVolatile) != 0 {
+				i := lo + j
+				k.AddAccesses(acc)
+				acc = 0
+				if !s.stepRare(b, i, f, tr.cycle[i]) {
+					return false
+				}
+				continue
+			}
+			word := addrs[j] >> 2
+			if f&faWrite != 0 {
+				if k.FilterHitWrite(word) || k.BufferedWrite(word, vals[j]) {
+					acc++
+					continue
+				}
+				// An authoritative index miss resolves two more write
+				// classes without a detector call: an exempt write of a
+				// word in no buffer is Outcome{} (the exempt branch
+				// precedes every insert), and under WriteFirst == 0 a
+				// plain write of an untracked word in tracked mode is the
+				// passthrough Outcome{} (the slow path would only refresh
+				// the perf-only filter cache).
+				if f&faExempt != 0 {
+					if k.IdxMiss(word) {
+						acc++
+						continue
+					}
+				} else if wfZero && f&textMask == 0 && !k.Untracked() && k.IdxMiss(word) {
+					acc++
+					continue
+				}
+			} else if f&rdBypass != 0 {
+				// TEXT reads under OptIgnoreText are always Outcome{} (TEXT
+				// words are never buffer-resident: the TEXT check precedes
+				// every insert), and exempt reads never checkpoint or mutate
+				// state (the read tree resolves them before any insert, and
+				// the Write-back branches above them are read-only) — no
+				// probe is needed for either, and when the run-length
+				// column applies the whole run is consumed in O(1).
+				if sk != nil {
+					n := min(int(sk[j]), len(addrs)-j)
+					acc += n
+					j += n - 1
+				} else {
+					acc++
+				}
+				continue
+			} else if k.FilterHitRead(word) || k.BufferedRead(word) || k.Untracked() {
+				// In untracked mode every read is verdict-{} or FromWB
+				// (the untracked branch precedes every insert, and the
+				// dirty case was just probed) — no mutation either way.
+				acc++
+				continue
+			}
+			i := lo + j
+			k.AddAccesses(acc)
+			acc = 0
+			var out clank.Outcome
+			if f&faWrite != 0 {
+				out = k.WritePre(word, tr.value[i], tr.prev[i], f&faExempt != 0, f&textMask != 0)
+			} else {
+				out = k.ReadPre(word, tr.value[i], f&faExempt != 0, f&textMask != 0)
+			}
+			// Checkpoint-and-refeed: the scalar engine commits and replays
+			// the same access until it fits a fresh section.
+			for out.NeedCheckpoint {
+				s.commit(out.Reason, tr.cycle[i])
+				if s.done {
+					return false
+				}
+				if f&faWrite != 0 {
+					out = k.WritePre(word, tr.value[i], tr.prev[i], f&faExempt != 0, f&textMask != 0)
+				} else {
+					out = k.ReadPre(word, tr.value[i], f&faExempt != 0, f&textMask != 0)
+				}
+			}
+		}
+		k.AddAccesses(acc)
+		return true
+	}
+	for i := lo; i < hi; i++ {
+		cyc := tr.cycle[i]
+		f := class[i]
+		if s.fast && f&(faOutput|faVolatile) == 0 {
+			word := tr.addr[i] >> 2
+			var hit bool
+			if f&faWrite != 0 {
+				hit = k.FilterHitWrite(word) || k.BufferedWrite(word, tr.value[i])
+				if !hit && k.IdxMiss(word) {
+					// Same bypasses as the fast loop: exempt writes and
+					// WriteFirst==0 passthrough writes of untracked words.
+					hit = f&faExempt != 0 ||
+						(wfZero && f&textMask == 0 && !k.Untracked())
+				}
+			} else {
+				hit = f&rdBypass != 0 || k.FilterHitRead(word) || k.BufferedRead(word) || k.Untracked()
+			}
+			if hit {
+				k.AddAccesses(1)
+			} else {
+				var out clank.Outcome
+				if f&faWrite != 0 {
+					out = k.WritePre(word, tr.value[i], tr.prev[i], f&faExempt != 0, f&textMask != 0)
+				} else {
+					out = k.ReadPre(word, tr.value[i], f&faExempt != 0, f&textMask != 0)
+				}
+				for out.NeedCheckpoint {
+					s.commit(out.Reason, cyc)
+					if s.done {
+						return false
+					}
+					if f&faWrite != 0 {
+						out = k.WritePre(word, tr.value[i], tr.prev[i], f&faExempt != 0, f&textMask != 0)
+					} else {
+						out = k.ReadPre(word, tr.value[i], f&faExempt != 0, f&textMask != 0)
+					}
+				}
+			}
+		} else if !s.stepRare(b, i, f, cyc) {
+			return false
+		}
+		// Watchdogs, quantized to access boundaries. The Progress Watchdog
+		// never arms under continuous power (it requires a barren boot).
+		if s.wdt != 0 && cyc-s.ckptT >= s.wdt {
+			s.commit(clank.ReasonPerfWatchdog, cyc)
+			if s.done {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// stepRare replays access i for one slot under continuous power when the
+// inline fast path does not apply: output commits, volatile skips, and —
+// for slots with a monitor or an undo log — plain accesses too. It
+// mirrors the scalar loop body exactly (minus the wall checks, which
+// ckptLimit subsumes). Returns false once the slot is done.
+func (s *slot) stepRare(b *Batch, i int, f uint8, cyc uint64) bool {
+	tr := b.tr
+	if f&faOutput != 0 {
+		// Output commit: bracket with checkpoints (section 3.3). sinceCkpt
+		// is cyc - ckptT: useful cycles accrue only from trace deltas.
+		if cyc > s.ckptT || s.k.SectionAccesses() > 0 {
+			s.commit(clank.ReasonOutput, cyc)
+			if s.done {
+				return false
+			}
+		}
+		s.commit(clank.ReasonOutput, cyc)
+		return !s.done
+	}
+	if f&faVolatile != 0 {
+		if f&faWrite != 0 && tr.addr[i] < s.minStackWrite {
+			s.minStackWrite = tr.addr[i]
+		}
+		return true
+	}
+	word := tr.addr[i] >> 2
+	exempt := f&faExempt != 0
+	inText := f&s.textMask != 0
+	for {
+		var out clank.Outcome
+		if f&faWrite != 0 {
+			out = s.k.WritePre(word, tr.value[i], tr.prev[i], exempt, inText)
+		} else {
+			out = s.k.ReadPre(word, tr.value[i], exempt, inText)
+		}
+		if out.NeedCheckpoint {
+			s.commit(out.Reason, cyc)
+			if s.done {
+				return false
+			}
+			continue
+		}
+		if s.o.UndoLog && out.Buffered {
+			s.res.CkptCycles += s.o.Costs.WBFlushPerEntry
+			s.undoEntries++
+			if s.res.CkptCycles > s.ckptLimit {
+				s.needsPowered = true
+				s.done = true
+				return false
+			}
+			return true
+		}
+		if f&faWrite != 0 {
+			if !out.Buffered && s.mon != nil {
+				if v := s.mon.WriteNV(word, tr.value[i], tr.pc[i]); v != nil {
+					// i doubles as the scalar engine's access counter: every
+					// prior access advanced it by exactly one.
+					s.err = fmt.Errorf("policysim: dynamic verification failed at access %d: %w", i, v)
+					s.res.WallCycles = cyc + s.res.CkptCycles
+					s.done = true
+					return false
+				}
+			}
+		} else if !out.FromWB && s.mon != nil {
+			s.mon.ReadNV(word, tr.value[i])
+		}
+		return true
+	}
+}
+
+// tail runs the scalar engine's end-of-trace epilogue: the cycles after
+// the last access, then the final commit.
+func (s *slot) tail(b *Batch, prevT uint64) {
+	total := b.tr.total
+	if total < prevT {
+		s.needsPowered = true
+		s.done = true
+		return
+	}
+	s.commit(clank.ReasonNone, total)
+	if s.done {
+		// The final commit pushed CkptCycles past ckptLimit; whether that
+		// is a wall-limit failure is the powered core's call.
+		return
+	}
+	s.res.WallCycles = total + s.res.CkptCycles
+	s.res.Completed = true
+	s.done = true
+	// ReexecCycles = Wall - (Useful + Ckpt + Restart) = 0: continuous
+	// replay re-executes nothing, matching the scalar finish().
+}
+
+// commit is the continuous-power checkpoint: with power that cannot fail
+// mid-routine the interruptible step walk always completes, its cost sums
+// to the closed-form clank.CommitCost, the armed journal is always
+// drained, and the applied dirty values equal the trace's own (identity
+// shadow) — so the whole routine collapses to cost accounting plus the
+// detector reset.
+func (s *slot) commit(reason clank.Reason, cyc uint64) {
+	dirty := s.k.WBDirty()
+	if s.o.UndoLog {
+		// Undo discipline: values are already in NV; committing just
+		// truncates the journal.
+		dirty = 0
+	}
+	if s.o.Mixed != nil && s.minStackWrite < s.o.Mixed.StackTop {
+		words := uint64(s.o.Mixed.StackTop-s.minStackWrite) / 4
+		s.res.CkptCycles += words * s.o.Costs.StackWordSave
+		s.minStackWrite = s.o.Mixed.StackTop
+	}
+	s.res.CkptCycles += clank.CommitCost(s.o.Costs, dirty)
+	s.ckptT = cyc
+	s.undoEntries = 0
+	switch reason {
+	case clank.ReasonNone:
+	case clank.ReasonPerfWatchdog:
+		s.res.PerfWatchdogs++
+		s.res.Reasons[reason]++
+	case clank.ReasonProgWatchdog:
+		s.res.ProgWatchdogs++
+		s.res.Reasons[reason]++
+	default:
+		s.res.Reasons[reason]++
+	}
+	s.res.Checkpoints++
+	s.k.Reset()
+	if s.mon != nil {
+		s.mon.Reset()
+	}
+	// CkptCycles is the only term of the wall that the hoisted loop-top
+	// checks cannot bound ahead of time, so re-check the budget at every
+	// point it grows.
+	if s.res.CkptCycles > s.ckptLimit {
+		s.needsPowered = true
+		s.done = true
+	}
+}
+
+// runPowered replays one job on the config-major columnar core, a
+// faithful port of the scalar simulator for jobs with power cycling.
+func (b *Batch) runPowered(s *slot) error {
+	shadow := shadowPool.Get().(*shadowStore)
+	shadow.begin()
+	defer shadowPool.Put(shadow)
+	c := &b.cs
+	*c = colSim{
+		b:      b,
+		tr:     b.tr,
+		class:  s.class,
+		textOn: s.textOn,
+		k:      s.k,
+		mon:    s.mon,
+		o:      s.o,
+		shadow: shadow,
+	}
+	c.res.UsefulCycles = b.tr.total
+	c.powerLeft = c.o.Supply.NextOn()
+	c.ckptThisBoot = true
+	if c.o.Mixed != nil {
+		c.minStackWrite = c.o.Mixed.StackTop
+	}
+	err := c.run()
+	s.res = c.res
+	s.done = true
+	return err
+}
+
+// Sweep shards a configuration space across a worker pool the way
+// verify.Sweep shards its pattern space: shard j is the fixed job range
+// [j*ShardSize, (j+1)*ShardSize), workers pull shard indices from an
+// atomic counter, and every job's Result is written to its own index — so
+// a job's (shard, seq) coordinates and the full output are byte-identical
+// at any worker count, and a failure report's coordinates reproduce with
+// `-workers 1`. Scheduling decides only which worker visits a shard,
+// never what the shard computes.
+type Sweep struct {
+	Trace *BatchTrace
+	Jobs  []Job
+
+	// Workers is the pool size; 0 means GOMAXPROCS.
+	Workers int
+	// ShardSize is the number of jobs per shard (batch); 0 means 64.
+	ShardSize int
+}
+
+// Run executes the sweep. Results are indexed like Jobs; the error is the
+// failure with the lowest (shard, seq) coordinates, i.e. the lowest job
+// index, independent of worker count.
+func (s *Sweep) Run() ([]Result, error) {
+	n := len(s.Jobs)
+	out := make([]Result, n)
+	if n == 0 {
+		return out, nil
+	}
+	errs := make([]error, n)
+	size := s.ShardSize
+	if size <= 0 {
+		size = 64
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := (n + size - 1) / size
+	if workers > shards {
+		workers = shards
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= shards {
+					return
+				}
+				lo := idx * size
+				hi := min(lo+size, n)
+				b, err := NewBatch(s.Trace, s.Jobs[lo:hi])
+				if err != nil {
+					// Attribute the construction error to the first
+					// invalid job of the shard.
+					at := lo
+					for j := lo; j < hi; j++ {
+						if verr := validateJob(s.Trace, s.Jobs[j]); verr != nil {
+							at, err = j, verr
+							break
+						}
+					}
+					errs[at] = err
+					continue
+				}
+				b.Run(out[lo:hi], errs[lo:hi])
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("policysim: sweep job %d (shard %d, seq %d, config %s): %w",
+				i, i/size, i%size, s.Jobs[i].Config, err)
+		}
+	}
+	return out, nil
+}

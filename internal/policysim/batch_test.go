@@ -1,0 +1,291 @@
+package policysim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/armsim"
+	"repro/internal/ccc"
+	"repro/internal/clank"
+	"repro/internal/power"
+)
+
+// diffCase is one design-space point for the batched-vs-scalar
+// differential: mkOpts builds the Options fresh on each call so the batch
+// and the scalar reference each get a private stateful power supply.
+type diffCase struct {
+	name   string
+	cfg    clank.Config
+	mkOpts func() Options
+}
+
+// diffCases spans both replay cores and every option axis: continuous
+// power (the lockstep core) plain / verified / watchdogged / mixed /
+// undo-logged / exempted, and harvested power (the config-major core)
+// across the same axes.
+func diffCases(img *ccc.Image, exempt map[uint32]bool) []diffCase {
+	text := func(c clank.Config) clank.Config {
+		c.TextStart, c.TextEnd = img.TextStart, img.TextEnd
+		return c
+	}
+	harvested := func(seed int64) func() Options {
+		return func() Options {
+			return Options{
+				Supply:          power.NewSupply(power.Exponential{Mean: 20_000, Min: 500}, seed),
+				ProgressDefault: 10_000,
+				Verify:          true,
+			}
+		}
+	}
+	mixed := &MixedVolatility{
+		VolatileStart: img.DataEnd,
+		VolatileEnd:   img.ReservedBase,
+		StackTop:      img.InitialSP,
+	}
+	return []diffCase{
+		{"cont-rf4", clank.Config{ReadFirst: 4}, func() Options { return Options{} }},
+		{"cont-verify", text(clank.Config{ReadFirst: 8, WriteFirst: 4, WriteBack: 2, Opts: clank.OptAll}),
+			func() Options { return Options{Verify: true} }},
+		{"cont-watchdog", clank.Config{ReadFirst: 8, WriteFirst: 4},
+			func() Options { return Options{PerfWatchdog: 3_000, Verify: true} }},
+		{"cont-mixed", clank.Config{ReadFirst: 1},
+			func() Options { return Options{Verify: true, Mixed: mixed} }},
+		{"cont-undo", clank.Config{ReadFirst: 8, WriteFirst: 4, WriteBack: 4},
+			func() Options { return Options{UndoLog: true} }},
+		{"cont-exempt", text(clank.Config{ReadFirst: 4, WriteFirst: 2, WriteBack: 1, ExemptPCs: exempt}),
+			func() Options { return Options{Verify: true} }},
+		{"pow-plain", text(clank.Config{ReadFirst: 8, WriteFirst: 4, WriteBack: 2, Opts: clank.OptAll}),
+			harvested(2)},
+		{"pow-seed13", text(clank.Config{ReadFirst: 8, WriteFirst: 4, WriteBack: 2, Opts: clank.OptAll}),
+			harvested(13)},
+		{"pow-tiny", clank.Config{ReadFirst: 2, WriteFirst: 1, WriteBack: 1, Opts: clank.OptLatestCheckpoint},
+			harvested(4)},
+		{"pow-undo", clank.Config{ReadFirst: 16, WriteFirst: 8, WriteBack: 8, Opts: clank.OptAll &^ clank.OptIgnoreText},
+			func() Options {
+				return Options{
+					Supply:          power.NewSupply(power.Exponential{Mean: 20_000, Min: 500}, 7),
+					ProgressDefault: 8_000,
+					UndoLog:         true,
+				}
+			}},
+		{"pow-mixed", clank.Config{ReadFirst: 2, WriteFirst: 1},
+			func() Options {
+				return Options{
+					Supply:          power.NewSupply(power.Exponential{Mean: 15_000, Min: 500}, 21),
+					ProgressDefault: 10_000,
+					Verify:          true,
+					Mixed:           mixed,
+				}
+			}},
+		{"pow-watchdog", clank.Config{ReadFirst: 8, WriteFirst: 4},
+			func() Options {
+				return Options{
+					Supply:          power.NewSupply(power.Exponential{Mean: 30_000, Min: 500}, 5),
+					ProgressDefault: 10_000,
+					PerfWatchdog:    5_000,
+					Verify:          true,
+				}
+			}},
+	}
+}
+
+// TestBatchMatchesScalar is the engine-level differential: every batched
+// Result must be byte-identical (==) to the scalar Simulate Result for
+// the same job, across both replay cores and every option axis.
+func TestBatchMatchesScalar(t *testing.T) {
+	img, trace, total := buildTrace(t, testProgram)
+	exempt := ccc.ProgramIdempotentPCs(trace)
+	cases := diffCases(img, exempt)
+
+	jobs := make([]Job, len(cases))
+	for i, c := range cases {
+		jobs[i] = Job{Config: c.cfg, Opts: c.mkOpts()}
+	}
+	tr := NewBatchTrace(trace, total, img.TextStart, img.TextEnd)
+	got, err := SimulateBatch(tr, jobs)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	for i, c := range cases {
+		want, werr := Simulate(trace, total, c.cfg, c.mkOpts())
+		if werr != nil {
+			t.Fatalf("%s: scalar: %v", c.name, werr)
+		}
+		if got[i] != want {
+			t.Errorf("%s: batch %+v\n  scalar %+v", c.name, got[i], want)
+		}
+	}
+}
+
+// TestBatchMatchesScalarOnWallLimit pins the two engines to the same
+// failure: an unreachable wall bound must produce the same error string
+// and leave errorless jobs in the same batch untouched.
+func TestBatchMatchesScalarOnWallLimit(t *testing.T) {
+	_, trace, total := buildTrace(t, testProgram)
+	cfg := clank.Config{ReadFirst: 2, WriteFirst: 1}
+	tight := Options{PerfWatchdog: 200, MaxWallCycles: total + 10}
+
+	_, werr := Simulate(trace, total, cfg, tight)
+	if werr == nil {
+		t.Fatal("scalar accepted an unreachable wall bound")
+	}
+	tr := NewBatchTrace(trace, total, 0, 0)
+	jobs := []Job{
+		{Config: clank.Config{ReadFirst: 8}, Opts: Options{}},
+		{Config: cfg, Opts: tight},
+	}
+	b, err := NewBatch(tr, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	if rerr := b.Run(res, errs); rerr == nil {
+		t.Fatal("batch accepted an unreachable wall bound")
+	}
+	if errs[0] != nil {
+		t.Errorf("healthy job contaminated: %v", errs[0])
+	}
+	if !res[0].Completed {
+		t.Error("healthy job did not complete")
+	}
+	if errs[1] == nil || errs[1].Error() != werr.Error() {
+		t.Errorf("batch error %v, scalar error %v", errs[1], werr)
+	}
+}
+
+// TestBatchRejectsTextMismatch: the faText column is baked per trace, so
+// a job that enables OptIgnoreText with different bounds must be refused
+// up front rather than silently misclassified.
+func TestBatchRejectsTextMismatch(t *testing.T) {
+	img, trace, total := buildTrace(t, testProgram)
+	tr := NewBatchTrace(trace, total, img.TextStart, img.TextEnd)
+	bad := clank.Config{ReadFirst: 4, Opts: clank.OptIgnoreText,
+		TextStart: img.TextStart + 4, TextEnd: img.TextEnd}
+	if _, err := NewBatch(tr, []Job{{Config: bad}}); err == nil {
+		t.Fatal("batch accepted mismatched TEXT bounds")
+	}
+	ok := clank.Config{ReadFirst: 4, Opts: clank.OptIgnoreText,
+		TextStart: img.TextStart, TextEnd: img.TextEnd}
+	if _, err := NewBatch(tr, []Job{{Config: ok}}); err != nil {
+		t.Fatalf("batch rejected matching TEXT bounds: %v", err)
+	}
+}
+
+// TestSweepWorkerCountInvariance: a Sweep's output is a pure function of
+// (Trace, Jobs) — byte-identical Results at any worker count and any
+// shard size, which is what makes sweep failures reproducible with
+// -workers 1.
+func TestSweepWorkerCountInvariance(t *testing.T) {
+	img, trace, total := buildTrace(t, testProgram)
+	tr := NewBatchTrace(trace, total, img.TextStart, img.TextEnd)
+
+	jobs := func() []Job {
+		var js []Job
+		seed := int64(100)
+		for _, rf := range []int{2, 4, 8} {
+			for _, wf := range []int{0, 2, 4} {
+				cfg := clank.Config{ReadFirst: rf, WriteFirst: wf,
+					Opts: clank.OptAll, TextStart: img.TextStart, TextEnd: img.TextEnd}
+				js = append(js, Job{Config: cfg, Opts: Options{Verify: true}})
+				seed++
+				js = append(js, Job{Config: cfg, Opts: Options{
+					Supply:          power.NewSupply(power.Exponential{Mean: 25_000, Min: 500}, seed),
+					ProgressDefault: 10_000,
+				}})
+			}
+		}
+		return js
+	}
+
+	var base []Result
+	for _, workers := range []int{1, 2, 8} {
+		s := &Sweep{Trace: tr, Jobs: jobs(), Workers: workers, ShardSize: 4}
+		out, err := s.Run()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if base == nil {
+			base = out
+			continue
+		}
+		for i := range out {
+			if out[i] != base[i] {
+				t.Errorf("workers=%d job %d: %+v != %+v", workers, i, out[i], base[i])
+			}
+		}
+	}
+}
+
+// TestSimulateMaxWallCyclesSaturates is the regression test for the
+// runaway-guard overflow: with a trace whose useful cycle count is large
+// enough that totalCycles*1000 wraps uint64, the default MaxWallCycles
+// must saturate instead of turning into a tiny bound that instantly
+// fails the run.
+func TestSimulateMaxWallCyclesSaturates(t *testing.T) {
+	// A hand-built three-access trace with an astronomically long tail:
+	// the wrapped guard (pre-fix) was ~8.4e15 cycles below WallCycles and
+	// errored; the saturated guard completes.
+	huge := uint64(math.MaxUint64) / 500
+	trace := []armsim.Access{
+		{Write: false, Addr: 0x100, Size: 4, Value: 1, Cycle: 10},
+		{Write: true, Addr: 0x100, Size: 4, Value: 2, Prev: 1, PC: 0x40, Cycle: 20},
+		{Write: false, Addr: 0x104, Size: 4, Value: 3, Cycle: 30},
+	}
+	res, err := Simulate(trace, huge, clank.Config{ReadFirst: 4}, Options{})
+	if err != nil {
+		t.Fatalf("saturating guard still errored: %v", err)
+	}
+	if !res.Completed || res.UsefulCycles != huge {
+		t.Fatalf("run did not complete: %+v", res)
+	}
+
+	// The batch engine shares the normalization.
+	tr := NewBatchTrace(trace, huge, 0, 0)
+	got, err := SimulateBatch(tr, []Job{{Config: clank.Config{ReadFirst: 4}}})
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if got[0] != res {
+		t.Fatalf("batch %+v != scalar %+v", got[0], res)
+	}
+
+	// Explicit boundary: the normalized bound saturates rather than wraps.
+	if o := (Options{}).normalized(huge); o.MaxWallCycles != math.MaxUint64 {
+		t.Fatalf("normalized MaxWallCycles = %d, want saturation", o.MaxWallCycles)
+	}
+	if o := (Options{}).normalized(1000); o.MaxWallCycles != 1000*1000+100_000_000 {
+		t.Fatalf("normalized MaxWallCycles = %d for small trace", o.MaxWallCycles)
+	}
+}
+
+// TestBatchReplayZeroAlloc holds the steady-state batched replay step to
+// zero heap allocations: after NewBatch and one warm-up Run, re-running
+// the whole batch (the lockstep continuous core) must not allocate. This
+// is the CI alloc guard for the sweep hot path.
+func TestBatchReplayZeroAlloc(t *testing.T) {
+	img, trace, total := buildTrace(t, testProgram)
+	tr := NewBatchTrace(trace, total, img.TextStart, img.TextEnd)
+	jobs := []Job{
+		{Config: clank.Config{ReadFirst: 4}},
+		{Config: clank.Config{ReadFirst: 8, WriteFirst: 4, WriteBack: 2,
+			Opts: clank.OptAll, TextStart: img.TextStart, TextEnd: img.TextEnd}},
+		{Config: clank.Config{ReadFirst: 2, WriteFirst: 1}, Opts: Options{PerfWatchdog: 3_000}},
+	}
+	b, err := NewBatch(tr, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := make([]Result, len(jobs))
+	if err := b.Run(res, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if err := b.Run(res, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state batched replay allocates %.1f times per Run, want 0", allocs)
+	}
+}

@@ -1,0 +1,312 @@
+package policysim
+
+import (
+	"fmt"
+
+	"repro/internal/clank"
+	"repro/internal/refmon"
+)
+
+// colSim is the config-major columnar core: the scalar simulator ported
+// line for line onto BatchTrace columns and the pre-classified detector
+// entry points. It replays power-cycled jobs (and the rare continuous job
+// whose wall cycles outgrow the lockstep core's guard) with the exact
+// scalar semantics: same spend boundaries, same sequenced commit walk,
+// same reboot bookkeeping, same error strings. Any accounting change in
+// policysim.go must land here too — TestBatchMatchesScalarPowered pins
+// the equivalence.
+type colSim struct {
+	b      *Batch
+	tr     *BatchTrace
+	class  []uint8
+	textOn bool
+	k      *clank.Clank
+	mon    *refmon.Monitor
+	o      Options
+
+	shadow *shadowStore
+
+	pos     int
+	ckptPos int
+	prevT   uint64
+	ckptT   uint64
+
+	powerLeft      uint64
+	cyclesThisBoot uint64
+	sinceCkpt      uint64
+	ckptThisBoot   bool
+	progLoad       uint64
+	progEnabled    bool
+	consecBarren   int
+
+	minStackWrite uint32
+	undoEntries   int
+	jarmed        int
+
+	res Result
+}
+
+func (c *colSim) run() error {
+	tr := c.tr
+	n := len(tr.addr)
+	for {
+		if c.res.WallCycles > c.o.MaxWallCycles {
+			return fmt.Errorf("policysim: exceeded %d wall cycles at access %d/%d (%d restarts)",
+				c.o.MaxWallCycles, c.pos, n, c.res.Restarts)
+		}
+		if c.powerLeft == 0 {
+			if err := c.reboot(); err != nil {
+				return err
+			}
+			continue
+		}
+		if c.pos == n {
+			// Tail: cycles after the last access until program end, then
+			// the final commit.
+			delta := tr.total - c.prevT
+			if !c.spend(delta) {
+				continue
+			}
+			c.prevT = tr.total
+			if !c.checkpoint(clank.ReasonNone) {
+				continue
+			}
+			c.res.Completed = true
+			c.finish()
+			return nil
+		}
+
+		i := c.pos
+		cyc := tr.cycle[i]
+		delta := cyc - c.prevT
+		if !c.spend(delta) {
+			continue
+		}
+		c.prevT = cyc
+
+		f := c.class[i]
+		if f&faOutput != 0 {
+			// Output commit: bracket with checkpoints (section 3.3).
+			if c.sinceCkpt > 0 || c.k.SectionAccesses() > 0 {
+				if !c.checkpoint(clank.ReasonOutput) {
+					continue
+				}
+			}
+			c.pos++
+			if !c.checkpoint(clank.ReasonOutput) {
+				continue
+			}
+		} else if f&faVolatile != 0 {
+			// Volatile SRAM: invisible to Clank; track stack depth for
+			// checkpoint sizing.
+			if f&faWrite != 0 && tr.addr[i] < c.minStackWrite {
+				c.minStackWrite = tr.addr[i]
+			}
+			c.pos++
+		} else {
+			word := tr.addr[i] >> 2
+			exempt := f&faExempt != 0
+			inText := f&faText != 0 && c.textOn
+			var out clank.Outcome
+			if f&faWrite != 0 {
+				out = c.k.WritePre(word, tr.value[i], c.cur(word, tr.prev[i]), exempt, inText)
+			} else {
+				out = c.k.ReadPre(word, c.cur(word, tr.value[i]), exempt, inText)
+			}
+			if out.NeedCheckpoint {
+				c.checkpoint(out.Reason)
+				continue // re-feed the access (its delta is already paid)
+			}
+			if c.o.UndoLog && out.Buffered {
+				if !c.spendOverhead(c.o.Costs.WBFlushPerEntry, &c.res.CkptCycles) {
+					continue
+				}
+				c.undoEntries++
+				c.setShadow(word, tr.value[i])
+				c.pos++
+				goto watchdogs
+			}
+			if f&faWrite != 0 && !out.Buffered {
+				if c.mon != nil {
+					if v := c.mon.WriteNV(word, tr.value[i], tr.pc[i]); v != nil {
+						return fmt.Errorf("policysim: dynamic verification failed at access %d: %w", c.pos, v)
+					}
+				}
+				c.setShadow(word, tr.value[i])
+			}
+			if f&faWrite == 0 && !out.FromWB && c.mon != nil {
+				c.mon.ReadNV(word, tr.value[i])
+			}
+			c.pos++
+		}
+
+	watchdogs:
+		if w := c.o.PerfWatchdog; w != 0 && c.sinceCkpt >= w {
+			c.checkpoint(clank.ReasonPerfWatchdog)
+			continue
+		}
+		if c.progEnabled && c.cyclesThisBoot >= c.progLoad {
+			c.checkpoint(clank.ReasonProgWatchdog)
+		}
+	}
+}
+
+func (c *colSim) cur(word, fallback uint32) uint32 {
+	if c.shadow.gen[word] == c.shadow.run {
+		return c.shadow.val[word]
+	}
+	return fallback
+}
+
+func (c *colSim) setShadow(word, v uint32) {
+	c.shadow.val[word] = v
+	c.shadow.gen[word] = c.shadow.run
+}
+
+func (c *colSim) spend(delta uint64) bool {
+	if delta >= c.powerLeft {
+		c.res.WallCycles += c.powerLeft
+		c.cyclesThisBoot += c.powerLeft
+		c.powerLeft = 0
+		return false
+	}
+	c.powerLeft -= delta
+	c.res.WallCycles += delta
+	c.cyclesThisBoot += delta
+	c.sinceCkpt += delta
+	return true
+}
+
+func (c *colSim) spendOverhead(cost uint64, counter *uint64) bool {
+	if cost >= c.powerLeft {
+		c.res.WallCycles += c.powerLeft
+		*counter += c.powerLeft
+		c.cyclesThisBoot += c.powerLeft
+		c.powerLeft = 0
+		return false
+	}
+	c.powerLeft -= cost
+	c.res.WallCycles += cost
+	*counter += cost
+	c.cyclesThisBoot += cost
+	return true
+}
+
+// checkpoint mirrors the scalar sequenced commit walk; the scratch
+// buffers live on the Batch so back-to-back jobs share them.
+func (c *colSim) checkpoint(reason clank.Reason) bool {
+	c.b.dirtyScratch = c.k.DirtyEntries(c.b.dirtyScratch[:0])
+	dirty := c.b.dirtyScratch
+	if c.o.UndoLog {
+		dirty = nil
+	}
+	if c.o.Mixed != nil && c.minStackWrite < c.o.Mixed.StackTop {
+		words := uint64(c.o.Mixed.StackTop-c.minStackWrite) / 4
+		if !c.spendOverhead(words*c.o.Costs.StackWordSave, &c.res.CkptCycles) {
+			return false
+		}
+	}
+	c.b.stepScratch = clank.AppendCommitSteps(c.b.stepScratch[:0], c.o.Costs, len(dirty))
+	for _, st := range c.b.stepScratch {
+		if !c.spendOverhead(st.Cost, &c.res.CkptCycles) {
+			return false
+		}
+		switch st.Kind {
+		case clank.StepFlip:
+			for _, e := range dirty {
+				c.setShadow(e.Word, e.Value)
+			}
+			c.ckptPos = c.pos
+			c.ckptT = c.prevT
+			c.undoEntries = 0
+			c.jarmed = len(dirty)
+			c.sinceCkpt = 0
+			c.ckptThisBoot = true
+			c.consecBarren = 0
+			if c.o.Mixed != nil {
+				c.minStackWrite = c.o.Mixed.StackTop
+			}
+			switch reason {
+			case clank.ReasonNone:
+			case clank.ReasonPerfWatchdog:
+				c.res.PerfWatchdogs++
+				c.res.Reasons[reason]++
+			case clank.ReasonProgWatchdog:
+				c.res.ProgWatchdogs++
+				c.res.Reasons[reason]++
+			default:
+				c.res.Reasons[reason]++
+			}
+			c.res.Checkpoints++
+			c.progEnabled = false
+			c.progLoad = 0
+		case clank.StepClear:
+			c.jarmed = 0
+		}
+	}
+	c.k.Reset()
+	if c.mon != nil {
+		c.mon.Reset()
+	}
+	return true
+}
+
+func (c *colSim) reboot() error {
+	for {
+		c.res.Restarts++
+		c.k.Reset()
+		if c.mon != nil {
+			c.mon.Reset()
+		}
+		c.pos = c.ckptPos
+		c.prevT = c.ckptT
+		if c.o.Mixed != nil {
+			c.minStackWrite = c.o.Mixed.StackTop
+		}
+
+		madeProgress := c.ckptThisBoot
+		c.powerLeft = c.o.Supply.NextOn()
+		c.cyclesThisBoot = 0
+		c.sinceCkpt = 0
+		c.ckptThisBoot = false
+		if !madeProgress {
+			c.consecBarren++
+			c.res.BarrenBoots++
+			if c.consecBarren > 100000 {
+				return errNoProgress
+			}
+		} else {
+			c.consecBarren = 0
+		}
+		if c.o.ProgressDefault != 0 && !madeProgress {
+			if c.progLoad == 0 {
+				c.progLoad = c.o.ProgressDefault
+			} else if c.progLoad > 2 {
+				c.progLoad /= 2
+			}
+			c.progEnabled = true
+		} else {
+			c.progEnabled = false
+		}
+		bootCost := c.o.Costs.Restart
+		if c.o.UndoLog {
+			bootCost += uint64(c.undoEntries) * c.o.Costs.WBFlushPerEntry
+		}
+		if c.jarmed > 0 {
+			bootCost += clank.RecoveryCost(c.o.Costs, c.jarmed)
+		}
+		if c.spendOverhead(bootCost, &c.res.RestartCycles) {
+			c.undoEntries = 0
+			c.jarmed = 0
+			return nil
+		}
+	}
+}
+
+func (c *colSim) finish() {
+	w := c.res.WallCycles
+	sum := c.res.UsefulCycles + c.res.CkptCycles + c.res.RestartCycles
+	if w > sum {
+		c.res.ReexecCycles = w - sum
+	}
+}

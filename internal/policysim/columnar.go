@@ -1,0 +1,239 @@
+package policysim
+
+import (
+	"reflect"
+	"sync"
+
+	"repro/internal/armsim"
+)
+
+// Columnar trace format. A design-space sweep replays one access log
+// against thousands of configurations, so everything that is a property of
+// the trace rather than of the configuration — the decoded columns, the
+// output/TEXT classification of each address, the exempt-PC and
+// volatile-range classification of each access — is computed once here and
+// shared by every replay instead of being re-derived per configuration
+// inside the hot loop.
+
+// Per-access classification bits. The first three are trace-wide
+// (BatchTrace.flags); the last two depend on a job's ExemptPCs set and
+// MixedVolatility range and live in per-group columns (classGroup.flags,
+// which embed the trace-wide bits too).
+const (
+	faWrite    uint8 = 1 << iota // store (vs load)
+	faOutput                     // output commit: Addr >= armsim.MemSize
+	faText                       // word inside the trace's TEXT window
+	faExempt                     // pc in the group's Program Idempotent set
+	faVolatile                   // byte address in the group's volatile SRAM range
+)
+
+// BatchTrace is the struct-of-arrays form of a memory-access log: parallel
+// columns replace the []armsim.Access row layout so the batched replay
+// engine streams each column linearly, and the per-access classification
+// (output, TEXT membership) is baked into a flags column once per trace.
+type BatchTrace struct {
+	addr  []uint32 // byte address (word-aligned for memory accesses)
+	value []uint32
+	prev  []uint32
+	pc    []uint32
+	cycle []uint64
+	flags []uint8 // faWrite | faOutput | faText
+
+	skip []uint8 // bypass-read run lengths for tr.flags (see buildSkip)
+
+	total     uint64 // continuous-execution cycle count
+	maxCycle  uint64 // max(total, largest cycle stamp): lockstep safety bound
+	mono      int    // first index whose stamp regresses, or Len (monotonic)
+	textStart uint32 // byte bounds baked into faText (clank.Config must match)
+	textEnd   uint32
+
+	mu     sync.Mutex
+	groups []*classGroup
+}
+
+// classGroup is one (ExemptPCs set, MixedVolatility range) equivalence
+// class of jobs: its flags column is the trace-wide column with faExempt
+// and faVolatile filled in. Jobs sharing the classification (the common
+// case: a sweep uses one exempt set) share the column.
+type classGroup struct {
+	exemptID uintptr // identity of the ExemptPCs map (0 = none)
+	hasMixed bool
+	vs, ve   uint32 // volatile byte range when hasMixed
+
+	flags []uint8
+	skip  []uint8 // bypass-read run lengths for flags (see buildSkip)
+}
+
+// buildSkip precomputes, for every access that is a bypass read — a load
+// whose flags certify the verdict Outcome{} with no detector state change
+// (TEXT or exempt, not output/volatile) — the length of the run of such
+// reads starting there, capped at 255. The replay loop consumes a whole
+// run in O(1): these runs are literal pools and flash lookup tables, and
+// in table-driven kernels they cover a quarter of the trace. Zero means
+// "not a bypass read". The column depends only on the flags column, so it
+// is shared exactly as widely.
+func buildSkip(flags []uint8) []uint8 {
+	skip := make([]uint8, len(flags))
+	run := 0
+	for i := len(flags) - 1; i >= 0; i-- {
+		f := flags[i]
+		if f&(faWrite|faOutput|faVolatile) == 0 && f&(faText|faExempt) != 0 {
+			if run < 255 {
+				run++
+			}
+			skip[i] = uint8(run)
+		} else {
+			run = 0
+		}
+	}
+	return skip
+}
+
+// NewBatchTrace captures a trace once into columnar form. textStart and
+// textEnd are the byte bounds of the TEXT segment; every batched job that
+// enables OptIgnoreText must carry the same bounds (NewBatch enforces
+// this — the faText column is shared across the batch).
+func NewBatchTrace(trace []armsim.Access, totalCycles uint64, textStart, textEnd uint32) *BatchTrace {
+	tr := &BatchTrace{
+		addr:      make([]uint32, len(trace)),
+		value:     make([]uint32, len(trace)),
+		prev:      make([]uint32, len(trace)),
+		pc:        make([]uint32, len(trace)),
+		cycle:     make([]uint64, len(trace)),
+		flags:     make([]uint8, len(trace)),
+		total:     totalCycles,
+		textStart: textStart,
+		textEnd:   textEnd,
+	}
+	// TEXT window in word addresses, exactly as the detector rounds it
+	// (clank.TextWords: end rounds up to the next word boundary).
+	loW, hiW := textStart>>2, (textEnd+3)>>2
+	for i, a := range trace {
+		tr.addr[i] = a.Addr
+		tr.value[i] = a.Value
+		tr.prev[i] = a.Prev
+		tr.pc[i] = a.PC
+		tr.cycle[i] = a.Cycle
+		var f uint8
+		if a.Write {
+			f |= faWrite
+		}
+		if a.Addr >= armsim.MemSize {
+			f |= faOutput
+		} else if w := a.Addr >> 2; w >= loW && w < hiW {
+			f |= faText
+		}
+		tr.flags[i] = f
+	}
+	tr.setDerived()
+	return tr
+}
+
+// NewBatchTraceCols builds a BatchTrace from an armsim columnar capture
+// without materializing rows.
+func NewBatchTraceCols(tc *armsim.TraceCols, textStart, textEnd uint32) *BatchTrace {
+	tr := &BatchTrace{
+		addr:      append([]uint32(nil), tc.Addr...),
+		value:     append([]uint32(nil), tc.Value...),
+		prev:      append([]uint32(nil), tc.Prev...),
+		pc:        append([]uint32(nil), tc.PC...),
+		cycle:     append([]uint64(nil), tc.Cycle...),
+		flags:     make([]uint8, len(tc.Addr)),
+		total:     tc.Total,
+		textStart: textStart,
+		textEnd:   textEnd,
+	}
+	loW, hiW := textStart>>2, (textEnd+3)>>2
+	for i, addr := range tc.Addr {
+		var f uint8
+		if tc.Write[i] {
+			f |= faWrite
+		}
+		if addr >= armsim.MemSize {
+			f |= faOutput
+		} else if w := addr >> 2; w >= loW && w < hiW {
+			f |= faText
+		}
+		tr.flags[i] = f
+	}
+	tr.setDerived()
+	return tr
+}
+
+// setDerived records two facts about the cycle column that let the
+// lockstep core drop its per-access checks: the largest stamp the replay
+// can observe (slot.ckptLimit's wall-limit hoisting is derived from it)
+// and the first index whose stamp regresses. Stamps are scanned rather
+// than assumed monotonic so that a malformed trace still bails out
+// safely — accesses from tr.mono on replay only on the powered core,
+// which models the scalar engine's unsigned-delta wraparound.
+func (tr *BatchTrace) setDerived() {
+	tr.skip = buildSkip(tr.flags)
+	m := tr.total
+	tr.mono = len(tr.cycle)
+	for i, c := range tr.cycle {
+		if c > m {
+			m = c
+		}
+		if i > 0 && c < tr.cycle[i-1] && tr.mono == len(tr.cycle) {
+			tr.mono = i
+		}
+	}
+	tr.maxCycle = m
+}
+
+// Len returns the number of accesses.
+func (tr *BatchTrace) Len() int { return len(tr.addr) }
+
+// TotalCycles returns the continuous-execution cycle count.
+func (tr *BatchTrace) TotalCycles() uint64 { return tr.total }
+
+// TextBounds returns the byte bounds baked into the faText column.
+func (tr *BatchTrace) TextBounds() (start, end uint32) { return tr.textStart, tr.textEnd }
+
+func exemptIdentity(m map[uint32]bool) uintptr {
+	if m == nil {
+		return 0
+	}
+	return reflect.ValueOf(m).Pointer()
+}
+
+// classFor returns the flags column classified for the given exempt set
+// and volatile range, plus its bypass-read run-length column, building
+// and caching both on first use. Groups are keyed by map identity: two
+// jobs share a column only when they share the ExemptPCs map object,
+// which every sweep constructed from one profiler run does.
+func (tr *BatchTrace) classFor(exempt map[uint32]bool, mixed *MixedVolatility) (flags, skip []uint8) {
+	id := exemptIdentity(exempt)
+	if id == 0 && mixed == nil {
+		return tr.flags, tr.skip
+	}
+	var vs, ve uint32
+	if mixed != nil {
+		vs, ve = mixed.VolatileStart, mixed.VolatileEnd
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for _, g := range tr.groups {
+		if g.exemptID == id && g.hasMixed == (mixed != nil) && g.vs == vs && g.ve == ve {
+			return g.flags, g.skip
+		}
+	}
+	g := &classGroup{exemptID: id, hasMixed: mixed != nil, vs: vs, ve: ve}
+	g.flags = make([]uint8, len(tr.flags))
+	copy(g.flags, tr.flags)
+	for i, f := range g.flags {
+		if exempt != nil && exempt[tr.pc[i]] {
+			f |= faExempt
+		}
+		// The scalar engine tests the volatile range only after the output
+		// branch, so output records never classify volatile.
+		if mixed != nil && f&faOutput == 0 && tr.addr[i] >= vs && tr.addr[i] < ve {
+			f |= faVolatile
+		}
+		g.flags[i] = f
+	}
+	g.skip = buildSkip(g.flags)
+	tr.groups = append(tr.groups, g)
+	return g.flags, g.skip
+}

@@ -10,6 +10,7 @@ package policysim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/armsim"
@@ -52,6 +53,27 @@ type Options struct {
 	MaxWallCycles uint64
 }
 
+// ReasonCounts counts checkpoints by cause, indexed by clank.Reason. It
+// is a fixed array rather than a map so a Result needs no per-simulation
+// allocation (million-configuration sweeps measure the difference) and so
+// two Results compare with == — the batch replay engine's differential
+// tests rely on that.
+type ReasonCounts [clank.NumReasons]int
+
+func (rc ReasonCounts) String() string {
+	s := "{"
+	for r, n := range rc {
+		if n == 0 {
+			continue
+		}
+		if len(s) > 1 {
+			s += " "
+		}
+		s += fmt.Sprintf("%v:%d", clank.Reason(r), n)
+	}
+	return s + "}"
+}
+
 // Result is the simulator's overhead breakdown.
 type Result struct {
 	Completed bool
@@ -68,7 +90,7 @@ type Result struct {
 	PerfWatchdogs int
 	ProgWatchdogs int
 
-	Reasons map[clank.Reason]int
+	Reasons ReasonCounts
 }
 
 // Overhead is the total run-time overhead versus continuous execution.
@@ -129,11 +151,10 @@ type simulator struct {
 	res Result
 }
 
-// Simulate replays the trace under the given configuration.
-func Simulate(trace []armsim.Access, totalCycles uint64, cfg clank.Config, o Options) (Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return Result{}, err
-	}
+// normalized fills in the option defaults Simulate documents; the batch
+// replay engine applies the identical normalization per job so the two
+// engines agree on every derived bound.
+func (o Options) normalized(totalCycles uint64) Options {
 	if o.Costs == (clank.CostModel{}) {
 		o.Costs = clank.DefaultCosts()
 	}
@@ -141,8 +162,25 @@ func Simulate(trace []armsim.Access, totalCycles uint64, cfg clank.Config, o Opt
 		o.Supply = power.Always{}
 	}
 	if o.MaxWallCycles == 0 {
-		o.MaxWallCycles = totalCycles*1000 + 100_000_000
+		// Runaway guard: 1000x useful plus fixed slack, saturating — the
+		// raw product wraps for traces beyond ~1.8e16 cycles, which would
+		// turn the guard into a spurious instant "exceeded wall cycles".
+		const slack = 100_000_000
+		if totalCycles > (math.MaxUint64-slack)/1000 {
+			o.MaxWallCycles = math.MaxUint64
+		} else {
+			o.MaxWallCycles = totalCycles*1000 + slack
+		}
 	}
+	return o
+}
+
+// Simulate replays the trace under the given configuration.
+func Simulate(trace []armsim.Access, totalCycles uint64, cfg clank.Config, o Options) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	o = o.normalized(totalCycles)
 	shadow := shadowPool.Get().(*shadowStore)
 	shadow.begin()
 	defer shadowPool.Put(shadow)
@@ -164,7 +202,6 @@ func Simulate(trace []armsim.Access, totalCycles uint64, cfg clank.Config, o Opt
 	if o.Mixed != nil {
 		s.minStackWrite = o.Mixed.StackTop
 	}
-	s.res.Reasons = make(map[clank.Reason]int)
 	s.res.UsefulCycles = totalCycles
 	s.powerLeft = o.Supply.NextOn()
 	s.ckptThisBoot = true
