@@ -210,6 +210,7 @@ func (c *CPU) RunTo(maxCycles uint64) error {
 		}
 		return nil
 	}
+	fuse := c.pd.fuse
 	for c.Cycle < maxCycles {
 		if c.Halt {
 			return ErrHalted
@@ -220,6 +221,21 @@ func (c *CPU) RunTo(maxCycles uint64) error {
 				return err
 			}
 			continue
+		}
+		if fuse {
+			rid := c.pd.runTab[pc>>1]
+			if rid == 0 {
+				rid = c.buildRun(pc)
+			}
+			// Enter the run only when the cycle allowance covers its worst
+			// case, so the stop at maxCycles lands on a block boundary
+			// (exact flags); the last few instructions single-step below.
+			if rid > 0 && maxCycles-c.Cycle >= uint64(c.pd.runs[rid-1].maxCyc) {
+				if err := c.execRun(rid, maxCycles-c.Cycle); err != nil {
+					return err
+				}
+				continue
+			}
 		}
 		d := &c.pd.tab[(pc>>1)&(MemSize/2-1)]
 		if d.Kind == kindNone {
@@ -243,6 +259,34 @@ func (c *CPU) RunTo(maxCycles uint64) error {
 		c.Insns++
 	}
 	return nil
+}
+
+// StepFused advances execution by at most budget cycles' worth of
+// instructions: whole fused runs while the budget covers each run's
+// worst-case cost, or — when the next run no longer fits, no run covers PC,
+// fusion is disabled, or PC is outside memory — exactly one Step. Budget
+// stops therefore land on block boundaries, the only points where lazily
+// skipped flags are guaranteed materialized; near a boundary event the tail
+// instructions single-step, so the intermittent run loop's power, watchdog,
+// and wall-clock decisions fire at byte-identical points to insn-at-a-time
+// stepping. At least one instruction executes regardless of budget, exactly
+// like Step.
+func (c *CPU) StepFused(budget uint64) error {
+	if c.Halt {
+		return ErrHalted
+	}
+	pc := c.R[PC]
+	if c.pd == nil || !c.pd.fuse || pc >= MemSize {
+		return c.Step()
+	}
+	rid := c.pd.runTab[pc>>1]
+	if rid == 0 {
+		rid = c.buildRun(pc)
+	}
+	if rid > 0 && budget >= uint64(c.pd.runs[rid-1].maxCyc) {
+		return c.execRun(rid, budget)
+	}
+	return c.Step()
 }
 
 // stepLegacy is the pre-predecode Step body: fetch one halfword through

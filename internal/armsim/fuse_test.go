@@ -1,0 +1,407 @@
+package armsim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// The superinstruction layer (fuse.go) must be architecturally invisible:
+// same registers, flags, cycle counts, retired-instruction counts, memory,
+// outputs, and errors as the legacy decoder for every program at every
+// budget. These tests drive StepFused against the legacy Step with
+// resynchronization on retired-instruction count: one StepFused call may
+// retire a whole block — or several instructions even at budget 1, when a
+// folded constant chain retires as a single micro-op — so the reference
+// catches up to the same Insns and the full state is compared at every
+// synchronization point. This extends the differential methodology of
+// predecode_test.go (which pins the unfused predecode path) to the fused
+// engine.
+
+// fusedPair is two machines with identical memories: ref executes through
+// the legacy decoder, fus through the fused superinstruction engine.
+type fusedPair struct {
+	ref *Machine // legacy fetch+decode switch: the ground-truth reference
+	fus *Machine // predecode + fusion, the default NewMachine configuration
+}
+
+func newFusedPair(t testing.TB) *fusedPair {
+	t.Helper()
+	ref := NewMachine()
+	ref.CPU.DisablePredecode()
+	p := &fusedPair{ref: ref, fus: NewMachine()}
+	if !p.fus.CPU.FusionEnabled() {
+		t.Fatal("fusion not enabled by default on NewMachine")
+	}
+	return p
+}
+
+// seed sets both CPUs to the same pseudo-random-but-valid state (the
+// predecode_test.go recipe: some in-RAM pointers so loads and stores
+// frequently succeed, LCG noise elsewhere, flags from the seed's low bits).
+func (p *fusedPair) seed(seed, pc uint32) {
+	for _, c := range []*CPU{p.ref.CPU, p.fus.CPU} {
+		s := seed
+		for i := 0; i < 16; i++ {
+			s = s*1664525 + 1013904223
+			c.R[i] = s
+		}
+		c.R[2] = 0x8000 + (seed%64)*4
+		c.R[3] = (seed % 16) * 4
+		c.R[5] = 0x9000 + (seed%32)*4
+		c.R[SP] = MemSize - 256 - (seed%8)*4
+		c.R[LR] = 0x100 | 1
+		c.R[PC] = pc
+		c.N = seed&1 != 0
+		c.Z = seed&2 != 0
+		c.C = seed&4 != 0
+		c.V = seed&8 != 0
+		c.Prim = false
+		c.Halt = false
+		c.Cycle = 0
+		c.Insns = 0
+	}
+}
+
+// writeProgram places the opcodes at addr on both machines through
+// WriteWord, so the decode caches and fused runs invalidate.
+func (p *fusedPair) writeProgram(addr uint32, ops []uint16) {
+	if len(ops)%2 != 0 {
+		ops = append(ops[:len(ops):len(ops)], opBKPT)
+	}
+	for i := 0; i < len(ops); i += 2 {
+		w := uint32(ops[i]) | uint32(ops[i+1])<<16
+		p.ref.Mem.WriteWord(addr+uint32(i)*2, w)
+		p.fus.Mem.WriteWord(addr+uint32(i)*2, w)
+	}
+}
+
+// sync advances the fused machine by one StepFused call, catches the
+// reference up to the same retired-instruction count, and compares the
+// architectural state. Errors never retire the faulting instruction on
+// either path (its PC and state stay untouched), so a fused error means the
+// reference's next step must fail with the identical error.
+func (p *fusedPair) sync(t *testing.T, budget uint64, label string) error {
+	t.Helper()
+	q, r := p.fus.CPU, p.ref.CPU
+	errF := q.StepFused(budget)
+	for r.Insns < q.Insns {
+		if err := r.Step(); err != nil {
+			t.Fatalf("%s: legacy error %v at insn %d while catching up to %d (fused err: %v)",
+				label, err, r.Insns, q.Insns, errF)
+		}
+	}
+	var errR error
+	if errF != nil {
+		errR = r.Step()
+	}
+	if (errR == nil) != (errF == nil) || (errR != nil && errR.Error() != errF.Error()) {
+		t.Fatalf("%s: error mismatch:\n  legacy: %v\n  fused:  %v", label, errR, errF)
+	}
+	if r.Insns != q.Insns {
+		t.Fatalf("%s: retired-instruction mismatch: legacy %d, fused %d", label, r.Insns, q.Insns)
+	}
+	if r.R != q.R {
+		t.Fatalf("%s: register mismatch:\n  legacy: %v\n  fused:  %v", label, r.R, q.R)
+	}
+	if r.N != q.N || r.Z != q.Z || r.C != q.C || r.V != q.V || r.Prim != q.Prim || r.Halt != q.Halt {
+		t.Fatalf("%s: flag mismatch: legacy N%v Z%v C%v V%v P%v H%v, fused N%v Z%v C%v V%v P%v H%v",
+			label, r.N, r.Z, r.C, r.V, r.Prim, r.Halt, q.N, q.Z, q.C, q.V, q.Prim, q.Halt)
+	}
+	if r.Cycle != q.Cycle {
+		t.Fatalf("%s: cycle mismatch at insn %d: legacy %d, fused %d", label, r.Insns, r.Cycle, q.Cycle)
+	}
+	return errF
+}
+
+// deepCompare additionally checks full memory contents and the output log.
+func (p *fusedPair) deepCompare(t *testing.T, label string) {
+	t.Helper()
+	if !bytes.Equal(p.ref.Mem.Bytes(), p.fus.Mem.Bytes()) {
+		t.Fatalf("%s: memory contents diverged", label)
+	}
+	if len(p.ref.Mem.Outputs) != len(p.fus.Mem.Outputs) {
+		t.Fatalf("%s: output count mismatch: legacy %d, fused %d",
+			label, len(p.ref.Mem.Outputs), len(p.fus.Mem.Outputs))
+	}
+	for i := range p.ref.Mem.Outputs {
+		if p.ref.Mem.Outputs[i] != p.fus.Mem.Outputs[i] {
+			t.Fatalf("%s: output %d mismatch", label, i)
+		}
+	}
+}
+
+// TestFusedDifferentialAllEncodings sweeps every 16-bit encoding (with two
+// second-halfword variants for the 32-bit prefixes) embedded mid-block —
+// padded so the probed instruction actually fuses into a run rather than
+// being a lone unfusable head — under multiple register seeds and budgets,
+// and asserts the fused engine matches the legacy decoder exactly.
+func TestFusedDifferentialAllEncodings(t *testing.T) {
+	p := newFusedPair(t)
+	seeds := []uint32{0x1234, 0xBEEF5EED, 0x0F0F7777}
+	budgets := []uint64{1, 1000, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for opInt := 0; opInt <= 0xFFFF; opInt++ {
+		op := uint16(opInt)
+		// op2 variants matter only for 32-bit prefix halfwords: one decodes
+		// as a BL second half, one does not.
+		op2s := []uint16{opBKPT}
+		if op>>11 == 0b11110 || op>>11 == 0b11101 || op>>11 == 0b11111 {
+			op2s = []uint16{0xF855, 0x0123}
+		}
+		for _, op2 := range op2s {
+			for si, seed := range seeds {
+				// Rewrite the whole window every case: a previous case's
+				// stores may have scribbled over any part of it.
+				p.writeProgram(8, []uint16{
+					movImm8(6, 5), // pad: the probed op sits mid-block
+					op, op2,
+					addImm8(6, 1),
+					opBKPT, opBKPT,
+				})
+				p.seed(seed, 8)
+				label := fmt.Sprintf("op %#04x op2 %#04x seed %#x", op, op2, seed)
+				for step := 0; step < 6; step++ {
+					if p.sync(t, budgets[si%len(budgets)], label) != nil {
+						break
+					}
+				}
+				p.deepCompare(t, label)
+			}
+		}
+	}
+}
+
+// TestFusedDifferentialRandomStreams runs randomized instruction streams
+// through the fused engine with cycling budgets (mid-run boundary stops,
+// chained whole-block execution, and everything between), resynchronizing
+// with the legacy decoder after every StepFused call.
+func TestFusedDifferentialRandomStreams(t *testing.T) {
+	p := newFusedPair(t)
+	streams := 150
+	if testing.Short() {
+		streams = 25
+	}
+	s := uint32(0xFADED)
+	rnd := func() uint32 {
+		s = s*1664525 + 1013904223
+		return s
+	}
+	budgets := []uint64{1, 2, 3, 5, 8, 1000}
+	const streamWords = 48
+	for n := 0; n < streams; n++ {
+		for i := 0; i < streamWords; i++ {
+			w := rnd()
+			p.ref.Mem.WriteWord(8+uint32(i)*4, w)
+			p.fus.Mem.WriteWord(8+uint32(i)*4, w)
+		}
+		p.seed(rnd(), 8)
+		for step := 0; step < 300; step++ {
+			label := fmt.Sprintf("stream %d step %d (pc %#x)", n, step, p.ref.CPU.R[PC])
+			err := p.sync(t, budgets[step%len(budgets)], label)
+			if step%16 == 15 || err != nil {
+				p.deepCompare(t, label)
+			}
+			if err != nil {
+				break
+			}
+		}
+	}
+}
+
+// hw renders opcodes as little-endian bytes for fuzz corpus entries.
+func hw(ops ...uint16) []byte {
+	b := make([]byte, 2*len(ops))
+	for i, op := range ops {
+		b[2*i] = byte(op)
+		b[2*i+1] = byte(op >> 8)
+	}
+	return b
+}
+
+// FuzzFusedBlocks feeds arbitrary instruction blocks through the fused/legacy
+// differential. The committed seeds pin the three scenarios the fusion layer
+// must survive: a branch into the middle of an already-fused run, a store
+// into the run currently executing, and a flag consumer heading a run (lazy
+// flag evaluation must materialize flags across run boundaries).
+func FuzzFusedBlocks(f *testing.F) {
+	// 1. Backward conditional branch into the middle of a fused run: the
+	//    mid-run entry at 10 must build (and match) its own suffix run.
+	f.Add(uint8(0), uint32(0x51), hw(
+		movImm8(0, 1),
+		addImm8(0, 1), addImm8(0, 1), addImm8(0, 1),
+		uint16(0b00101<<11|0<<8|20), // CMP r0, #20
+		0xDBFA,                      // BLT .-12 -> 10
+		opBKPT,
+	))
+	// 2. Self-modifying code inside the executing run: the STRH at 16
+	//    patches address 20 (still ahead in the same run), so the run must
+	//    stop and re-translate — the patched MOVS r2, #0x63 executes, not
+	//    the stale MOVS r2, #0.
+	f.Add(uint8(3), uint32(0x52), hw(
+		movImm8(1, 0x22),
+		uint16(0b00000<<11|8<<6|1<<3|1), // LSLS r1, r1, #8
+		addImm8(1, 0x63),                // r1 = 0x2263 = MOVS r2, #0x63
+		movImm8(3, 20),
+		uint16(0b10000<<11|0<<6|3<<3|1), // STRH r1, [r3] — patches addr 20
+		movImm8(2, 0),
+		movImm8(2, 0), // at 20: overwritten before execution reaches it
+		opBKPT,
+	))
+	// 3. Flag consumer at a run head: the branch at 14 makes 18 head its
+	//    own run, whose first instruction reads C set two runs earlier.
+	f.Add(uint8(5), uint32(0x53), hw(
+		movImm8(1, 1),
+		movImm8(0, 0xFF),
+		uint16(0b00000<<11|25<<6|0<<3|0), // LSLS r0, r0, #25 (sets C)
+		0xE000,                           // B .+4 -> 18
+		opBKPT,
+		dp(0b0101, 1, 1), // ADCS r1, r1: needs the carried-over C
+		opBKPT,
+	))
+	f.Add(uint8(1), uint32(0xBEEF), hw(benchLoopOps()...))
+	f.Fuzz(func(t *testing.T, budgetSel uint8, seed uint32, prog []byte) {
+		if len(prog) > 96 {
+			prog = prog[:96]
+		}
+		ops := make([]uint16, 0, len(prog)/2+1)
+		for i := 0; i+1 < len(prog); i += 2 {
+			ops = append(ops, uint16(prog[i])|uint16(prog[i+1])<<8)
+		}
+		ops = append(ops, opBKPT)
+		p := newFusedPair(t)
+		budgets := []uint64{1, 2, 3, 5, 8, 1000}
+		p.writeProgram(8, ops)
+		p.seed(seed, 8)
+		for step := 0; step < 250; step++ {
+			label := fmt.Sprintf("step %d (pc %#x)", step, p.ref.CPU.R[PC])
+			err := p.sync(t, budgets[(int(budgetSel)+step)%len(budgets)], label)
+			if err != nil {
+				p.deepCompare(t, label)
+				break
+			}
+		}
+		p.deepCompare(t, "final")
+	})
+}
+
+// TestFusedRunInvalidationTwoSided pins Invalidate's run-killing window from
+// both sides: writes into the run (including the one-halfword-early window
+// reaching the run's last slot from just past its end) must clear the head,
+// while writes just past the end, just below the head, or far away must
+// leave it alone — that precision is what keeps globals directly after text
+// from retranslating code on every store.
+func TestFusedRunInvalidationTwoSided(t *testing.T) {
+	// Eight 16-bit ALU instructions at 8..22 (slots 4..11), BKPT at 24:
+	// one run with head slot 4, span 8 halfword slots, endPC 24.
+	build := func(t *testing.T) (*Machine, int32) {
+		t.Helper()
+		ops := []uint16{
+			movImm8(0, 1), addImm8(0, 2), movImm8(1, 3), addImm8(1, 4),
+			movImm8(2, 5), addImm8(2, 6), movImm8(3, 7), addImm8(3, 8),
+			opBKPT,
+		}
+		m := NewMachine()
+		if err := m.Boot(asmImage(ops...)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(1000); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		rid := m.CPU.pd.runTab[4]
+		if rid <= 0 {
+			t.Fatalf("no fused run at the entry block (runTab[4] = %d)", rid)
+		}
+		if span := m.CPU.pd.runs[rid-1].span; span != 8 {
+			t.Fatalf("run span = %d slots, want 8", span)
+		}
+		return m, rid
+	}
+	cases := []struct {
+		name string
+		addr uint32
+		size uint32
+		dead bool
+	}{
+		// Above the run: slot 12 is the endPC slot, one past the last
+		// covered slot, so the span-precise backward sweep spares the run;
+		// one halfword lower the window reaches slot 11 and kills it.
+		{"just_past_end", 26, 2, false},
+		{"window_reaches_last_slot", 24, 2, true},
+		// Below the run: a write ending at slot 3 never touches it.
+		{"just_below_head", 4, 4, false},
+		{"far_away", 0x200, 4, false},
+		{"head_direct", 8, 2, true},
+		{"mid_run", 16, 4, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m, rid := build(t)
+			m.CPU.pd.Invalidate(tc.addr, tc.size)
+			got := m.CPU.pd.runTab[4]
+			if tc.dead && got == rid {
+				t.Errorf("write [%#x,+%d) left the run live", tc.addr, tc.size)
+			}
+			if !tc.dead && got != rid {
+				t.Errorf("write [%#x,+%d) killed the run (runTab[4] = %d, want %d)",
+					tc.addr, tc.size, got, rid)
+			}
+		})
+	}
+	t.Run("store_through_memory", func(t *testing.T) {
+		m, rid := build(t)
+		m.Mem.WriteWord(20, 0xBE00BE00)
+		if got := m.CPU.pd.runTab[4]; got == rid {
+			t.Error("data store into the run left it live (write hook not wired?)")
+		}
+	})
+}
+
+// TestStepFusedNoAllocs pins the steady-state fused execution paths — both
+// the single-instruction budget and whole-block chaining, plus the RunTo
+// driver loop — to zero heap allocations, matching TestStepNoAllocs for the
+// unfused path.
+func TestStepFusedNoAllocs(t *testing.T) {
+	m := NewMachine()
+	if err := m.Boot(asmImage(benchLoopOps()...)); err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: translate the loop's runs (the arenas are pre-sized, but the
+	// alloc guard should measure pure steady state).
+	for i := 0; i < 16; i++ {
+		if err := m.CPU.StepFused(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, sub := range []struct {
+		name   string
+		budget uint64
+	}{{"budget1", 1}, {"budget1000", 1000}} {
+		t.Run(sub.name, func(t *testing.T) {
+			avg := testing.AllocsPerRun(10, func() {
+				for i := 0; i < 500; i++ {
+					if err := m.CPU.StepFused(sub.budget); err != nil {
+						t.Fatal(err)
+					}
+				}
+			})
+			if avg != 0 {
+				t.Errorf("steady-state StepFused(%d) allocates: %v per 500 calls, want 0",
+					sub.budget, avg)
+			}
+		})
+	}
+	t.Run("runTo", func(t *testing.T) {
+		avg := testing.AllocsPerRun(10, func() {
+			if err := m.CPU.RunTo(m.CPU.Cycle + 20000); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("steady-state fused RunTo allocates: %v per 20000 cycles, want 0", avg)
+		}
+	})
+}

@@ -144,8 +144,29 @@ type DecodeCache struct {
 	// above it cannot overlap a cached entry, so for the common case — a
 	// data store far above the text region — Invalidate is one compare,
 	// and a whole-memory reset clears only the slots that were ever
-	// filled instead of the full table.
+	// filled instead of the full table. Fused-run discovery scans ahead of
+	// execution through fillDecoded, so the watermark also covers every
+	// slot a run spans — including lookahead slots never reached by the
+	// single-step path.
 	maxSlot int
+
+	// Superinstruction fusion state (fuse.go). runTab maps a head slot to
+	// its translated run: 0 unexamined, -1 unfusable, >0 an index+1 into
+	// runs. Runs reference windows of the shared ops arena. runCover has
+	// one bit per 16 slots, set when any run covers a slot in the group:
+	// ccc images place mutable globals directly after text, so without it
+	// every global store would walk the backward head window below —
+	// rebuilding adjacent runs forever. Bits are only cleared wholesale
+	// (flushRuns), so a set bit means "maybe covered", never the reverse.
+	runTab   []int32
+	runs     []fusedRun
+	ops      []fusedOp
+	runCover []uint64
+	fuse     bool
+	// strict marks a monitored bus: memory accesses only as a run's final
+	// micro-op, no constant folding — every per-instruction decision point
+	// the driver could observe stays observable.
+	strict bool
 }
 
 // NewDecodeCache returns an empty cache covering all of main memory.
@@ -174,8 +195,42 @@ func (pd *DecodeCache) Invalidate(addr, size uint32) {
 	for i := lo; i <= hi; i++ {
 		pd.tab[i].Kind = kindNone
 	}
+	if pd.runTab != nil {
+		// Any run covering a written slot must die — including one the CPU
+		// is executing right now, which re-checks its own runTab entry
+		// after every store (fuse.go). The directly-written heads always
+		// clear (the window is a handful of slots); the backward sweep for
+		// runs whose span reaches INTO the window — up to maxRunSlots below
+		// it — runs only when the coverage bitmap says a run may actually
+		// cover a written slot, and then kills only runs whose span truly
+		// intersects. Both filters exist for the same reason: globals live
+		// immediately after text, and killing the tail runs of code on
+		// every global store would rebuild them forever.
+		covered := false
+		for b := lo >> 4; b <= hi>>4; b++ {
+			if pd.runCover[b>>6]&(1<<(uint(b)&63)) != 0 {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			rlo := lo - maxRunSlots
+			if rlo < 0 {
+				rlo = 0
+			}
+			for h := rlo; h < lo; h++ {
+				if rid := pd.runTab[h]; rid > 0 && int(pd.runs[rid-1].span) > lo-h {
+					pd.runTab[h] = 0
+				}
+			}
+		}
+		for h := lo; h <= hi; h++ {
+			pd.runTab[h] = 0
+		}
+	}
 	if lo == 0 && hi == pd.maxSlot {
 		pd.maxSlot = -1
+		pd.flushRuns()
 	}
 }
 
@@ -192,6 +247,7 @@ func (c *CPU) EnablePredecode(mem *Memory) {
 		c.mem = mem
 	}
 	mem.SetWriteHook(pd.Invalidate)
+	c.EnableFusion()
 }
 
 // DisablePredecode detaches the cache, forcing every Step through the

@@ -64,6 +64,26 @@ func BenchmarkStepLoop(b *testing.B) {
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/insn")
 		})
 	}
+	// The fused engine executes whole basic blocks per StepFused call; a
+	// 1024-cycle budget keeps each call inside the run-chaining fast path
+	// while exercising the budget gate like the intermittent driver does.
+	b.Run("fused", func(b *testing.B) {
+		m := benchStepMachine(b, true)
+		for i := 0; i < 16; i++ {
+			if err := m.CPU.StepFused(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		start := m.CPU.Insns
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.CPU.StepFused(1024); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(m.CPU.Insns-start), "ns/insn")
+	})
 }
 
 // TestStepNoAllocs pins the steady-state Step loop to zero heap allocations

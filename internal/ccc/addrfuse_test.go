@@ -1,0 +1,196 @@
+package ccc
+
+import (
+	"testing"
+
+	"repro/internal/armsim"
+)
+
+// compileAndRunOpts is compileAndRun with explicit codegen options.
+func compileAndRunOpts(t *testing.T, src string, opts Options) ([]uint32, int) {
+	t.Helper()
+	img, err := CompileWithOptions(src, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m := armsim.NewMachine()
+	if err := m.Boot(img.Bytes); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(200_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return append([]uint32(nil), m.Mem.Outputs...), int(img.TextEnd - img.TextStart)
+}
+
+// TestAddrFusionForms pins the addressing-fusion rewrite on each lowered
+// shape: register-offset loads of every width and signedness (LDRSH folds
+// the sign-extension LDRH+SXTH needed), register-offset stores with both
+// direct and stack-evaluated right-hand sides, pointer bases, 2D arrays
+// (inner index fused, outer row address computed normally), and constant
+// indices beyond the immediate-offset range. Each program runs with fusion
+// on and off; outputs must match and the fused text must be no larger.
+func TestAddrFusionForms(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"widths", `
+short sa[5];
+char ca[5];
+ushort ua[5];
+int ia[5];
+int main(void) {
+	int i;
+	for (i = 0; i < 5; i++) {
+		sa[i] = (short)(i * 1000 - 2500);
+		ca[i] = (char)(i * 3 + 200);
+		ua[i] = (ushort)(i * 7000 + 40000);
+		ia[i] = i * 100000 - 150000;
+	}
+	int ss = 0; int cs = 0; int us = 0; int is = 0;
+	for (i = 0; i < 5; i++) {
+		ss += sa[i];
+		cs += ca[i];
+		us += ua[i];
+		is += ia[i];
+	}
+	__output((uint)ss);
+	__output((uint)cs);
+	__output((uint)us);
+	__output((uint)is);
+	return 0;
+}`},
+		{"store_rhs_shapes", `
+int a[8];
+int b[8];
+int f(int x) { return x * x + 1; }
+int main(void) {
+	int i;
+	for (i = 0; i < 8; i++) {
+		a[i] = i + 1;       /* direct rhs */
+		b[i] = f(a[i]);     /* non-leaf rhs: evaluated before the parts */
+	}
+	int s = 0;
+	for (i = 0; i < 8; i++) { s += a[i] * b[i]; }
+	__output((uint)s);
+	return 0;
+}`},
+		{"pointer_base", `
+int buf[10];
+int sum(int *p, int n) {
+	int s = 0; int i;
+	for (i = 0; i < n; i++) { s += p[i]; }
+	return s;
+}
+int main(void) {
+	int i;
+	for (i = 0; i < 10; i++) { buf[i] = i * i; }
+	__output((uint)sum(buf, 10));
+	__output((uint)sum(buf + 3, 4));
+	return 0;
+}`},
+		{"matrix", `
+int m[4][4];
+int main(void) {
+	int i; int j;
+	for (i = 0; i < 4; i++) {
+		for (j = 0; j < 4; j++) { m[i][j] = i * 10 + j; }
+	}
+	int tr = 0; int s = 0;
+	for (i = 0; i < 4; i++) {
+		tr += m[i][i];
+		for (j = 0; j < 4; j++) { s += m[i][j]; }
+	}
+	__output((uint)tr);
+	__output((uint)s);
+	return 0;
+}`},
+		{"big_const_index", `
+int big[64];
+int main(void) {
+	big[0] = 5;
+	big[40] = 7;   /* offset 160: outside LDR/STR immediate range */
+	big[63] = 11;
+	__output((uint)(big[0] + big[40] + big[63]));
+	return 0;
+}`},
+		{"char_table_scramble", `
+char tbl[256];
+int main(void) {
+	int i;
+	for (i = 0; i < 256; i++) { tbl[i] = (char)(i * 167 + 13); }
+	int x = 0;
+	for (i = 0; i < 256; i++) { x = (x + tbl[(x + i) & 255]) & 255; }
+	__output((uint)x);
+	return 0;
+}`},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			fused, fusedText := compileAndRunOpts(t, tc.src, Options{})
+			unfused, unfusedText := compileAndRunOpts(t, tc.src, Options{DisableAddrFusion: true})
+			if len(fused) != len(unfused) {
+				t.Fatalf("outputs diverged: fused %v, unfused %v", fused, unfused)
+			}
+			for i := range fused {
+				if fused[i] != unfused[i] {
+					t.Fatalf("output[%d]: fused %#x, unfused %#x (all fused %v, unfused %v)",
+						i, fused[i], unfused[i], fused, unfused)
+				}
+			}
+			if fusedText > unfusedText {
+				t.Errorf("fused text grew: %d > %d bytes", fusedText, unfusedText)
+			}
+		})
+	}
+}
+
+// TestAddrFusionEncodings proves the fused opcodes are actually emitted:
+// an indexed short load must produce LDRSH (register), and an indexed char
+// store must produce STRB (register); with fusion disabled neither appears.
+func TestAddrFusionEncodings(t *testing.T) {
+	src := `
+short s[4];
+char c[4];
+int main(void) {
+	int i;
+	for (i = 0; i < 4; i++) {
+		c[i] = (char)i;
+		s[i] = (short)(0 - i);
+	}
+	int x = 0;
+	for (i = 0; i < 4; i++) { x += s[i] + c[i]; }
+	__output((uint)x);
+	return 0;
+}`
+	count := func(opts Options, match func(uint16) bool) int {
+		img, err := CompileWithOptions(src, opts)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		n := 0
+		for a := img.TextStart; a+1 < img.TextEnd; a += 2 {
+			op := uint16(img.Bytes[a]) | uint16(img.Bytes[a+1])<<8
+			if match(op) {
+				n++
+			}
+		}
+		return n
+	}
+	isLdrsh := func(op uint16) bool { return op>>9 == 0b0101111 }
+	isStrbReg := func(op uint16) bool { return op>>9 == 0b0101010 }
+	if n := count(Options{}, isLdrsh); n == 0 {
+		t.Error("fused build emitted no register-offset LDRSH")
+	}
+	if n := count(Options{}, isStrbReg); n == 0 {
+		t.Error("fused build emitted no register-offset STRB")
+	}
+	if n := count(Options{DisableAddrFusion: true}, isLdrsh); n != 0 {
+		t.Errorf("unfused build emitted %d LDRSH", n)
+	}
+	if n := count(Options{DisableAddrFusion: true}, isStrbReg); n != 0 {
+		t.Errorf("unfused build emitted %d register-offset STRB", n)
+	}
+}

@@ -56,6 +56,11 @@ type Options struct {
 	// DisableDirectOperands routes every binary-operator operand through
 	// a stack temporary (the naive stack-machine lowering).
 	DisableDirectOperands bool
+	// DisableAddrFusion keeps indexed loads/stores as explicit
+	// shift-then-add address computation followed by an immediate-offset
+	// access, instead of folding the scaled index into a register-offset
+	// load/store (and the sign-extension of short loads into LDRSH).
+	DisableAddrFusion bool
 }
 
 // Compile builds a bootable image from ccc source with default (optimized)

@@ -113,12 +113,27 @@ func encStrhImm(rt, rn, off int) uint16 {
 	return uint16(0b1000<<12 | 0<<11 | (off/2)<<6 | rn<<3 | rt)
 }
 
-// Register-offset loads/stores.
+// Register-offset loads/stores (family 0101, op in bits 11:9).
 func encLdrReg(rt, rn, rm int) uint16 {
 	return uint16(0b0101<<12 | 0b100<<9 | rm<<6 | rn<<3 | rt)
 }
 func encStrReg(rt, rn, rm int) uint16 {
 	return uint16(0b0101<<12 | 0b000<<9 | rm<<6 | rn<<3 | rt)
+}
+func encStrhReg(rt, rn, rm int) uint16 {
+	return uint16(0b0101<<12 | 0b001<<9 | rm<<6 | rn<<3 | rt)
+}
+func encStrbReg(rt, rn, rm int) uint16 {
+	return uint16(0b0101<<12 | 0b010<<9 | rm<<6 | rn<<3 | rt)
+}
+func encLdrshReg(rt, rn, rm int) uint16 {
+	return uint16(0b0101<<12 | 0b111<<9 | rm<<6 | rn<<3 | rt)
+}
+func encLdrbReg(rt, rn, rm int) uint16 {
+	return uint16(0b0101<<12 | 0b110<<9 | rm<<6 | rn<<3 | rt)
+}
+func encLdrhReg(rt, rn, rm int) uint16 {
+	return uint16(0b0101<<12 | 0b101<<9 | rm<<6 | rn<<3 | rt)
 }
 
 // SP-relative word load/store, offset 0-1020 in multiples of 4.

@@ -121,6 +121,35 @@ func (g *gen) loadVia(rt, base int, ty *Type) {
 	}
 }
 
+// loadViaReg emits rt = load [rn, rm] honoring the width and signedness of
+// ty. The register-offset family includes LDRSH, so short loads need no
+// separate sign-extension — the fused form is one instruction shorter than
+// the add-then-load sequence it replaces on every width.
+func (g *gen) loadViaReg(rt, rn, rm int, ty *Type) {
+	switch ty.Kind {
+	case KChar:
+		g.a.op(encLdrbReg(rt, rn, rm))
+	case KShort:
+		g.a.op(encLdrshReg(rt, rn, rm))
+	case KUShort:
+		g.a.op(encLdrhReg(rt, rn, rm))
+	default:
+		g.a.op(encLdrReg(rt, rn, rm))
+	}
+}
+
+// storeViaReg emits store rt -> [rn, rm] with the width of ty.
+func (g *gen) storeViaReg(rt, rn, rm int, ty *Type) {
+	switch ty.Kind {
+	case KChar:
+		g.a.op(encStrbReg(rt, rn, rm))
+	case KShort, KUShort:
+		g.a.op(encStrhReg(rt, rn, rm))
+	default:
+		g.a.op(encStrReg(rt, rn, rm))
+	}
+}
+
 // storeVia emits store rt -> [base, #0] with the width of ty.
 func (g *gen) storeVia(rt, base int, ty *Type) {
 	switch ty.Kind {
@@ -238,8 +267,12 @@ func (g *gen) genDirectTo(rt, rs int, e *expr) {
 	}
 	g.genLeafTo(rs, e.y)
 	g.scaleReg(rs, elem.Size())
-	g.a.op(encAddReg(rt, rt, rs))
-	g.loadVia(rt, rt, e.ty)
+	if g.opts.DisableAddrFusion {
+		g.a.op(encAddReg(rt, rt, rs))
+		g.loadVia(rt, rt, e.ty)
+		return
+	}
+	g.loadViaReg(rt, rt, rs, e.ty)
 }
 
 // loadViaOff emits rt = load [base, #off] when the offset fits the
@@ -476,10 +509,15 @@ func (g *gen) genExpr(e *expr) {
 	case eCall:
 		g.genCall(e)
 	case eIndex:
-		g.genAddr(e)
 		if e.ty.Kind == KArray || e.ty.Kind == KStruct {
+			g.genAddr(e)
 			return // aggregate element: the address is the value
 		}
+		if !g.opts.DisableAddrFusion {
+			g.genIndexLoad(e)
+			return
+		}
+		g.genAddr(e)
 		g.loadVia(0, 0, e.ty)
 	case eCond:
 		elseL, endL := g.a.newLabel(), g.a.newLabel()
@@ -632,6 +670,66 @@ func (g *gen) genBranchTrue(e *expr, lbl int) {
 	}
 }
 
+// genIndexLoad evaluates a scalar e.x[e.y] into r0 with the scaled index
+// folded into the load's addressing (mirrors genAddr's eIndex paths, minus
+// the explicit add). Constant indices keep the immediate-offset forms.
+func (g *gen) genIndexLoad(e *expr) {
+	base := e.x
+	if base.ty.Kind == KArray {
+		g.genAddr(base)
+	} else {
+		g.genExpr(base)
+	}
+	elem := decay(base.ty).Elem
+	if e.y.kind == eNum && e.y.num >= 0 {
+		off := int(e.y.num) * elem.Size()
+		if g.loadViaOff(0, 0, off, e.ty) {
+			return
+		}
+		if off < 256 {
+			g.addImm(0, off)
+			g.loadVia(0, 0, e.ty)
+			return
+		}
+	}
+	if g.isLeaf(e.y) {
+		g.genLeafTo(1, e.y)
+		g.scaleReg(1, elem.Size())
+		g.loadViaReg(0, 0, 1, e.ty)
+		return
+	}
+	g.push(0)
+	g.genExpr(e.y)
+	g.scaleReg(0, elem.Size())
+	g.pop(1)
+	g.loadViaReg(0, 1, 0, e.ty)
+}
+
+// canIndexParts reports whether e is a scalar index expression whose base
+// and index are both leaves, so base and scaled index can be materialized
+// into two registers without touching any other register or the stack (the
+// precondition for a fused register-offset store).
+func (g *gen) canIndexParts(e *expr) bool {
+	if g.opts.DisableAddrFusion || e.kind != eIndex ||
+		e.ty.Kind == KArray || e.ty.Kind == KStruct {
+		return false
+	}
+	if !g.isLeaf(e.x) || !g.isLeaf(e.y) {
+		return false
+	}
+	// Scaling must not need a third register (scaleReg's MUL path would).
+	sz := decay(e.x.ty).Elem.Size()
+	return sz == 1 || log2(sz) > 0
+}
+
+// genIndexParts materializes a canIndexParts expression as base address in
+// rb and scaled index in ri, clobbering nothing else.
+func (g *gen) genIndexParts(rb, ri int, e *expr) {
+	g.genLeafTo(rb, e.x)
+	g.genLeafTo(ri, e.y)
+	g.scaleReg(ri, decay(e.x.ty).Elem.Size())
+}
+
 // genCmpOperands leaves lhs in r0 and rhs in r1 and emits CMP r0, r1.
 func (g *gen) genCmpOperands(e *expr) {
 	g.genExpr(e.x)
@@ -745,6 +843,22 @@ func (g *gen) genAssign(e *expr) {
 			g.truncTo(0, xt)
 			g.a.ldrLit(2, litVal{sym: e.x.sym})
 			g.storeVia(0, 2, xt)
+			return
+		}
+		if g.canIndexParts(e.x) {
+			// Fused indexed store: base in r1, scaled index in r2, value
+			// in r0, one register-offset store. Leaf base/index have no
+			// side effects, so materializing them after a non-direct rhs
+			// is observably identical to the address-first order.
+			if g.canDirect(e.y) {
+				g.genIndexParts(1, 2, e.x)
+				g.genDirectTo(0, 3, e.y)
+			} else {
+				g.genExpr(e.y)
+				g.genIndexParts(1, 2, e.x)
+			}
+			g.truncTo(0, xt)
+			g.storeViaReg(0, 1, 2, xt)
 			return
 		}
 		g.genAddr(e.x)

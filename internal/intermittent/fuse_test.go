@@ -1,0 +1,151 @@
+package intermittent
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/armsim"
+	"repro/internal/clank"
+	"repro/internal/power"
+)
+
+// The superinstruction engine must be invisible to the whole intermittent
+// stack: identical checkpoints, rollbacks, watchdog firings, commit
+// protocol traffic, outputs, and final NV memory as the unfused predecode
+// path and the legacy interpreter. These tests run the same image under the
+// same deterministic supply in all three modes and require deep-equal Stats
+// — any divergence in when a monitored access is seen, when a budget
+// boundary lands, or what flags a checkpoint captures shows up as a
+// counter, reason-map, or output difference.
+
+// fuseModeNames are the three engine configurations, strongest first.
+var fuseModeNames = []string{"fused", "predecode", "legacy"}
+
+// runModes executes the image once per engine mode with identically seeded
+// supplies and returns the Stats plus a final-NV-memory snapshot. mkOpts
+// must build Options from scratch on every call: a Supply carries rng
+// state, so the modes need three independent, identically seeded supplies
+// rather than three handles on one stream.
+func runModes(t *testing.T, src string, mkOpts func() Options) (stats []Stats, mems [][]byte) {
+	t.Helper()
+	img := compileTest(t, src)
+	for _, name := range fuseModeNames {
+		mode := name
+		opts := mkOpts()
+		opts.DisableFusion = mode == "predecode"
+		opts.LegacyDecode = mode == "legacy"
+		m, err := NewMachine(img, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatalf("%s run: %v", mode, err)
+		}
+		if !st.Completed {
+			t.Fatalf("%s did not complete", mode)
+		}
+		mem := make([]byte, 0, armsim.MemSize)
+		for a := uint32(0); a < armsim.MemSize; a += 4 {
+			w := m.MemWord(a)
+			mem = append(mem, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+		}
+		stats = append(stats, st)
+		mems = append(mems, mem)
+	}
+	return stats, mems
+}
+
+func requireIdenticalModes(t *testing.T, label string, stats []Stats, mems [][]byte) {
+	t.Helper()
+	names := []string{"fused", "predecode", "legacy"}
+	ref := len(stats) - 1 // legacy is ground truth
+	for i := 0; i < ref; i++ {
+		if !reflect.DeepEqual(stats[i], stats[ref]) {
+			t.Errorf("%s: %s Stats diverge from legacy:\n  %+v\n  %+v",
+				label, names[i], stats[i], stats[ref])
+		}
+		for a := range mems[i] {
+			if mems[i][a] != mems[ref][a] {
+				t.Errorf("%s: %s NV memory diverges from legacy at %#x", label, names[i], a)
+				break
+			}
+		}
+	}
+}
+
+// TestFusedIntermittentDifferentialAlways pins transparency on an
+// outage-free run: every Clank-driven checkpoint (buffer pressure, output
+// brackets) must land identically.
+func TestFusedIntermittentDifferentialAlways(t *testing.T) {
+	stats, mems := runModes(t, testProgram, func() Options {
+		return Options{
+			Config:          clank.Config{ReadFirst: 8, WriteFirst: 4, WriteBack: 2, Opts: clank.OptAll},
+			Supply:          power.Always{},
+			ProgressDefault: 30_000,
+			Verify:          true,
+		}
+	})
+	requireIdenticalModes(t, "always-on", stats, mems)
+}
+
+// TestFusedIntermittentDifferentialFailures pins transparency under a
+// deterministic randomized supply: power failures land mid-run (the
+// checkpointed PC is frequently inside a fused block, so resumption builds
+// and enters suffix runs), rollbacks re-execute fused work, and the
+// watchdogs interleave with budget-gated block entry. Identical Stats
+// means every one of those boundaries matched the legacy interpreter
+// cycle-for-cycle.
+func TestFusedIntermittentDifferentialFailures(t *testing.T) {
+	for _, seed := range []int64{3, 44} {
+		stats, mems := runModes(t, testProgram, func() Options {
+			return Options{
+				Config:          clank.Config{ReadFirst: 16, WriteFirst: 8, WriteBack: 4, Opts: clank.OptAll},
+				Supply:          power.NewSupply(power.Exponential{Mean: 9_000, Min: 500}, seed),
+				PerfWatchdog:    25_000,
+				ProgressDefault: 30_000,
+				Verify:          true,
+			}
+		})
+		if stats[0].Restarts == 0 {
+			t.Fatalf("seed %d: supply never failed; test exercises nothing", seed)
+		}
+		requireIdenticalModes(t, "exponential supply", stats, mems)
+	}
+}
+
+// TestFusedPowerFailMidRunResumes cuts power on fixed odd-length budgets
+// chosen to land inside fused blocks (not at block boundaries), and checks
+// the run still completes with outputs identical to a continuous
+// execution. This pins the resume path specifically: after a reboot the
+// checkpointed PC is an interior instruction of a previously fused run,
+// and execution must rebuild a suffix run (or single-step) from there
+// without skipping or replaying an instruction.
+func TestFusedPowerFailMidRunResumes(t *testing.T) {
+	img := compileTest(t, testProgram)
+	contOut, _, _ := continuousRun(t, img)
+	for _, onCycles := range []uint64{777, 1913, 5333} {
+		m, err := NewMachine(img, Options{
+			Config:          clank.Config{ReadFirst: 8, WriteFirst: 4, WriteBack: 2, Opts: clank.OptAll},
+			Supply:          power.NewSupply(power.Fixed{Cycles: onCycles}, 1),
+			ProgressDefault: 30_000,
+			Verify:          true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run()
+		if err != nil {
+			t.Fatalf("on=%d: %v", onCycles, err)
+		}
+		if !st.Completed {
+			t.Fatalf("on=%d: did not complete", onCycles)
+		}
+		if st.Restarts == 0 {
+			t.Fatalf("on=%d: no restarts; budget never cut a run", onCycles)
+		}
+		if !outputsEquivalent(contOut, st.Outputs) {
+			t.Errorf("on=%d: outputs diverge from continuous run", onCycles)
+		}
+	}
+}

@@ -78,6 +78,14 @@ type Options struct {
 	// the crash-consistency sweep must catch the corruption the bug makes
 	// reachable. Production runs leave it at BugNone.
 	CommitBug CommitBug
+
+	// DisableFusion turns off the superinstruction layer, keeping the
+	// predecoded single-step path — the mid-tier reference for differential
+	// testing of the fused engine.
+	DisableFusion bool
+	// LegacyDecode additionally drops the predecode cache, running the
+	// original fetch+decode switch interpreter — the ground-truth reference.
+	LegacyDecode bool
 }
 
 // CutAtCommitWrite returns a FailAtCommitWrite hook that cuts power exactly
@@ -235,6 +243,12 @@ func NewMachine(img *ccc.Image, opts Options) (*Machine, error) {
 	// (self-modifying code, checkpoint drains of buffered text writes)
 	// invalidate the affected lines through the Memory write hook.
 	m.cpu.EnablePredecode(m.mem)
+	switch {
+	case opts.LegacyDecode:
+		m.cpu.DisablePredecode()
+	case opts.DisableFusion:
+		m.cpu.DisableFusion()
+	}
 	// Both TEXT fast paths — the dynamic window in load and the predecode
 	// literal pre-classifier — take their word bounds from the detector so
 	// all three classifiers agree at an unaligned TextEnd (the detector

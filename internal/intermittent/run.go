@@ -52,8 +52,29 @@ func (m *Machine) Run() (Stats, error) {
 			continue
 		}
 
+		// Fused execution retires whole basic blocks per call — but only
+		// blocks whose worst-case cycle cost fits the budget, which is the
+		// distance to the nearest boundary event: the power outage, either
+		// watchdog deadline, or the wall-cycle bound. When the next block
+		// no longer fits, StepFused single-steps, so the instruction that
+		// crosses an event boundary is exactly the one insn-at-a-time
+		// stepping would execute (and carries exact lazy-evaluated flags
+		// into the checkpoint); monitored memory accesses always end a
+		// run, so bus vetoes, output bracketing, and FailAfterAccess cuts
+		// land at the same boundaries as single-step. Each guard is > its
+		// loop-top check, so the budget is always at least one cycle.
+		budget := m.powerLeft
+		if w := m.opts.PerfWatchdog; w != 0 && w-m.sinceCkpt < budget {
+			budget = w - m.sinceCkpt
+		}
+		if m.progEnabled && m.progLoad-m.cyclesThisBoot < budget {
+			budget = m.progLoad - m.cyclesThisBoot
+		}
+		if left := m.opts.MaxWallCycles + 1 - m.stats.WallCycles; left < budget {
+			budget = left
+		}
 		before := m.cpu.Cycle
-		err := m.cpu.Step()
+		err := m.cpu.StepFused(budget)
 		m.account(m.cpu.Cycle - before)
 		if m.cutPower {
 			// A FailAfterAccess schedule cut power mid-instruction; the

@@ -1,0 +1,70 @@
+package mibench
+
+import (
+	"testing"
+
+	"repro/internal/armsim"
+	"repro/internal/ccc"
+)
+
+// TestAddrFusionEquivalenceAndCycles compiles every benchmark with and
+// without ccc's addressing fusion (scaled index folded into register-offset
+// loads/stores, LDRSH replacing LDRH+SXTH) and runs both to completion:
+// outputs must match exactly, and fusion must never cost cycles. dijkstra —
+// the ROADMAP's 1.8x outlier whose inner loop is dominated by shift-then-add
+// index computation — must show a pinned drop, as must rc4 and qsort, the
+// suite's two biggest winners (10.3% and 7.4% when this was recorded; the
+// full per-kernel table lives in EXPERIMENTS.md).
+func TestAddrFusionEquivalenceAndCycles(t *testing.T) {
+	minDropPermille := map[string]uint64{
+		"dijkstra": 30, // measured 3.95%
+		"rc4":      80, // measured 10.34%
+		"qsort":    60, // measured 7.38%
+	}
+	for _, bench := range All() {
+		bench := bench
+		t.Run(bench.Name, func(t *testing.T) {
+			t.Parallel()
+			type result struct {
+				cycles  uint64
+				outputs []uint32
+			}
+			var res [2]result
+			for i, opts := range []ccc.Options{{}, {DisableAddrFusion: true}} {
+				img, err := ccc.CompileWithOptions(bench.Source, opts)
+				if err != nil {
+					t.Fatalf("compile (fusion=%v): %v", i == 0, err)
+				}
+				m := armsim.NewMachine()
+				if err := m.Boot(img.Bytes); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := m.Run(maxBenchCycles); err != nil {
+					t.Fatalf("run (fusion=%v): %v", i == 0, err)
+				}
+				res[i] = result{m.CPU.Cycle, append([]uint32(nil), m.Mem.Outputs...)}
+			}
+			fused, unfused := res[0], res[1]
+			if len(fused.outputs) != len(unfused.outputs) {
+				t.Fatalf("output count diverged: fused %d, unfused %d",
+					len(fused.outputs), len(unfused.outputs))
+			}
+			for i := range fused.outputs {
+				if fused.outputs[i] != unfused.outputs[i] {
+					t.Fatalf("output[%d] diverged: fused %#x, unfused %#x",
+						i, fused.outputs[i], unfused.outputs[i])
+				}
+			}
+			if fused.cycles > unfused.cycles {
+				t.Errorf("fusion cost cycles: %d > %d", fused.cycles, unfused.cycles)
+			}
+			if m := minDropPermille[bench.Name]; m > 0 {
+				drop := (unfused.cycles - fused.cycles) * 1000 / unfused.cycles
+				if drop < m {
+					t.Errorf("cycle drop %d‰ (fused %d, unfused %d), want >= %d‰",
+						drop, fused.cycles, unfused.cycles, m)
+				}
+			}
+		})
+	}
+}

@@ -44,7 +44,7 @@ func throughputImage(b *testing.B, name string) *ccc.Image {
 	return img
 }
 
-func benchThroughput(b *testing.B, name string, predecode bool) {
+func benchThroughput(b *testing.B, name, mode string) {
 	img := throughputImage(b, name)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -55,8 +55,11 @@ func benchThroughput(b *testing.B, name string, predecode bool) {
 		// them out of the throughput measurement.
 		b.StopTimer()
 		m := armsim.NewMachine()
-		if !predecode {
+		switch mode {
+		case "legacy":
 			m.CPU.DisablePredecode()
+		case "predecode":
+			m.CPU.DisableFusion()
 		}
 		if err := m.Boot(img.Bytes); err != nil {
 			b.Fatal(err)
@@ -79,7 +82,7 @@ func benchThroughput(b *testing.B, name string, predecode bool) {
 // the hot path the access-filter front end targets: with the CPU core
 // predecoded, the run spends its time in clank.Read/Write and the busAdapter
 // dispatch.
-func benchIntermittentThroughput(b *testing.B, name string) {
+func benchIntermittentThroughput(b *testing.B, name string, disableFusion bool) {
 	img := throughputImage(b, name)
 	cfg := clank.Config{
 		ReadFirst: 16, WriteFirst: 8, WriteBack: 4,
@@ -95,6 +98,7 @@ func benchIntermittentThroughput(b *testing.B, name string) {
 			Config:          cfg,
 			Supply:          power.NewSupply(power.Exponential{Mean: 200_000, Min: 2_000}, 7),
 			ProgressDefault: 10_000,
+			DisableFusion:   disableFusion,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -121,16 +125,17 @@ func benchIntermittentThroughput(b *testing.B, name string) {
 // power.
 func BenchmarkMiBenchThroughput(b *testing.B) {
 	for _, name := range []string{"bitcount", "crc", "aes", "dijkstra"} {
-		for _, sub := range []struct {
-			mode      string
-			predecode bool
-		}{{"predecode", true}, {"legacy", false}} {
-			b.Run(name+"/"+sub.mode, func(b *testing.B) {
-				benchThroughput(b, name, sub.predecode)
+		for _, mode := range []string{"fused", "predecode", "legacy"} {
+			mode := mode
+			b.Run(name+"/"+mode, func(b *testing.B) {
+				benchThroughput(b, name, mode)
 			})
 		}
 		b.Run(name+"/intermittent", func(b *testing.B) {
-			benchIntermittentThroughput(b, name)
+			benchIntermittentThroughput(b, name, false)
+		})
+		b.Run(name+"/intermittent_nofuse", func(b *testing.B) {
+			benchIntermittentThroughput(b, name, true)
 		})
 	}
 }

@@ -91,6 +91,7 @@ type slot struct {
 	// always prevT + res.CkptCycles: useful cycles accrue with the shared
 	// trace cursor and restarts never happen.
 	ckptT         uint64 // trace time of the last checkpoint
+	refeedGate    int    // group start of the last re-fed instruction (-1 = none)
 	minStackWrite uint32
 	undoEntries   int
 
@@ -150,6 +151,7 @@ func NewBatch(tr *BatchTrace, jobs []Job) (*Batch, error) {
 			s.skip = skip
 		}
 		s.wdt = o.PerfWatchdog
+		s.refeedGate = -1
 		if o.Verify && !o.UndoLog {
 			s.mon = refmon.New()
 		}
@@ -404,18 +406,11 @@ func (s *slot) runSpan(b *Batch, lo, hi int) bool {
 			} else {
 				out = k.ReadPre(word, tr.value[i], f&faExempt != 0, f&textMask != 0)
 			}
-			// Checkpoint-and-refeed: the scalar engine commits and replays
-			// the same access until it fits a fresh section.
-			for out.NeedCheckpoint {
-				s.commit(out.Reason, tr.cycle[i])
-				if s.done {
-					return false
-				}
-				if f&faWrite != 0 {
-					out = k.WritePre(word, tr.value[i], tr.prev[i], f&faExempt != 0, f&textMask != 0)
-				} else {
-					out = k.ReadPre(word, tr.value[i], f&faExempt != 0, f&textMask != 0)
-				}
+			// Checkpoint-and-refeed: commit with the machine stalled at
+			// this access's instruction, then re-feed the whole
+			// instruction group, exactly like the scalar engine.
+			if out.NeedCheckpoint && !s.refeedInsn(b, i, out.Reason) {
+				return false
 			}
 		}
 		k.AddAccesses(acc)
@@ -447,16 +442,8 @@ func (s *slot) runSpan(b *Batch, lo, hi int) bool {
 				} else {
 					out = k.ReadPre(word, tr.value[i], f&faExempt != 0, f&textMask != 0)
 				}
-				for out.NeedCheckpoint {
-					s.commit(out.Reason, cyc)
-					if s.done {
-						return false
-					}
-					if f&faWrite != 0 {
-						out = k.WritePre(word, tr.value[i], tr.prev[i], f&faExempt != 0, f&textMask != 0)
-					} else {
-						out = k.ReadPre(word, tr.value[i], f&faExempt != 0, f&textMask != 0)
-					}
+				if out.NeedCheckpoint && !s.refeedInsn(b, i, out.Reason) {
+					return false
 				}
 			}
 		} else if !s.stepRare(b, i, f, cyc) {
@@ -502,46 +489,116 @@ func (s *slot) stepRare(b *Batch, i int, f uint8, cyc uint64) bool {
 	word := tr.addr[i] >> 2
 	exempt := f&faExempt != 0
 	inText := f&s.textMask != 0
-	for {
+	var out clank.Outcome
+	if f&faWrite != 0 {
+		out = s.k.WritePre(word, tr.value[i], tr.prev[i], exempt, inText)
+	} else {
+		out = s.k.ReadPre(word, tr.value[i], exempt, inText)
+	}
+	if out.NeedCheckpoint {
+		// refeedInsn re-applies this access (with its bookkeeping) as the
+		// last member of the re-fed instruction group.
+		return s.refeedInsn(b, i, out.Reason)
+	}
+	return s.settleAccess(b, i, f, cyc, out)
+}
+
+// settleAccess performs the post-verdict bookkeeping for access i — undo
+// journaling and monitor hooks — shared by stepRare and refeedInsn.
+// Returns false once the slot is done.
+func (s *slot) settleAccess(b *Batch, i int, f uint8, cyc uint64, out clank.Outcome) bool {
+	tr := b.tr
+	word := tr.addr[i] >> 2
+	if s.o.UndoLog && out.Buffered {
+		s.res.CkptCycles += s.o.Costs.WBFlushPerEntry
+		s.undoEntries++
+		if s.res.CkptCycles > s.ckptLimit {
+			s.needsPowered = true
+			s.done = true
+			return false
+		}
+		return true
+	}
+	if f&faWrite != 0 {
+		if !out.Buffered && s.mon != nil {
+			if v := s.mon.WriteNV(word, tr.value[i], tr.pc[i]); v != nil {
+				// i doubles as the scalar engine's access counter: every
+				// prior access advanced it by exactly one.
+				s.err = fmt.Errorf("policysim: dynamic verification failed at access %d: %w", i, v)
+				s.res.WallCycles = cyc + s.res.CkptCycles
+				s.done = true
+				return false
+			}
+		}
+	} else if !out.FromWB && s.mon != nil {
+		s.mon.ReadNV(word, tr.value[i])
+	}
+	return true
+}
+
+// refeedInsn commits the checkpoint a vetoed access demanded and then
+// re-feeds that access's whole instruction group: the commit happens with
+// the machine stalled at the instruction, so the full system re-executes
+// it from scratch afterwards, re-issuing the earlier accesses of an
+// interrupted PUSH/POP/LDM/STM into the fresh buffers
+// (simulator.rewindInsn is the scalar engine's counterpart). Group members
+// share one PC and one cycle stamp, so the re-fed deltas are zero; a
+// member that vetoes again recommits and restarts the group. Returns false
+// once the slot is done.
+func (s *slot) refeedInsn(b *Batch, i int, reason clank.Reason) bool {
+	tr := b.tr
+	cyc := tr.cycle[i]
+	s.commit(reason, cyc)
+	if s.done {
+		return false
+	}
+	g := i
+	for g > 0 && tr.pc[g-1] == tr.pc[i] && tr.cycle[g-1] == cyc {
+		g--
+	}
+	// The scalar engine's refeedGate livelock guard: a group that was
+	// already re-fed once degrades to retrying each vetoed access alone
+	// (one checkpoint per access), so a group that alone overflows a tiny
+	// buffer still makes progress. Inside a re-fed group the gate is
+	// already set, so every further veto is a lone retry — matching the
+	// scalar loop, which re-enters the veto branch with the gate equal to
+	// the group start.
+	start := g
+	if s.refeedGate == g {
+		start = i
+	}
+	s.refeedGate = g
+	for j := start; j <= i; j++ {
+		f := s.class[j]
+		if f&faOutput != 0 {
+			continue // output stores are single-access instructions
+		}
+		if f&faVolatile != 0 {
+			if f&faWrite != 0 && tr.addr[j] < s.minStackWrite {
+				s.minStackWrite = tr.addr[j]
+			}
+			continue
+		}
+		word := tr.addr[j] >> 2
 		var out clank.Outcome
 		if f&faWrite != 0 {
-			out = s.k.WritePre(word, tr.value[i], tr.prev[i], exempt, inText)
+			out = s.k.WritePre(word, tr.value[j], tr.prev[j], f&faExempt != 0, f&s.textMask != 0)
 		} else {
-			out = s.k.ReadPre(word, tr.value[i], exempt, inText)
+			out = s.k.ReadPre(word, tr.value[j], f&faExempt != 0, f&s.textMask != 0)
 		}
 		if out.NeedCheckpoint {
 			s.commit(out.Reason, cyc)
 			if s.done {
 				return false
 			}
+			j-- // gate already set for this group: retry the member alone
 			continue
 		}
-		if s.o.UndoLog && out.Buffered {
-			s.res.CkptCycles += s.o.Costs.WBFlushPerEntry
-			s.undoEntries++
-			if s.res.CkptCycles > s.ckptLimit {
-				s.needsPowered = true
-				s.done = true
-				return false
-			}
-			return true
+		if !s.settleAccess(b, j, f, cyc, out) {
+			return false
 		}
-		if f&faWrite != 0 {
-			if !out.Buffered && s.mon != nil {
-				if v := s.mon.WriteNV(word, tr.value[i], tr.pc[i]); v != nil {
-					// i doubles as the scalar engine's access counter: every
-					// prior access advanced it by exactly one.
-					s.err = fmt.Errorf("policysim: dynamic verification failed at access %d: %w", i, v)
-					s.res.WallCycles = cyc + s.res.CkptCycles
-					s.done = true
-					return false
-				}
-			}
-		} else if !out.FromWB && s.mon != nil {
-			s.mon.ReadNV(word, tr.value[i])
-		}
-		return true
 	}
+	return true
 }
 
 // tail runs the scalar engine's end-of-trace epilogue: the cycles after
@@ -620,14 +677,15 @@ func (b *Batch) runPowered(s *slot) error {
 	defer shadowPool.Put(shadow)
 	c := &b.cs
 	*c = colSim{
-		b:      b,
-		tr:     b.tr,
-		class:  s.class,
-		textOn: s.textOn,
-		k:      s.k,
-		mon:    s.mon,
-		o:      s.o,
-		shadow: shadow,
+		b:          b,
+		tr:         b.tr,
+		class:      s.class,
+		textOn:     s.textOn,
+		k:          s.k,
+		mon:        s.mon,
+		o:          s.o,
+		shadow:     shadow,
+		refeedGate: -1,
 	}
 	c.res.UsefulCycles = b.tr.total
 	c.powerLeft = c.o.Supply.NextOn()

@@ -26,10 +26,11 @@ type colSim struct {
 
 	shadow *shadowStore
 
-	pos     int
-	ckptPos int
-	prevT   uint64
-	ckptT   uint64
+	pos        int
+	ckptPos    int
+	refeedGate int // last access index whose instruction group was re-fed
+	prevT      uint64
+	ckptT      uint64
 
 	powerLeft      uint64
 	cyclesThisBoot uint64
@@ -114,8 +115,16 @@ func (c *colSim) run() error {
 				out = c.k.ReadPre(word, c.cur(word, tr.value[i]), exempt, inText)
 			}
 			if out.NeedCheckpoint {
+				// Rewind to the vetoed access's instruction-group start
+				// before committing — the machine re-executes the whole
+				// interrupted instruction (see simulator.insnStart and
+				// its livelock gate, both mirrored exactly here).
+				if g := c.insnStart(c.pos); g != c.refeedGate {
+					c.refeedGate = g
+					c.pos = g
+				}
 				c.checkpoint(out.Reason)
-				continue // re-feed the access (its delta is already paid)
+				continue
 			}
 			if c.o.UndoLog && out.Buffered {
 				if !c.spendOverhead(c.o.Costs.WBFlushPerEntry, &c.res.CkptCycles) {
@@ -149,6 +158,17 @@ func (c *colSim) run() error {
 			c.checkpoint(clank.ReasonProgWatchdog)
 		}
 	}
+}
+
+// insnStart is simulator.insnStart on the columnar trace: the index of the
+// first access sharing trace position pos's PC and cycle stamp.
+func (c *colSim) insnStart(pos int) int {
+	tr := c.tr
+	i := pos
+	for pos > 0 && tr.pc[pos-1] == tr.pc[i] && tr.cycle[pos-1] == tr.cycle[i] {
+		pos--
+	}
+	return pos
 }
 
 func (c *colSim) cur(word, fallback uint32) uint32 {

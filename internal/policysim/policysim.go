@@ -131,10 +131,11 @@ type simulator struct {
 	dirtyScratch []clank.WBEntry    // reused by every checkpoint drain
 	stepScratch  []clank.CommitStep // reused by every sequenced commit walk
 
-	pos     int
-	ckptPos int
-	prevT   uint64
-	ckptT   uint64
+	pos        int
+	ckptPos    int
+	refeedGate int // last access index whose instruction group was re-fed
+	prevT      uint64
+	ckptT      uint64
 
 	powerLeft      uint64
 	cyclesThisBoot uint64
@@ -185,12 +186,13 @@ func Simulate(trace []armsim.Access, totalCycles uint64, cfg clank.Config, o Opt
 	shadow.begin()
 	defer shadowPool.Put(shadow)
 	s := &simulator{
-		trace:  trace,
-		total:  totalCycles,
-		k:      clank.New(cfg),
-		o:      o,
-		cfg:    cfg,
-		shadow: shadow,
+		trace:      trace,
+		total:      totalCycles,
+		k:          clank.New(cfg),
+		o:          o,
+		cfg:        cfg,
+		shadow:     shadow,
+		refeedGate: -1,
 	}
 	if o.Verify && !o.UndoLog {
 		// The reference monitor models the redo discipline (writes that
@@ -273,8 +275,25 @@ func (s *simulator) run() error {
 				out = s.k.Read(word, s.cur(word, a.Value), a.PC)
 			}
 			if out.NeedCheckpoint {
+				// A veto checkpoints with the CPU stalled at the access's
+				// instruction, so the full system re-executes that whole
+				// instruction afterwards — re-issuing the earlier accesses
+				// of an interrupted PUSH/POP/LDM/STM into the fresh
+				// buffers. Rewind to the instruction group's first access
+				// (members share one PC and cycle stamp, so the re-fed
+				// deltas are zero) before committing, so the checkpoint
+				// resume position is the instruction boundary. The gate
+				// stops a livelock when the group alone overflows a tiny
+				// buffer: a group that was already re-fed once degrades to
+				// retrying each vetoed access alone (one checkpoint per
+				// access, the access-log granularity the paper's simulator
+				// uses).
+				if g := s.insnStart(s.pos); g != s.refeedGate {
+					s.refeedGate = g
+					s.pos = g
+				}
 				s.checkpoint(out.Reason)
-				continue // re-feed the access (its delta is already paid)
+				continue
 			}
 			if s.o.UndoLog && out.Buffered {
 				// Undo-log discipline (section 8.3): journal the old value
@@ -348,6 +367,23 @@ func (ss *shadowStore) begin() {
 
 // cur returns the current committed NV value of word, falling back to the
 // continuous-trace value.
+// insnStart returns the index of the first access issued by the
+// instruction that produced trace[pos]. Multi-access instructions stamp
+// every access with the same PC and the same (pre-instruction) cycle
+// count; two runs of the same instruction can never share a stamp because
+// every instruction costs at least one cycle.
+func (s *simulator) insnStart(pos int) int {
+	a := s.trace[pos]
+	for pos > 0 {
+		p := s.trace[pos-1]
+		if p.PC != a.PC || p.Cycle != a.Cycle {
+			break
+		}
+		pos--
+	}
+	return pos
+}
+
 func (s *simulator) cur(word, fallback uint32) uint32 {
 	if s.shadow.gen[word] == s.shadow.run {
 		return s.shadow.val[word]
