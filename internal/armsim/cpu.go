@@ -177,6 +177,11 @@ func (c *CPU) Step() error {
 		// drop the slice bounds check on the hottest load in the simulator.
 		d := &c.pd.tab[(pc>>1)&(MemSize/2-1)]
 		if d.Kind == kindNone {
+			// A frozen (shared) cache never fills: the rare slot its build
+			// pass refused stays on the legacy interpreter forever.
+			if c.pd.frozen {
+				return c.stepLegacy(pc)
+			}
 			cached, err := c.fillDecoded(d, pc)
 			if err != nil {
 				return err
@@ -224,7 +229,7 @@ func (c *CPU) RunTo(maxCycles uint64) error {
 		}
 		if fuse {
 			rid := c.pd.runTab[pc>>1]
-			if rid == 0 {
+			if rid == 0 && !c.pd.frozen {
 				rid = c.buildRun(pc)
 			}
 			// Enter the run only when the cycle allowance covers its worst
@@ -239,6 +244,12 @@ func (c *CPU) RunTo(maxCycles uint64) error {
 		}
 		d := &c.pd.tab[(pc>>1)&(MemSize/2-1)]
 		if d.Kind == kindNone {
+			if c.pd.frozen {
+				if err := c.stepLegacy(pc); err != nil {
+					return err
+				}
+				continue
+			}
 			cached, err := c.fillDecoded(d, pc)
 			if err != nil {
 				return err
@@ -280,7 +291,7 @@ func (c *CPU) StepFused(budget uint64) error {
 		return c.Step()
 	}
 	rid := c.pd.runTab[pc>>1]
-	if rid == 0 {
+	if rid == 0 && !c.pd.frozen {
 		rid = c.buildRun(pc)
 	}
 	if rid > 0 && budget >= uint64(c.pd.runs[rid-1].maxCyc) {

@@ -314,6 +314,11 @@ func flagEffect(d *DecodedInsn) (kill, set, use uint8) {
 // first instruction is excluded from runs).
 func (c *CPU) buildRun(pc uint32) int32 {
 	pd := c.pd
+	if pd.frozen {
+		// Defensive: callers guard on frozen before building. Returning -1
+		// without touching runTab sends the caller to the single-step path.
+		return -1
+	}
 	if len(pd.ops) > opsFlushLimit {
 		pd.flushRuns()
 	}
@@ -1283,7 +1288,7 @@ chain:
 		goto stop
 	}
 	rid = pd.runTab[pc>>1]
-	if rid == 0 {
+	if rid == 0 && !pd.frozen {
 		rid = c.buildRun(pc)
 	}
 	if rid <= 0 || budget-cum < uint64(pd.runs[rid-1].maxCyc) {

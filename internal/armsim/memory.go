@@ -110,6 +110,20 @@ func (m *Memory) LoadImage(addr uint32, img []byte) error {
 	return nil
 }
 
+// ResetTo restores memory to exactly the state of a freshly loaded image —
+// img at address 0, zeros beyond it — and clears recorded outputs, WITHOUT
+// firing the write hook. It exists for the fleet engine's per-device reset:
+// when the attached decode cache is a frozen SharedProgram cache built from
+// this very image, the restored bytes match every cached entry by
+// construction, so invalidation would be both unnecessary and illegal (a
+// frozen cache must never mutate). Callers for whom that precondition does
+// not hold must use Reset + LoadImage instead.
+func (m *Memory) ResetTo(img []byte) {
+	n := copy(m.data, img)
+	clear(m.data[n:])
+	m.Outputs = m.Outputs[:0]
+}
+
 // Snapshot returns a copy of the full memory contents.
 func (m *Memory) Snapshot() []byte {
 	s := make([]byte, len(m.data))

@@ -68,6 +68,12 @@ func (j *WordJournal) Entry(i int) (addr, value uint32) {
 // header flips), for cost cross-checks.
 func (j *WordJournal) Writes() uint64 { return j.writes }
 
+// Footprint returns the journal's backing allocation in bytes (fleet
+// capacity planning; see intermittent.Machine.Footprint).
+func (j *WordJournal) Footprint() uint64 {
+	return uint64(cap(j.addrs))*4 + uint64(cap(j.vals))*4
+}
+
 // Reset forgets everything — a fresh image load, not a power cycle.
 func (j *WordJournal) Reset() {
 	j.addrs = j.addrs[:0]

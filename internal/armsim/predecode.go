@@ -167,6 +167,19 @@ type DecodeCache struct {
 	// micro-op, no constant folding — every per-instruction decision point
 	// the driver could observe stays observable.
 	strict bool
+
+	// Shared-image freeze state (shared.go). A frozen cache is immutable —
+	// safe for any number of concurrently executing CPUs — so every lazy
+	// mutation point (fillDecoded, buildRun, Invalidate) is guarded:
+	// undecoded slots fall back to the legacy interpreter, unexamined run
+	// heads single-step, and Invalidate must never be reached (the
+	// copy-on-write hook installed by AttachShared clones the cache first).
+	// limitB is the freeze-time decode bound in bytes: while it is non-zero
+	// no cached entry's encoded bytes may cross it, which is what makes the
+	// write hook's one-compare fast path (addr >= limitB cannot touch a
+	// frozen entry) sound even though globals sit directly after text.
+	frozen bool
+	limitB uint32
 }
 
 // NewDecodeCache returns an empty cache covering all of main memory.
@@ -178,6 +191,12 @@ func NewDecodeCache() *DecodeCache {
 // written byte range [addr, addr+size). The window starts one halfword
 // early so a write into the trailing half of a 32-bit instruction kills it.
 func (pd *DecodeCache) Invalidate(addr, size uint32) {
+	if pd.frozen {
+		// A frozen cache is shared between CPUs and must never mutate; the
+		// copy-on-write hook (AttachShared) clones before invalidating, so
+		// reaching this is a wiring bug, not a recoverable condition.
+		panic("armsim: Invalidate on a frozen shared decode cache")
+	}
 	if size == 0 || pd.maxSlot < 0 {
 		return
 	}
@@ -1002,11 +1021,22 @@ func (c *CPU) execDecoded(d *DecodedInsn, pc uint32) (cycles int, next uint32, e
 // decoder surfaces that exact fetch fault). A non-nil error is a fetch
 // fault on the first halfword, returned from Step unchanged.
 func (c *CPU) fillDecoded(d *DecodedInsn, pc uint32) (cached bool, err error) {
+	// Freeze-build bound (shared.go): while limitB is set, refuse to cache
+	// any instruction whose encoded bytes would reach past it. The frozen
+	// cache's write hook skips invalidation for addr >= limitB with a
+	// single compare, which is only sound if no cached encoding crosses
+	// the line; the refused instructions execute through stepLegacy.
+	if lim := c.pd.limitB; lim != 0 && pc+2 > lim {
+		return false, nil
+	}
 	op, err := c.Bus.Fetch16(pc)
 	if err != nil {
 		return false, err
 	}
 	if op>>11 == 0b11110 || op>>11 == 0b11101 || op>>11 == 0b11111 {
+		if lim := c.pd.limitB; lim != 0 && pc+4 > lim {
+			return false, nil
+		}
 		op2, err2 := c.Bus.Fetch16(pc + 2)
 		if err2 != nil {
 			return false, nil

@@ -1,6 +1,9 @@
 package clank
 
-import "slices"
+import (
+	"slices"
+	"unsafe"
+)
 
 // Buffer representation. Real Clank hardware implements the Read-first,
 // Write-first, Write-back, and Address Prefix buffers as small (≤16-entry)
@@ -369,6 +372,21 @@ func New(cfg Config) *Clank {
 	k := &Clank{}
 	k.initInto(cfg, nil, nil)
 	return k
+}
+
+// Footprint estimates the resident bytes of one detector instance: the
+// struct itself (the embedded filter and index arrays dominate) plus the
+// dynamically allocated CAM backing. Map-indexed buffers — capacities
+// beyond camLinearMax, never used by hardware-plausible configurations —
+// are charged a flat per-entry estimate. The figure is a sizing aid for
+// fleet capacity planning, not an exact heap accounting.
+func (k *Clank) Footprint() uint64 {
+	const mapEntry = 48 // measured Go map overhead per small entry, roughly
+	f := uint64(unsafe.Sizeof(*k))
+	f += uint64(cap(k.rf.words)+cap(k.wf.words)+cap(k.apb.words)) * 4
+	f += uint64(cap(k.wb.slots)) * uint64(unsafe.Sizeof(wbSlot{}))
+	f += uint64(len(k.rf.idx)+len(k.wf.idx)+len(k.apb.idx)+len(k.wb.idx)) * mapEntry
+	return f
 }
 
 // initInto initializes *k for cfg, carving linear CAM backing from the

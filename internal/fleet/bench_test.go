@@ -1,0 +1,37 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkFleet measures population-simulation throughput at several
+// worker counts: the shared-image design should scale near-linearly
+// until the memory bus saturates, since devices share nothing mutable.
+// Reported as devices/sec (custom metric) alongside ns/op per fleet.
+func BenchmarkFleet(b *testing.B) {
+	img := fleetImage(b)
+	const devices = 256
+	counts := []int{1, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	for _, workers := range counts {
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var totalSec float64
+			for i := 0; i < b.N; i++ {
+				rep, err := Run(img, baseOptions(devices, workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalSec += float64(rep.Host.ElapsedNS) / 1e9
+			}
+			if totalSec > 0 {
+				b.ReportMetric(float64(devices*b.N)/totalSec, "devices/sec")
+			}
+		})
+	}
+}

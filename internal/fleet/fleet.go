@@ -1,0 +1,238 @@
+// Package fleet simulates populations of intermittent devices: thousands
+// to millions of intermittent.Machine instances running one compiled image
+// through a single frozen decode+fusion cache (intermittent.
+// BuildSharedProgram), each device owning only its non-volatile memory,
+// Clank detector state, and power supply. The paper evaluates Clank one
+// device at a time; a deployment is a field of harvesting nodes whose
+// environments differ per node, and the fleet engine answers the
+// population-level questions — forward-progress percentiles, checkpoint
+// and re-execution overhead distributions, torn-commit rates — that no
+// single trace can.
+//
+// Determinism is load-bearing: the aggregate telemetry (and the per-device
+// results it is folded from) is byte-identical for any worker count and
+// any shard size, because every source of randomness is derived from
+// (Options.Seed, device ID) alone and results are folded in device order
+// after the shards complete. Worker scheduling decides only WHICH machine
+// simulates a device, and a reused machine is reset to factory state
+// between devices (intermittent.Machine.ResetDevice) — a property pinned
+// by the worker-count invariance tests.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ccc"
+	"repro/internal/clank"
+	"repro/internal/intermittent"
+	"repro/internal/power"
+)
+
+// Options configures a fleet run.
+type Options struct {
+	// Devices is the population size (required).
+	Devices int
+	// Workers is the simulation goroutine count; 0 means GOMAXPROCS.
+	// The worker count never affects results, only wall-clock time.
+	Workers int
+	// ShardSize is the device count per work unit (0 = 64). Like Workers
+	// it is a scheduling knob with no effect on results.
+	ShardSize int
+
+	// Seed is the base seed; each device's supply seed is derived from
+	// (Seed, device ID), so two runs with equal seeds are identical and
+	// perturbing one device's seed perturbs exactly that device.
+	Seed uint64
+
+	// Config is the Clank hardware configuration every device carries.
+	Config clank.Config
+	// Costs is the runtime cost model (zero value = DefaultCosts).
+	Costs intermittent.CostModel
+
+	// MeanOn and MinOn parameterize the default per-device supply, an
+	// exponentially distributed on-time (the paper's harvesting
+	// environment model). Zero values default to power.DefaultMeanOn and
+	// 500 cycles.
+	MeanOn uint64
+	MinOn  uint64
+	// Trace, when non-nil, replaces the statistical supply with a recorded
+	// one: device i replays the shared recording starting at sample i
+	// (power.Trace.Fork), so the fleet re-lives one measured environment
+	// out of phase.
+	Trace *power.Trace
+	// Supply, when non-nil, overrides both: it must return an independent
+	// power source for the given device, as a pure function of the device
+	// ID (it is called from multiple workers concurrently, and determinism
+	// requires the same device to always see the same supply).
+	Supply func(device int) power.Source
+
+	// Intermittent-runtime knobs, forwarded per device (see
+	// intermittent.Options).
+	PerfWatchdog    uint64
+	ProgressDefault uint64
+	MaxWallCycles   uint64
+	MaxBarrenBoots  int
+	// Verify runs the reference monitor inside every device — exhaustive
+	// but slow; fleet-scale runs normally sample verification in separate
+	// smaller runs instead.
+	Verify bool
+}
+
+const defaultShardSize = 64
+
+// DeviceSeed derives the supply seed for one device from the base seed: a
+// splitmix64 mix, so consecutive device IDs land in uncorrelated RNG
+// streams. Exported because anything that re-derives a single device's
+// run (the CLI's single-device replay, the perturbation meta-test) must
+// use the exact same derivation.
+func DeviceSeed(base uint64, device int) uint64 {
+	x := base + 0x9E3779B97F4A7C15*uint64(device+1)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// supplyFor builds device dev's power source.
+func (o *Options) supplyFor(dev int) power.Source {
+	if o.Supply != nil {
+		return o.Supply(dev)
+	}
+	if o.Trace != nil {
+		return o.Trace.Fork(dev)
+	}
+	mean, floor := o.MeanOn, o.MinOn
+	if mean == 0 {
+		mean = power.DefaultMeanOn
+	}
+	if floor == 0 {
+		floor = 500
+	}
+	return power.NewSupply(power.Exponential{Mean: mean, Min: floor}, int64(DeviceSeed(o.Seed, dev)))
+}
+
+func (o *Options) intermittentOptions() intermittent.Options {
+	return intermittent.Options{
+		Config:          o.Config,
+		Costs:           o.Costs,
+		PerfWatchdog:    o.PerfWatchdog,
+		ProgressDefault: o.ProgressDefault,
+		MaxWallCycles:   o.MaxWallCycles,
+		MaxBarrenBoots:  o.MaxBarrenBoots,
+		Verify:          o.Verify,
+	}
+}
+
+// Run simulates the fleet and folds the telemetry. The image is built into
+// a frozen shared program once (one continuous warm-up execution); workers
+// then pull fixed device-range shards off an atomic counter, each reusing
+// one shared-cache machine across its devices. A device whose run errors
+// (wall-cycle bound, barren boots) is recorded in its DeviceResult rather
+// than aborting the fleet; Run itself fails only on setup errors.
+func Run(img *ccc.Image, o Options) (*Report, error) {
+	if o.Devices <= 0 {
+		return nil, fmt.Errorf("fleet: %d devices", o.Devices)
+	}
+	iopts := o.intermittentOptions()
+	prog, err := intermittent.BuildSharedProgram(img, iopts)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: building shared program: %w", err)
+	}
+
+	shardSize := o.ShardSize
+	if shardSize <= 0 {
+		shardSize = defaultShardSize
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > o.Devices {
+		workers = o.Devices
+	}
+	shards := (o.Devices + shardSize - 1) / shardSize
+
+	results := make([]DeviceResult, o.Devices)
+	var nextShard atomic.Int64
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m, err := intermittent.NewMachineShared(img, iopts, prog)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			for {
+				s := int(nextShard.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				lo := s * shardSize
+				hi := lo + shardSize
+				if hi > o.Devices {
+					hi = o.Devices
+				}
+				for dev := lo; dev < hi; dev++ {
+					results[dev] = runDevice(m, dev, o.supplyFor(dev))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return nil, fmt.Errorf("fleet: worker setup: %w", err)
+	}
+
+	return &Report{
+		Agg:     aggregate(results),
+		Host:    hostStats(results, workers, elapsed),
+		Results: results,
+	}, nil
+}
+
+// runDevice simulates one device on a (reused) machine.
+func runDevice(m *intermittent.Machine, dev int, supply power.Source) DeviceResult {
+	t0 := time.Now()
+	m.ResetDevice(supply)
+	st, err := m.Run()
+	r := DeviceResult{
+		Device:           dev,
+		Completed:        st.Completed,
+		Boots:            st.Restarts,
+		Checkpoints:      st.Checkpoints,
+		BarrenBoots:      st.BarrenBoots,
+		TornCommits:      st.TornCommits,
+		RecoveredCommits: st.RecoveredCommits,
+		CommitWrites:     st.CommitWrites,
+		Outputs:          len(st.Outputs),
+		UsefulCycles:     st.UsefulCycles,
+		WallCycles:       st.WallCycles,
+		CkptCycles:       st.CkptCycles,
+		RestartCycles:    st.RestartCycles,
+		ReexecCycles:     st.ReexecCycles,
+		Insns:            m.Insns(),
+		HostNS:           time.Since(t0).Nanoseconds(),
+	}
+	if st.WallCycles > 0 {
+		r.ProgressPermille = st.UsefulCycles * 1000 / st.WallCycles
+	}
+	if st.UsefulCycles > 0 {
+		r.OverheadPermille = (st.WallCycles - st.UsefulCycles) * 1000 / st.UsefulCycles
+	}
+	if err != nil {
+		r.Err = err.Error()
+	}
+	return r
+}

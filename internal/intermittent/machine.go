@@ -11,6 +11,7 @@ package intermittent
 import (
 	"errors"
 	"fmt"
+	"unsafe"
 
 	"repro/internal/armsim"
 	"repro/internal/ccc"
@@ -197,12 +198,61 @@ type Machine struct {
 	dirtyScratch []clank.WBEntry    // reused by every checkpoint drain
 	stepScratch  []clank.CommitStep // reused by every commit/recovery walk
 
+	// shared, when non-nil, is the frozen decode+fusion cache this machine
+	// executes through instead of a private one (NewMachineShared). The
+	// fleet engine attaches thousands of machines to one such cache; see
+	// armsim.SharedProgram for the immutability argument.
+	shared *armsim.SharedProgram
+
 	stats Stats
 	img   *ccc.Image
 }
 
-// NewMachine boots the image on a fresh machine.
+// NewMachine boots the image on a fresh machine with a private decode
+// cache.
 func NewMachine(img *ccc.Image, opts Options) (*Machine, error) {
+	return newMachine(img, opts, nil)
+}
+
+// NewMachineShared boots the image on a machine that executes through a
+// frozen shared program cache (BuildSharedProgram) instead of building a
+// private one — dropping per-device memory from ~1.8 MB to the NV memory,
+// detector, and journal (see Footprint), which is what makes fleets of
+// tens of thousands of devices practical. prog must have been built from
+// this image under an equivalent Clank configuration (same TEXT window);
+// the decode-engine overrides are rejected because a frozen cache IS the
+// fused predecode engine.
+func NewMachineShared(img *ccc.Image, opts Options, prog *armsim.SharedProgram) (*Machine, error) {
+	if prog == nil {
+		return nil, errors.New("intermittent: NewMachineShared requires a shared program")
+	}
+	if opts.LegacyDecode || opts.DisableFusion {
+		return nil, errors.New("intermittent: shared programs require the fused predecode engine")
+	}
+	return newMachine(img, opts, prog)
+}
+
+// BuildSharedProgram builds the frozen decode+fusion cache for img exactly
+// as machines constructed with the same Options would build it privately:
+// the TEXT-literal window comes from the detector's own classification, so
+// NewMachineShared machines attach without reclassification drift. The
+// build costs one continuous warm-up execution of the image.
+func BuildSharedProgram(img *ccc.Image, opts Options) (*armsim.SharedProgram, error) {
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := opts.Config
+	if cfg.TextEnd == 0 {
+		cfg.TextStart, cfg.TextEnd = img.TextStart, img.TextEnd
+	}
+	var winLo, winHi uint32
+	if lo, hi, ok := clank.New(cfg).TextWords(); ok && hi > lo {
+		winLo, winHi = lo, hi
+	}
+	return armsim.NewSharedProgram(img.Bytes, img.InitialSP, img.Entry, cfg.TextEnd, winLo, winHi)
+}
+
+func newMachine(img *ccc.Image, opts Options, prog *armsim.SharedProgram) (*Machine, error) {
 	if err := opts.Config.Validate(); err != nil {
 		return nil, err
 	}
@@ -228,6 +278,7 @@ func NewMachine(img *ccc.Image, opts Options) (*Machine, error) {
 		journal: armsim.NewWordJournal(),
 		opts:    opts,
 		img:     img,
+		shared:  prog,
 	}
 	if opts.Verify {
 		m.mon = refmon.New()
@@ -237,25 +288,42 @@ func NewMachine(img *ccc.Image, opts Options) (*Machine, error) {
 		return nil, err
 	}
 	m.cpu = armsim.NewCPU(busAdapter{m})
-	// One CPU and one decode cache serve the whole run: power cycles roll
-	// back registers and Clank state, not non-volatile text, so the cache
-	// stays warm across every reboot. Stores that land in the text region
-	// (self-modifying code, checkpoint drains of buffered text writes)
-	// invalidate the affected lines through the Memory write hook.
-	m.cpu.EnablePredecode(m.mem)
-	switch {
-	case opts.LegacyDecode:
-		m.cpu.DisablePredecode()
-	case opts.DisableFusion:
-		m.cpu.DisableFusion()
-	}
 	// Both TEXT fast paths — the dynamic window in load and the predecode
 	// literal pre-classifier — take their word bounds from the detector so
 	// all three classifiers agree at an unaligned TextEnd (the detector
 	// rounds up to cover the straddling word).
+	var winLo, winHi uint32
 	if lo, hi, ok := m.k.TextWords(); ok && hi > lo {
+		winLo, winHi = lo, hi
 		m.textLoW, m.textSpanW = lo, hi-lo
-		m.cpu.SetTextWindow(lo, hi)
+	}
+	if prog != nil {
+		// Frozen entries are only valid against the exact image bytes and
+		// TEXT classification they were built from; refuse mismatches here
+		// rather than silently mis-executing.
+		if err := prog.Matches(img.Bytes, winLo, winHi); err != nil {
+			return nil, err
+		}
+		// AttachShared installs the copy-on-write hook and copies the
+		// build's TEXT window onto the CPU.
+		m.cpu.AttachShared(prog, m.mem)
+	} else {
+		// One CPU and one decode cache serve the whole run: power cycles
+		// roll back registers and Clank state, not non-volatile text, so the
+		// cache stays warm across every reboot. Stores that land in the text
+		// region (self-modifying code, checkpoint drains of buffered text
+		// writes) invalidate the affected lines through the Memory write
+		// hook.
+		m.cpu.EnablePredecode(m.mem)
+		switch {
+		case opts.LegacyDecode:
+			m.cpu.DisablePredecode()
+		case opts.DisableFusion:
+			m.cpu.DisableFusion()
+		}
+		if winHi > winLo {
+			m.cpu.SetTextWindow(winLo, winHi)
+		}
 	}
 	m.cpu.ResetInto(img.InitialSP, img.Entry)
 	// The compiler pre-creates checkpoint 0: boot state entering main
@@ -273,16 +341,68 @@ func NewMachine(img *ccc.Image, opts Options) (*Machine, error) {
 // configuration is the one fixed at construction — including text bounds, if
 // they were derived from the original image — so every image rebooted into
 // the machine must share the constructor image's layout.
+// On a shared-program machine, loading a different image triggers the
+// copy-on-write hook: this machine silently becomes a private one (correct,
+// but it stops amortizing the shared cache). Fleets rebooting the SAME
+// image should use ResetDevice, which keeps the frozen cache attached.
 func (m *Machine) Reboot(img *ccc.Image) error {
 	m.mem.Reset()
 	if err := m.mem.LoadImage(0, img.Bytes); err != nil {
 		return err
 	}
+	m.img = img
+	// A fresh map every run: callers of the previous run may retain its
+	// Stats.Reasons.
+	m.stats = Stats{Reasons: make(map[clank.Reason]int)}
+	m.resetRuntime()
+	return nil
+}
+
+// ResetDevice re-arms the machine as a factory-fresh device running its
+// constructor image, optionally swapping the power supply (nil keeps the
+// current one): the fleet engine's per-device reset. Unlike Reboot it is
+// alloc-free — the Reasons map is cleared in place, so the previous
+// device's Stats must not be retained by reference — and on a shared-
+// program machine it restores memory through the hook-free
+// armsim.Memory.ResetTo path, re-attaching the frozen cache if the
+// previous device's self-modifying code forced a private clone. The
+// retired-instruction counter resets to zero so Insns is per-device.
+func (m *Machine) ResetDevice(supply power.Source) {
+	if supply != nil {
+		m.opts.Supply = supply
+	}
+	if m.shared != nil {
+		if !m.cpu.Frozen() {
+			// The previous device wrote its own text and diverged onto a
+			// private clone; discard it and rejoin the shared cache.
+			m.cpu.AttachShared(m.shared, m.mem)
+		}
+		// The frozen cache was built from exactly these bytes, so the
+		// restore cannot stale any cached entry and legally skips the write
+		// hook (see Memory.ResetTo).
+		m.mem.ResetTo(m.img.Bytes)
+	} else {
+		m.mem.Reset()
+		// Reloading the constructor image cannot fail: it fit at build time.
+		_ = m.mem.LoadImage(0, m.img.Bytes)
+	}
+	reasons := m.stats.Reasons
+	clear(reasons)
+	m.stats = Stats{Reasons: reasons}
+	m.resetRuntime()
+	m.cpu.Insns = 0
+}
+
+// resetRuntime resets every piece of modeled runtime state for a fresh run
+// of m.img: CPU registers, detector, monitor, watchdogs, journal, and the
+// compiler-pre-created checkpoint 0. Memory and m.stats are the caller's
+// responsibility (Reboot and ResetDevice differ on both).
+func (m *Machine) resetRuntime() {
 	m.k.Reset()
 	if m.mon != nil {
 		m.mon.Reset()
 	}
-	m.cpu.ResetInto(img.InitialSP, img.Entry)
+	m.cpu.ResetInto(m.img.InitialSP, m.img.Entry)
 	m.cpu.Cycle = 0
 	m.cyclesThisBoot = 0
 	m.sinceCkpt = 0
@@ -294,14 +414,30 @@ func (m *Machine) Reboot(img *ccc.Image) error {
 	m.forceCkptAfter = false
 	m.cutPower = false
 	m.consecutiveBarren = 0
-	m.stats = Stats{Reasons: make(map[clank.Reason]int)}
-	m.img = img
 	m.journal.Reset()
 	m.commitWrites = 0
 	m.active = 0
 	m.slots[0] = checkpointSlot{regs: m.cpu.Regs(), psr: m.cpu.PSR(), cycle: m.cpu.Cycle}
 	m.slots[1] = checkpointSlot{}
-	return nil
+}
+
+// Footprint estimates this machine's resident bytes: the per-device cost a
+// fleet pays for every concurrently live device. The dominant term is the
+// 256 KB non-volatile memory; the detector, journal, and commit scratch
+// follow; the decode cache counts only when private (on a shared-program
+// machine it is amortized across the fleet — armsim.SharedProgram
+// .FootprintBytes — and a device re-owns it only after self-modifying
+// code forces a copy-on-write clone). The reference monitor (Verify) is
+// excluded: its shadow state grows with the touched address set and
+// fleet-scale runs leave it off.
+func (m *Machine) Footprint() uint64 {
+	f := uint64(armsim.MemSize)
+	f += m.k.Footprint()
+	f += m.journal.Footprint()
+	f += uint64(cap(m.dirtyScratch))*uint64(unsafe.Sizeof(clank.WBEntry{})) +
+		uint64(cap(m.stepScratch))*uint64(unsafe.Sizeof(clank.CommitStep{}))
+	f += m.cpu.DecodeFootprint()
+	return f
 }
 
 // MemWord reads an aligned word of non-volatile memory without access

@@ -64,6 +64,22 @@ func (t *Trace) Mean() uint64 {
 // Laps returns how many times the trace has wrapped around.
 func (t *Trace) Laps() int { return t.laps }
 
+// Fork returns an independent replay cursor over the same recording,
+// starting at entry start modulo the recording length. The fleet engine
+// hands device i the cursor start i, so a fleet re-lives one captured
+// environment out of phase — every device sees the real recording, no two
+// neighbors see it in lockstep. The recorded durations are shared, not
+// copied: a Trace never mutates them after construction, so any number of
+// forks may replay concurrently as long as each individual fork stays on
+// one goroutine (the cursor itself is unsynchronized).
+func (t *Trace) Fork(start int) *Trace {
+	start %= len(t.ons)
+	if start < 0 {
+		start += len(t.ons)
+	}
+	return &Trace{ons: t.ons, next: start}
+}
+
 // Reset rewinds the trace to the first recorded duration.
 func (t *Trace) Reset() { t.next, t.laps = 0, 0 }
 

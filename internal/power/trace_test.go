@@ -80,6 +80,98 @@ func TestParseTraceErrors(t *testing.T) {
 	}
 }
 
+// TestTraceEdgeCases tables the recording shapes that have bitten (or
+// could bite) the harness: a file with nothing usable in it, a zero-length
+// on-time hiding among valid samples, a single-sample recording that must
+// loop forever, and cycle-vs-millisecond unit mixing within one file.
+func TestTraceEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want []uint64 // nil = ParseTrace must reject the input
+	}{
+		{"empty file", "", nil},
+		{"comments and blanks only", "# a recording with no samples\n\n  \n# end\n", nil},
+		{"zero-length sample first", "0\n100\n", nil},
+		{"zero-length sample buried", "100\n200\n0\n300\n", nil},
+		{"zero milliseconds", "0ms\n", nil},
+		{"single sample", "38000\n", []uint64{38000, 38000, 38000, 38000}},
+		{"single ms sample", "25ms\n", []uint64{25 * CyclesPerMilli, 25 * CyclesPerMilli}},
+		{"mixed units", "1000\n2ms\n3\n4 ms\n", []uint64{1000, 2 * CyclesPerMilli, 3, 4 * CyclesPerMilli}},
+		{"ms suffix without digits", "ms\n", nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tr, err := ParseTrace(strings.NewReader(c.in))
+			if c.want == nil {
+				if err == nil {
+					t.Fatalf("ParseTrace accepted %q", c.in)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, w := range c.want {
+				if got := tr.NextOn(); got != w {
+					t.Fatalf("NextOn %d = %d, want %d", i, got, w)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceSingleSampleLoops pins the wrap bookkeeping in the degenerate
+// but legal one-sample case: every NextOn is a full lap.
+func TestTraceSingleSampleLoops(t *testing.T) {
+	tr := NewTrace([]uint64{777})
+	for i := 0; i < 5; i++ {
+		if got := tr.NextOn(); got != 777 {
+			t.Fatalf("NextOn %d = %d, want 777", i, got)
+		}
+	}
+	if tr.Laps() != 5 {
+		t.Fatalf("Laps = %d, want 5", tr.Laps())
+	}
+}
+
+// TestTraceFork pins the shared-recording fork semantics the fleet engine
+// depends on: phase-staggered starts, cursor independence, and wrap.
+func TestTraceFork(t *testing.T) {
+	base := NewTrace([]uint64{10, 20, 30})
+	// Phase stagger: fork i starts at sample i mod len.
+	for _, c := range []struct {
+		start int
+		first uint64
+	}{{0, 10}, {1, 20}, {2, 30}, {3, 10}, {4, 20}, {-1, 30}} {
+		if got := base.Fork(c.start).NextOn(); got != c.first {
+			t.Errorf("Fork(%d).NextOn = %d, want %d", c.start, got, c.first)
+		}
+	}
+	// Cursor independence: advancing one fork moves neither its siblings
+	// nor the parent.
+	f1, f2 := base.Fork(0), base.Fork(0)
+	f1.NextOn()
+	f1.NextOn()
+	if got := f2.NextOn(); got != 10 {
+		t.Errorf("sibling cursor moved: NextOn = %d, want 10", got)
+	}
+	if got := base.NextOn(); got != 10 {
+		t.Errorf("parent cursor moved: NextOn = %d, want 10", got)
+	}
+	// A fork wraps over the shared recording like any trace.
+	f := base.Fork(2)
+	want := []uint64{30, 10, 20, 30}
+	for i, w := range want {
+		if got := f.NextOn(); got != w {
+			t.Fatalf("forked NextOn %d = %d, want %d", i, got, w)
+		}
+	}
+	if f.Laps() != 2 {
+		t.Errorf("forked Laps = %d, want 2", f.Laps())
+	}
+}
+
 func TestLoadTraceFile(t *testing.T) {
 	tr, err := LoadTraceFile("testdata/sample.trace")
 	if err != nil {
