@@ -40,6 +40,8 @@ func main() {
 	minOn := flag.Uint64("min-on", 500, "minimum power-on time in cycles")
 	traceFile := flag.String("power-trace", "", "replay a recorded trace: device i starts at sample i")
 	watchdog := flag.Uint64("watchdog", 0, "Performance Watchdog load value (0 = off)")
+	nvFaultRate := flag.Float64("nv-fault-rate", 0, "per-NV-write torn-write probability (0 = pristine cells)")
+	nvFaultSeed := flag.Uint64("nv-fault-seed", 1, "base seed for per-device torn-write streams")
 	opts := flag.String("opts", "all", "policy optimizations: all or none")
 	exempt := flag.Bool("exempt", false, "profile Program Idempotent PCs first (requires -bench)")
 	verify := flag.Bool("verify", false, "run the reference monitor inside every device (slow)")
@@ -102,6 +104,8 @@ func main() {
 		MeanOn:          *meanOn,
 		MinOn:           *minOn,
 		PerfWatchdog:    *watchdog,
+		NVFaultRate:     *nvFaultRate,
+		NVFaultSeed:     *nvFaultSeed,
 		ProgressDefault: *meanOn / 4,
 		Verify:          *verify,
 	}
@@ -150,6 +154,10 @@ func main() {
 		a.Completed, a.Devices, a.Errors, a.Boots, a.Checkpoints, a.BarrenBoots)
 	fmt.Printf("commits: %d torn, %d recovered, %d writes; %d outputs\n",
 		a.TornCommits, a.RecoveredCommits, a.CommitWrites, a.Outputs)
+	if *nvFaultRate > 0 {
+		fmt.Printf("nv faults (rate %g): %d torn writes, %d corrupt records detected, %d degraded boots\n",
+			*nvFaultRate, a.TornWrites, a.DetectedCorrupt, a.DegradedBoots)
+	}
 	fmt.Printf("forward progress (permille): p50 %d  p90 %d  p99 %d\n",
 		a.ProgressPermille.P50, a.ProgressPermille.P90, a.ProgressPermille.P99)
 	fmt.Printf("overhead (permille):         p50 %d  p90 %d  p99 %d\n",

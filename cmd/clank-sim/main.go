@@ -33,6 +33,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "power-supply seed")
 	traceFile := flag.String("power-trace", "", "replay recorded on-times from a trace file instead of the random supply")
 	watchdog := flag.Uint64("watchdog", 0, "Performance Watchdog load value (0 = off)")
+	nvFaultRate := flag.Float64("nv-fault-rate", 0, "per-NV-write torn-write probability (0 = pristine cells)")
+	nvFaultSeed := flag.Uint64("nv-fault-seed", 1, "torn-write stream seed")
 	opts := flag.String("opts", "all", "policy optimizations: all or none")
 	flag.Parse()
 
@@ -101,6 +103,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *nvFaultRate > 0 {
+		fs := power.NewFaultStream(*nvFaultSeed, *nvFaultRate)
+		m.SetNVFault(func(int) (bool, uint32) { return fs.Next() })
+	}
 	st, err := m.Run()
 	if err != nil {
 		fatal(err)
@@ -114,6 +120,10 @@ func main() {
 	fmt.Printf("  re-execution:    %d cycles (%.2f%%)\n", st.ReexecCycles, pct(st.ReexecCycles, st.UsefulCycles))
 	fmt.Printf("  restart cost:    %d cycles (%.2f%%)\n", st.RestartCycles, pct(st.RestartCycles, st.UsefulCycles))
 	fmt.Printf("  total overhead:  %.2f%% (x%.3f baseline)\n", st.Overhead()*100, 1+st.Overhead())
+	if *nvFaultRate > 0 {
+		fmt.Printf("  nv faults:       %d torn writes, %d corrupt records detected, %d recovered commits, %d degraded boots\n",
+			st.TornWrites, st.DetectedCorrupt, st.RecoveredCommits, st.DegradedBoots)
+	}
 
 	ok := len(st.Outputs) >= len(cont.Mem.Outputs)
 	for i, v := range cont.Mem.Outputs {

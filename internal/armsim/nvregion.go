@@ -1,0 +1,78 @@
+package armsim
+
+// NVRegion models a small raw region of non-volatile words — the reserved
+// area holding the checkpoint protocol's A/B slot records and Write-back
+// journal. Like Memory, its contents survive power failure: the
+// intermittent machine resets it only when booting a fresh image, never
+// between power cycles. Cells never written read back as erased NV (zero),
+// and cells deliberately retain stale values from previous commits (real NV
+// cells do) — which is exactly what makes protocol bugs observable: the
+// record format layered on top (clank/nvformat.go), not the region, decides
+// what is live.
+//
+// SetWordMasked is the torn-write primitive of the bit-granular failure
+// model: a power failure during an NV store lands only the bits its mask
+// selects, leaving the cell a blend of old and new. The commit protocol's
+// CRC seals exist to detect exactly these blends.
+type NVRegion struct {
+	words  []uint32
+	writes uint64
+}
+
+// NewNVRegion returns a region of n erased words. Capacity grows on demand
+// (Ensure); conceptually the region lives in the compiler's reserved
+// top-of-memory area (ccc.ReservedBytes), but the model keeps it out of the
+// flat image so unlimited-buffer configurations are not artificially
+// capped.
+func NewNVRegion(n int) *NVRegion { return &NVRegion{words: make([]uint32, n)} }
+
+// Ensure grows the region to hold at least n words, new cells erased.
+func (r *NVRegion) Ensure(n int) {
+	for len(r.words) < n {
+		r.words = append(r.words, 0)
+	}
+}
+
+// Len returns the region size in words.
+func (r *NVRegion) Len() int { return len(r.words) }
+
+// Word reads cell i; cells beyond the region read back as erased NV.
+func (r *NVRegion) Word(i int) uint32 {
+	if i >= len(r.words) {
+		return 0
+	}
+	return r.words[i]
+}
+
+// Words exposes the backing image for decoding. Callers must not grow it.
+func (r *NVRegion) Words() []uint32 { return r.words }
+
+// SetWord performs one complete NV word write.
+func (r *NVRegion) SetWord(i int, v uint32) {
+	r.Ensure(i + 1)
+	r.words[i] = v
+	r.writes++
+}
+
+// SetWordMasked performs one torn NV word write: only the bits mask selects
+// land, the rest keep their old value. Mask 0 models a cut before the cell
+// changed, ^0 a cut immediately after a complete write.
+func (r *NVRegion) SetWordMasked(i int, v, mask uint32) {
+	r.Ensure(i + 1)
+	r.words[i] = r.words[i]&^mask | v&mask
+	r.writes++
+}
+
+// Writes counts every NV word write the region has absorbed (torn ones
+// included), for cost cross-checks.
+func (r *NVRegion) Writes() uint64 { return r.writes }
+
+// Footprint returns the region's backing allocation in bytes (fleet
+// capacity planning; see intermittent.Machine.Footprint).
+func (r *NVRegion) Footprint() uint64 { return uint64(cap(r.words)) * 4 }
+
+// Reset erases every cell — a fresh image load, not a power cycle.
+func (r *NVRegion) Reset() {
+	clear(r.words)
+	r.writes = 0
+}

@@ -1,0 +1,62 @@
+package armsim
+
+import "testing"
+
+func TestNVRegionCellsSurviveAndRetainStaleValues(t *testing.T) {
+	r := NewNVRegion(4)
+	r.SetWord(0, 0xAAAA5555)
+	r.SetWord(2, 0x12345678)
+	if r.Word(0) != 0xAAAA5555 || r.Word(1) != 0 || r.Word(2) != 0x12345678 {
+		t.Fatalf("cells read back %#x %#x %#x", r.Word(0), r.Word(1), r.Word(2))
+	}
+	// Cells beyond the region read as erased NV, never panic.
+	if r.Word(100) != 0 {
+		t.Fatalf("out-of-region cell reads %#x", r.Word(100))
+	}
+	// Overwrites retain nothing; neighbors retain everything (stale cells
+	// are the protocol's problem, not the region's).
+	r.SetWord(0, 1)
+	if r.Word(0) != 1 || r.Word(2) != 0x12345678 {
+		t.Fatalf("overwrite disturbed neighbors")
+	}
+}
+
+func TestNVRegionMaskedWritesBlendOldAndNew(t *testing.T) {
+	r := NewNVRegion(1)
+	r.SetWord(0, 0xFFFF0000)
+	cases := []struct{ v, mask, want uint32 }{
+		{0x0000FFFF, 0x00000000, 0xFFFF0000}, // nothing lands
+		{0x0000FFFF, 0xFFFFFFFF, 0x0000FFFF}, // everything lands
+		{0x0000FFFF, 0x000000FF, 0xFFFF00FF}, // low byte lands
+		{0x0000FFFF, 0xF000000F, 0x0FFF000F}, // straddling tear
+	}
+	for _, c := range cases {
+		r.SetWord(0, 0xFFFF0000)
+		r.SetWordMasked(0, c.v, c.mask)
+		if got := r.Word(0); got != c.want {
+			t.Fatalf("mask %#x: got %#x want %#x", c.mask, got, c.want)
+		}
+	}
+}
+
+func TestNVRegionGrowsCountsAndResets(t *testing.T) {
+	r := NewNVRegion(2)
+	r.SetWord(10, 7) // grows on demand
+	if r.Len() != 11 {
+		t.Fatalf("len %d after grow, want 11", r.Len())
+	}
+	r.SetWordMasked(3, 0xFF, 0x0F)
+	if r.Writes() != 2 {
+		t.Fatalf("writes %d, want 2 (torn writes count)", r.Writes())
+	}
+	if r.Footprint() == 0 {
+		t.Fatalf("footprint should reflect backing array")
+	}
+	r.Reset()
+	if r.Writes() != 0 || r.Word(10) != 0 || r.Word(3) != 0 {
+		t.Fatalf("reset left state behind")
+	}
+	if r.Len() != 11 {
+		t.Fatalf("reset should keep capacity (len %d)", r.Len())
+	}
+}

@@ -2,52 +2,60 @@ package clank
 
 // Commit-protocol sequencing: the checkpoint routine decomposed into the
 // individual non-volatile word writes the paper's runtime performs (sections
-// 3.1.2 and 8). Power may fail between any two of these writes, so the
-// full-system machine walks this sequence one step at a time, spending each
-// step's cycle cost before performing it; the policy simulator walks the
-// same sequence to keep the two engines' cycle accounting aligned.
+// 3.1.2 and 8), against the bit-granular torn-write failure model of
+// nvformat.go. Power may fail during any of these writes — leaving any
+// subset of the word's bits flipped — so the full-system machine walks this
+// sequence one step at a time, spending each step's cycle cost before
+// performing it; the policy simulator walks the same sequence to keep the
+// two engines' cycle accounting aligned.
 //
-// The canonical order for a commit with d dirty Write-back entries:
+// The canonical order for a commit with d dirty Write-back entries, writing
+// into the inactive slot of the A/B pair with sequence number S:
 //
-//	journal[0..d)   copy each dirty entry (addr,value) into the scratchpad
-//	slot[0..17)     write the register checkpoint into the inactive slot
-//	flip            checkpoint-pointer flip + journal arm — the single
-//	                linearization point of the whole routine
-//	apply[0..d)     write each journaled entry to its home location
-//	slot2[0..17)    second checkpoint of the two-phase commit
-//	clear           journal-clear header write — commit fully drained
+//	journal[0..d)×2   copy each dirty entry (addr, value) into the journal
+//	jseal×3           journal seal: length, sequence S, CRC — the CRC
+//	                  write arms the journal (validates the record)
+//	slot[0..21)       the register-checkpoint payload words
+//	seal×3            slot seal: length, sequence S, CRC — the CRC write
+//	                  is the single linearization point of the routine
+//	apply[0..d)       write each journaled entry to its home location
+//	slot2[0..21)      phase-2 payload rewrite of the retiring slot (its
+//	                  seal is left stale, invalidating the old record)
+//	clear             journal length word := 0 — commit fully drained
 //
-// With d == 0 the journal, apply, and phase-2 steps are omitted: the
-// routine is just the slot writes and the pointer flip, matching the
-// CheckpointBase-only cost of the aggregate model. Every write before the
-// flip is to the inactive slot or the unarmed scratchpad, so a cut there
-// leaves the previous checkpoint untouched; every write after it is
-// replayable from the armed journal, so a cut there is repaired by the
-// reboot recovery routine (AppendRecoverySteps).
-
-// SlotWords is the number of word granules in one register-checkpoint slot
-// write: 16 registers plus one metadata word (PSR, progress counter, and
-// output watermark) — the paper's "17 words".
-const SlotWords = 17
+// With d == 0 the journal, apply, phase-2, and clear steps are omitted: the
+// routine is just the slot record, matching the CheckpointBase-only cost of
+// the aggregate model. Every write before the slot-seal CRC leaves the
+// previous checkpoint record untouched and the journal either unarmed or
+// sealed under a sequence no valid slot carries, so a cut there — torn or
+// not — is invisible or detected; every write after it is replayable from
+// the armed journal, so a cut there is repaired by the reboot recovery
+// routine (AppendRecoverySteps).
 
 // CommitStepKind identifies one class of NV word write in the commit
 // sequence.
 type CommitStepKind uint8
 
 const (
-	// StepJournal copies dirty Write-back entry Index into the scratchpad.
+	// StepJournal writes one cell of dirty entry Index into the journal:
+	// Sub 0 the home address, Sub 1 the value.
 	StepJournal CommitStepKind = iota
-	// StepSlot writes word Index of the register checkpoint into the
-	// inactive slot.
+	// StepJSeal writes journal seal word Sub (length, sequence, CRC); the
+	// CRC write (Sub 2) arms the journal.
+	StepJSeal
+	// StepSlot writes payload word Index of the checkpoint record into
+	// the inactive slot.
 	StepSlot
-	// StepFlip flips the checkpoint pointer and arms the journal in one
-	// word write: the linearization point.
-	StepFlip
+	// StepSeal writes slot seal word Sub (length, sequence, CRC); the CRC
+	// write (Sub 2) is the linearization point.
+	StepSeal
 	// StepApply writes journaled entry Index to its home location.
 	StepApply
-	// StepSlot2 writes word Index of the second (phase-2) checkpoint.
+	// StepSlot2 writes payload word Index of the phase-2 rewrite into the
+	// retiring slot.
 	StepSlot2
-	// StepClear clears the journal header: the commit is fully drained.
+	// StepClear zeroes the journal length word: the commit is fully
+	// drained.
 	StepClear
 )
 
@@ -56,10 +64,12 @@ func (k CommitStepKind) String() string {
 	switch k {
 	case StepJournal:
 		return "journal"
+	case StepJSeal:
+		return "jseal"
 	case StepSlot:
 		return "slot"
-	case StepFlip:
-		return "flip"
+	case StepSeal:
+		return "seal"
 	case StepApply:
 		return "apply"
 	case StepSlot2:
@@ -76,64 +86,88 @@ func (k CommitStepKind) String() string {
 // same aggregate cycles as the old atomic model.
 type CommitStep struct {
 	Kind  CommitStepKind
+	Sub   uint8 // seal word ordinal, or journal-entry cell (0 addr, 1 value)
 	Index int
 	Cost  uint64
 }
 
-// splitSlotCost spreads a checkpoint-write cost over the 17 slot-word
-// granules plus the pointer/header write, giving the division remainder to
-// the pointer write so the granules always sum exactly to total.
-func splitSlotCost(total uint64) (perWord, pointer uint64) {
-	perWord = total / (SlotWords + 1)
-	pointer = total - SlotWords*perWord
+// phase2Writes is the NV write count WBFlushExtra spreads over: the journal
+// seal, the phase-2 payload rewrite, and the journal clear.
+const phase2Writes = RecSealWords + SlotPayloadWords + 1
+
+// splitBaseCost spreads CheckpointBase over the slot record's writes,
+// giving the division remainder to the final (CRC) write so the granules
+// always sum exactly to the total.
+func splitBaseCost(c CostModel) (perWord, sealLast uint64) {
+	perWord = c.CheckpointBase / SlotRecWords
+	sealLast = c.CheckpointBase - (SlotRecWords-1)*perWord
 	return
 }
 
-// splitEntryCost splits WBFlushPerEntry into its two NV word writes: the
-// scratchpad journal copy and the home-location apply.
-func splitEntryCost(c CostModel) (journal, apply uint64) {
-	journal = c.WBFlushPerEntry / 2
-	apply = c.WBFlushPerEntry - journal
+// splitPhase2Cost spreads WBFlushExtra over the phase-2 writes, remainder
+// to the clear.
+func splitPhase2Cost(c CostModel) (perWord, clear uint64) {
+	perWord = c.WBFlushExtra / phase2Writes
+	clear = c.WBFlushExtra - (phase2Writes-1)*perWord
+	return
+}
+
+// splitEntryCost splits WBFlushPerEntry over one dirty entry's three NV
+// word writes: the two journal cells and the home-location apply.
+func splitEntryCost(c CostModel) (jAddr, jVal, apply uint64) {
+	j := c.WBFlushPerEntry / 2
+	apply = c.WBFlushPerEntry - j
+	jAddr = j / 2
+	jVal = j - jAddr
 	return
 }
 
 // AppendCommitSteps appends the full commit sequence for a checkpoint with
 // the given dirty Write-back entry count, reusing dst's capacity.
 func AppendCommitSteps(dst []CommitStep, c CostModel, dirty int) []CommitStep {
-	jc, ac := splitEntryCost(c)
-	perWord, pointer := splitSlotCost(c.CheckpointBase)
-	for i := 0; i < dirty; i++ {
-		dst = append(dst, CommitStep{StepJournal, i, jc})
-	}
-	for i := 0; i < SlotWords; i++ {
-		dst = append(dst, CommitStep{StepSlot, i, perWord})
-	}
-	dst = append(dst, CommitStep{StepFlip, 0, pointer})
+	jAddr, jVal, apply := splitEntryCost(c)
+	perWord, sealLast := splitBaseCost(c)
+	perWord2, clear := splitPhase2Cost(c)
 	if dirty > 0 {
 		for i := 0; i < dirty; i++ {
-			dst = append(dst, CommitStep{StepApply, i, ac})
+			dst = append(dst, CommitStep{StepJournal, 0, i, jAddr},
+				CommitStep{StepJournal, 1, i, jVal})
 		}
-		perWord2, header := splitSlotCost(c.WBFlushExtra)
-		for i := 0; i < SlotWords; i++ {
-			dst = append(dst, CommitStep{StepSlot2, i, perWord2})
+		for s := uint8(0); s < RecSealWords; s++ {
+			dst = append(dst, CommitStep{StepJSeal, s, 0, perWord2})
 		}
-		dst = append(dst, CommitStep{StepClear, 0, header})
+	}
+	for i := 0; i < SlotPayloadWords; i++ {
+		dst = append(dst, CommitStep{StepSlot, 0, i, perWord})
+	}
+	dst = append(dst, CommitStep{StepSeal, 0, 0, perWord},
+		CommitStep{StepSeal, 1, 0, perWord},
+		CommitStep{StepSeal, 2, 0, sealLast})
+	if dirty > 0 {
+		for i := 0; i < dirty; i++ {
+			dst = append(dst, CommitStep{StepApply, 0, i, apply})
+		}
+		for i := 0; i < SlotPayloadWords; i++ {
+			dst = append(dst, CommitStep{StepSlot2, 0, i, perWord2})
+		}
+		dst = append(dst, CommitStep{StepClear, 0, 0, clear})
 	}
 	return dst
 }
 
 // AppendRecoverySteps appends the reboot-recovery sequence for an armed
 // journal of n entries: replay each entry to its home location, then clear
-// the journal header. Replay is idempotent — a second power failure during
-// recovery leaves the journal armed and the next boot replays it again from
-// entry zero.
+// the journal length word. Replay is idempotent — a second power failure
+// during recovery, torn or not, leaves the journal record valid (home
+// locations are not covered by its CRC) and the next boot replays it again
+// from entry zero.
 func AppendRecoverySteps(dst []CommitStep, c CostModel, armed int) []CommitStep {
-	_, ac := splitEntryCost(c)
-	_, header := splitSlotCost(c.WBFlushExtra)
+	_, _, apply := splitEntryCost(c)
+	_, clear := splitPhase2Cost(c)
 	for i := 0; i < armed; i++ {
-		dst = append(dst, CommitStep{StepApply, i, ac})
+		dst = append(dst, CommitStep{StepApply, 0, i, apply})
 	}
-	dst = append(dst, CommitStep{StepClear, 0, header})
+	dst = append(dst, CommitStep{StepClear, 0, 0, clear})
 	return dst
 }
 
@@ -153,7 +187,7 @@ func CommitCost(c CostModel, dirty int) uint64 {
 // AppendRecoverySteps sequence. The trace-driven policy simulator charges
 // it as a lump where the full-system machine walks the steps.
 func RecoveryCost(c CostModel, armed int) uint64 {
-	_, apply := splitEntryCost(c)
-	_, header := splitSlotCost(c.WBFlushExtra)
-	return uint64(armed)*apply + header
+	_, _, apply := splitEntryCost(c)
+	_, clear := splitPhase2Cost(c)
+	return uint64(armed)*apply + clear
 }

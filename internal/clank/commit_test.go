@@ -30,32 +30,44 @@ func TestCommitStepCostsSumToAggregate(t *testing.T) {
 func TestCommitStepOrdering(t *testing.T) {
 	c := DefaultCosts()
 
-	// Clean commit: slot writes then the flip, nothing else.
+	// Clean commit: the slot record and nothing else — payload words in
+	// order, then the three seal words, CRC last.
 	steps := AppendCommitSteps(nil, c, 0)
-	if len(steps) != SlotWords+1 {
-		t.Fatalf("clean commit has %d steps, want %d", len(steps), SlotWords+1)
+	if len(steps) != SlotRecWords {
+		t.Fatalf("clean commit has %d steps, want %d", len(steps), SlotRecWords)
 	}
-	for i := 0; i < SlotWords; i++ {
+	for i := 0; i < SlotPayloadWords; i++ {
 		if steps[i].Kind != StepSlot || steps[i].Index != i {
 			t.Fatalf("step %d = %v/%d, want slot/%d", i, steps[i].Kind, steps[i].Index, i)
 		}
 	}
-	if steps[SlotWords].Kind != StepFlip {
-		t.Fatalf("last clean-commit step is %v, want flip", steps[SlotWords].Kind)
+	for s := 0; s < RecSealWords; s++ {
+		st := steps[SlotPayloadWords+s]
+		if st.Kind != StepSeal || int(st.Sub) != s {
+			t.Fatalf("seal step %d = %v/%d, want seal/%d", s, st.Kind, st.Sub, s)
+		}
 	}
 
-	// Dirty commit: journal entries strictly before the flip, applies and
-	// the phase-2 checkpoint strictly after, clear last.
+	// Dirty commit: journal cells then the journal seal strictly before
+	// the slot record, applies and the phase-2 rewrite strictly after the
+	// slot seal, clear last.
 	const dirty = 3
 	steps = AppendCommitSteps(steps[:0], c, dirty)
-	want := []CommitStepKind{
-		StepJournal, StepJournal, StepJournal,
+	var want []CommitStepKind
+	for i := 0; i < dirty; i++ {
+		want = append(want, StepJournal, StepJournal)
 	}
-	for i := 0; i < SlotWords; i++ {
+	for s := 0; s < RecSealWords; s++ {
+		want = append(want, StepJSeal)
+	}
+	for i := 0; i < SlotPayloadWords; i++ {
 		want = append(want, StepSlot)
 	}
-	want = append(want, StepFlip, StepApply, StepApply, StepApply)
-	for i := 0; i < SlotWords; i++ {
+	for s := 0; s < RecSealWords; s++ {
+		want = append(want, StepSeal)
+	}
+	want = append(want, StepApply, StepApply, StepApply)
+	for i := 0; i < SlotPayloadWords; i++ {
 		want = append(want, StepSlot2)
 	}
 	want = append(want, StepClear)
@@ -67,9 +79,17 @@ func TestCommitStepOrdering(t *testing.T) {
 			t.Fatalf("step %d = %v, want %v", i, steps[i].Kind, k)
 		}
 	}
+	// Journal cells alternate address/value per entry; seal subs ascend so
+	// the CRC (the arming/linearizing write) is always last in its group.
+	for i := 0; i < dirty; i++ {
+		a, v := steps[2*i], steps[2*i+1]
+		if a.Index != i || a.Sub != 0 || v.Index != i || v.Sub != 1 {
+			t.Fatalf("entry %d journal cells = %+v %+v", i, a, v)
+		}
+	}
 }
 
-func TestRecoveryStepsMatchPostFlipTail(t *testing.T) {
+func TestRecoveryStepsMatchCommitTail(t *testing.T) {
 	c := DefaultCosts()
 	const armed = 5
 	rec := AppendRecoverySteps(nil, c, armed)
@@ -85,7 +105,7 @@ func TestRecoveryStepsMatchPostFlipTail(t *testing.T) {
 		t.Fatalf("recovery tail is %v, want clear", rec[armed].Kind)
 	}
 	// Recovery apply/clear granules carry the same costs as the commit
-	// sequence's own post-flip steps of the same kind.
+	// sequence's own post-linearization steps of the same kind.
 	commit := AppendCommitSteps(nil, c, armed)
 	byKind := map[CommitStepKind]uint64{}
 	for _, s := range commit {

@@ -70,6 +70,16 @@ type Options struct {
 	// requires the same device to always see the same supply).
 	Supply func(device int) power.Source
 
+	// NVFaultRate, when positive, gives every device an adversarial NV
+	// substrate: each commit-protocol NV write independently tears with
+	// this probability (a uniform random subset of its bits lands, then
+	// power dies). Each device draws from its own power.FaultStream seeded
+	// by (NVFaultSeed, device ID), so fault placement — like the supply —
+	// is a pure function of the options and the telemetry stays
+	// byte-identical at any worker count.
+	NVFaultRate float64
+	NVFaultSeed uint64
+
 	// Intermittent-runtime knobs, forwarded per device (see
 	// intermittent.Options).
 	PerfWatchdog    uint64
@@ -115,6 +125,23 @@ func (o *Options) supplyFor(dev int) power.Source {
 		floor = 500
 	}
 	return power.NewSupply(power.Exponential{Mean: mean, Min: floor}, int64(DeviceSeed(o.Seed, dev)))
+}
+
+// nvFaultTag decorrelates the fault-stream seed space from the supply seed
+// space: a run with NVFaultSeed == Seed must not hand each device a fault
+// stream in lockstep with its power supply.
+const nvFaultTag = 0x746F726E // "torn"
+
+// nvFaultFor builds device dev's torn-write injector; nil when faults are
+// disabled. The injector ignores the commit-write index — every protocol
+// write faces the same per-write hazard — and must be installed fresh per
+// device (it owns the device's private stream).
+func (o *Options) nvFaultFor(dev int) func(int) (bool, uint32) {
+	if o.NVFaultRate <= 0 {
+		return nil
+	}
+	fs := power.NewFaultStream(DeviceSeed(o.NVFaultSeed^nvFaultTag, dev), o.NVFaultRate)
+	return func(int) (bool, uint32) { return fs.Next() }
 }
 
 func (o *Options) intermittentOptions() intermittent.Options {
@@ -183,7 +210,7 @@ func Run(img *ccc.Image, o Options) (*Report, error) {
 					hi = o.Devices
 				}
 				for dev := lo; dev < hi; dev++ {
-					results[dev] = runDevice(m, dev, o.supplyFor(dev))
+					results[dev] = runDevice(m, dev, o.supplyFor(dev), o.nvFaultFor(dev))
 				}
 			}
 		}()
@@ -202,10 +229,13 @@ func Run(img *ccc.Image, o Options) (*Report, error) {
 	}, nil
 }
 
-// runDevice simulates one device on a (reused) machine.
-func runDevice(m *intermittent.Machine, dev int, supply power.Source) DeviceResult {
+// runDevice simulates one device on a (reused) machine. The fault injector
+// (nil = pristine NV) is installed unconditionally so a machine reused from
+// a faulted device never leaks its predecessor's stream.
+func runDevice(m *intermittent.Machine, dev int, supply power.Source, nvFault func(int) (bool, uint32)) DeviceResult {
 	t0 := time.Now()
 	m.ResetDevice(supply)
+	m.SetNVFault(nvFault)
 	st, err := m.Run()
 	r := DeviceResult{
 		Device:           dev,
@@ -215,6 +245,9 @@ func runDevice(m *intermittent.Machine, dev int, supply power.Source) DeviceResu
 		BarrenBoots:      st.BarrenBoots,
 		TornCommits:      st.TornCommits,
 		RecoveredCommits: st.RecoveredCommits,
+		TornWrites:       st.TornWrites,
+		DetectedCorrupt:  st.DetectedCorrupt,
+		DegradedBoots:    st.DegradedBoots,
 		CommitWrites:     st.CommitWrites,
 		Outputs:          len(st.Outputs),
 		UsefulCycles:     st.UsefulCycles,

@@ -307,6 +307,82 @@ func TestSinkShapes(t *testing.T) {
 	}
 }
 
+// TestNVFaultFleetInvariance runs the fleet on an adversarial NV substrate
+// — every commit-protocol write tears with probability 0.5% — and demands
+// the same guarantees as the pristine battery: the telemetry (including the
+// new fault counters) is byte-identical at any worker count, devices still
+// complete, and the faults actually bite (nonzero torn writes and recovered
+// commits). The detect-and-recover guarantee shows up as a structural
+// invariant: single faults are always absorbed by the A/B fallback, so no
+// device ever takes the degraded fresh-boot path.
+func TestNVFaultFleetInvariance(t *testing.T) {
+	img := fleetImage(t)
+	const devices = 96
+	withFaults := func(workers int) Options {
+		o := baseOptions(devices, workers)
+		o.NVFaultRate = 0.005
+		o.NVFaultSeed = 7
+		return o
+	}
+
+	ref, err := Run(img, withFaults(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refAgg, refJSONL, refCSV := deterministicView(t, ref)
+	if refAgg.TornWrites == 0 {
+		t.Fatal("0.5% fault rate tore no writes; the injector is not wired")
+	}
+	if refAgg.DetectedCorrupt == 0 || refAgg.RecoveredCommits == 0 {
+		t.Fatalf("faults fired but recovery never engaged: %d detected, %d recovered",
+			refAgg.DetectedCorrupt, refAgg.RecoveredCommits)
+	}
+	if refAgg.DegradedBoots != 0 {
+		t.Errorf("single-fault-per-outage substrate forced %d degraded boots", refAgg.DegradedBoots)
+	}
+	if refAgg.Completed == 0 {
+		t.Error("no device completed under faults; forward progress is gone")
+	}
+
+	for _, workers := range []int{4, runtime.NumCPU()} {
+		rep, err := Run(img, withFaults(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		agg, jsonl, csv := deterministicView(t, rep)
+		if !reflect.DeepEqual(agg, refAgg) {
+			t.Errorf("workers=%d: aggregate diverged under faults:\n  ref: %+v\n  got: %+v",
+				workers, refAgg, agg)
+		}
+		if jsonl != refJSONL || csv != refCSV {
+			t.Errorf("workers=%d: device stream diverged under faults", workers)
+		}
+	}
+
+	// The fault seed is a real knob: a different seed must move the fault
+	// placement (hash), and rate 0 must mean a literally pristine run.
+	reseeded := withFaults(1)
+	reseeded.NVFaultSeed = 8
+	rep2, err := Run(img, reseeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Agg.Hash == refAgg.Hash {
+		t.Error("changing the fault seed did not change the telemetry")
+	}
+	// Rate 0 must inject nothing and never degrade — but DetectedCorrupt
+	// stays legitimately nonzero: a natural outage mid-commit leaves a
+	// partially written record that the CRC seal rejects at the next boot.
+	clean, err := Run(img, baseOptions(devices, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Agg.TornWrites != 0 || clean.Agg.DegradedBoots != 0 {
+		t.Errorf("pristine run reports injected faults: %d torn writes, %d degraded boots",
+			clean.Agg.TornWrites, clean.Agg.DegradedBoots)
+	}
+}
+
 // TestRunRejectsEmptyFleet pins the setup-error path.
 func TestRunRejectsEmptyFleet(t *testing.T) {
 	if _, err := Run(fleetImage(t), Options{}); err == nil {

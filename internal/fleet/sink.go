@@ -29,7 +29,8 @@ func WriteJSONL(w io.Writer, results []DeviceResult) error {
 var csvHeader = []string{
 	"device", "completed",
 	"boots", "checkpoints", "barren_boots", "torn_commits",
-	"recovered_commits", "commit_writes", "outputs",
+	"recovered_commits", "torn_writes", "detected_corrupt",
+	"degraded_boots", "commit_writes", "outputs",
 	"useful_cycles", "wall_cycles", "ckpt_cycles", "restart_cycles",
 	"reexec_cycles", "progress_permille", "overhead_permille", "insns",
 	"err",
@@ -51,17 +52,20 @@ func WriteCSV(w io.Writer, results []DeviceResult) error {
 		row[4] = strconv.Itoa(r.BarrenBoots)
 		row[5] = strconv.Itoa(r.TornCommits)
 		row[6] = strconv.Itoa(r.RecoveredCommits)
-		row[7] = strconv.Itoa(r.CommitWrites)
-		row[8] = strconv.Itoa(r.Outputs)
-		row[9] = strconv.FormatUint(r.UsefulCycles, 10)
-		row[10] = strconv.FormatUint(r.WallCycles, 10)
-		row[11] = strconv.FormatUint(r.CkptCycles, 10)
-		row[12] = strconv.FormatUint(r.RestartCycles, 10)
-		row[13] = strconv.FormatUint(r.ReexecCycles, 10)
-		row[14] = strconv.FormatUint(r.ProgressPermille, 10)
-		row[15] = strconv.FormatUint(r.OverheadPermille, 10)
-		row[16] = strconv.FormatUint(r.Insns, 10)
-		row[17] = r.Err
+		row[7] = strconv.Itoa(r.TornWrites)
+		row[8] = strconv.Itoa(r.DetectedCorrupt)
+		row[9] = strconv.Itoa(r.DegradedBoots)
+		row[10] = strconv.Itoa(r.CommitWrites)
+		row[11] = strconv.Itoa(r.Outputs)
+		row[12] = strconv.FormatUint(r.UsefulCycles, 10)
+		row[13] = strconv.FormatUint(r.WallCycles, 10)
+		row[14] = strconv.FormatUint(r.CkptCycles, 10)
+		row[15] = strconv.FormatUint(r.RestartCycles, 10)
+		row[16] = strconv.FormatUint(r.ReexecCycles, 10)
+		row[17] = strconv.FormatUint(r.ProgressPermille, 10)
+		row[18] = strconv.FormatUint(r.OverheadPermille, 10)
+		row[19] = strconv.FormatUint(r.Insns, 10)
+		row[20] = r.Err
 		if err := cw.Write(row); err != nil {
 			return err
 		}

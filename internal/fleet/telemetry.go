@@ -21,8 +21,14 @@ type DeviceResult struct {
 	BarrenBoots      int `json:"barren_boots"`
 	TornCommits      int `json:"torn_commits"`
 	RecoveredCommits int `json:"recovered_commits"`
-	CommitWrites     int `json:"commit_writes"`
-	Outputs          int `json:"outputs"`
+	// The bit-granular NV failure model's counters: injected mid-word
+	// tears, records the CRC seals rejected at boot, and boots that found
+	// no usable checkpoint at all (see intermittent.Stats).
+	TornWrites      int `json:"torn_writes"`
+	DetectedCorrupt int `json:"detected_corrupt"`
+	DegradedBoots   int `json:"degraded_boots"`
+	CommitWrites    int `json:"commit_writes"`
+	Outputs         int `json:"outputs"`
 
 	UsefulCycles  uint64 `json:"useful_cycles"`
 	WallCycles    uint64 `json:"wall_cycles"`
@@ -73,6 +79,9 @@ type Aggregate struct {
 	BarrenBoots      uint64 `json:"barren_boots"`
 	TornCommits      uint64 `json:"torn_commits"`
 	RecoveredCommits uint64 `json:"recovered_commits"`
+	TornWrites       uint64 `json:"torn_writes"`
+	DetectedCorrupt  uint64 `json:"detected_corrupt"`
+	DegradedBoots    uint64 `json:"degraded_boots"`
 	CommitWrites     uint64 `json:"commit_writes"`
 	Outputs          uint64 `json:"outputs"`
 
@@ -130,6 +139,9 @@ func appendDeviceBinary(buf []byte, r *DeviceResult) []byte {
 	u(uint64(r.BarrenBoots))
 	u(uint64(r.TornCommits))
 	u(uint64(r.RecoveredCommits))
+	u(uint64(r.TornWrites))
+	u(uint64(r.DetectedCorrupt))
+	u(uint64(r.DegradedBoots))
 	u(uint64(r.CommitWrites))
 	u(uint64(r.Outputs))
 	u(r.UsefulCycles)
@@ -168,6 +180,9 @@ func aggregate(results []DeviceResult) Aggregate {
 		agg.BarrenBoots += uint64(r.BarrenBoots)
 		agg.TornCommits += uint64(r.TornCommits)
 		agg.RecoveredCommits += uint64(r.RecoveredCommits)
+		agg.TornWrites += uint64(r.TornWrites)
+		agg.DetectedCorrupt += uint64(r.DetectedCorrupt)
+		agg.DegradedBoots += uint64(r.DegradedBoots)
 		agg.CommitWrites += uint64(r.CommitWrites)
 		agg.Outputs += uint64(r.Outputs)
 		agg.UsefulCycles += r.UsefulCycles

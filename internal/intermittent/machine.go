@@ -75,6 +75,18 @@ type Options struct {
 	// CutAtCommitWrite) never re-fires on the redone commit.
 	FailAtCommitWrite func(write int) bool
 
+	// NVFault, when non-nil, is consulted before every commit-protocol NV
+	// word write (same run-global counter as FailAtCommitWrite, which is
+	// consulted first). Returning (true, mask) cuts power AT that write
+	// under the bit-granular torn-write model: exactly the bits mask
+	// selects land — the cell reads old&^mask | new&mask afterwards — and
+	// the device is off. Mask 0 is the classic cut-before (nothing
+	// landed), ^0 a cut immediately after a complete write; anything else
+	// is a mid-word tear the CRC-sealed record format must detect. The
+	// (cut × mask) crash sweep and the fleet's stochastic fault streams
+	// both drive this hook.
+	NVFault func(write int) (bool, uint32)
+
 	// CommitBug deliberately breaks the commit protocol for meta-testing:
 	// the crash-consistency sweep must catch the corruption the bug makes
 	// reachable. Production runs leave it at BugNone.
@@ -95,18 +107,35 @@ func CutAtCommitWrite(n int) func(int) bool {
 	return func(w int) bool { return w == n }
 }
 
+// TearAtCommitWrite returns an NVFault hook that tears exactly the n-th
+// (0-based) commit-protocol NV write of the run with the given bit mask.
+func TearAtCommitWrite(n int, mask uint32) func(int) (bool, uint32) {
+	return func(w int) (bool, uint32) { return w == n, mask }
+}
+
 // CommitBug selects a deliberately broken commit-protocol variant.
 type CommitBug uint8
 
 const (
 	// BugNone is the correct protocol.
 	BugNone CommitBug = iota
-	// BugEarlyFlip flips the checkpoint pointer (and arms the journal)
-	// before the journal entries are written — the classic torn-commit
-	// bug: a cut between the flip and the last journal write leaves an
-	// armed journal full of stale garbage that recovery happily replays,
-	// while the real Write-back values are lost with the volatile buffer.
+	// BugEarlyFlip seals (arms) the journal before its entries are
+	// written — the classic torn-commit bug: the seal's CRC covers
+	// whatever stale garbage the region holds, so a cut before the
+	// entries land leaves a validating journal of garbage, and a cut
+	// after they land leaves a journal whose contents no longer match its
+	// own seal — either way the real Write-back values are unreplayable.
 	BugEarlyFlip
+	// BugSkipCRC drops the CRC from the record format: seals are written
+	// in arming-write-last order (journal length last, slot sequence
+	// last) and recovery trusts any record with a plausible length word.
+	// Under WORD-atomic NV writes this protocol is actually correct —
+	// the word-granular cut sweep cannot fault it — but a torn seal write
+	// can blend old and new sequence/length bits into a record that
+	// validates with the wrong identity, which only the bit-granular
+	// (cut × mask) sweep reaches. The meta-test proving that detection
+	// gap is why this variant exists.
+	BugSkipCRC
 )
 
 // Stats is the outcome of an intermittent run.
@@ -130,6 +159,10 @@ type Stats struct {
 	TornCommits      int // commit routines interrupted by a power failure
 	RecoveredCommits int // reboots that replayed an armed journal to completion
 
+	TornWrites      int // NV writes cut mid-word by an injected fault (mask applied)
+	DetectedCorrupt int // boot-time decodes that found a corrupt slot or journal record
+	DegradedBoots   int // boots with no valid checkpoint slot: fresh-boot fallback
+
 	Reasons map[clank.Reason]int
 }
 
@@ -142,23 +175,18 @@ func (s Stats) Overhead() float64 {
 	return float64(s.WallCycles)/float64(s.UsefulCycles) - 1
 }
 
-// checkpointSlot is the committed register checkpoint (conceptually stored
-// in the reserved non-volatile region, double-buffered). The cycle field
-// snapshots the useful-progress counter so rollbacks rewind it; re-executed
-// work is charged to the wall clock, not to program progress. The outputs
-// field is the committed output-log watermark: an output emitted after the
-// checkpoint is not committed until its trailing checkpoint lands, so a
-// rollback must truncate the log back to this mark or the re-executed
-// store would emit the word twice (the output-commit problem, paper
-// section 3.3).
-type checkpointSlot struct {
-	regs    [16]uint32
-	psr     uint32
-	cycle   uint64
-	outputs int
-}
-
 // Machine executes one image intermittently.
+//
+// The committed register checkpoint lives in two CRC-sealed NV slot records
+// (clank.SlotRecord, A/B alternation with monotonic sequence numbers). The
+// record's cycle field snapshots the useful-progress counter so rollbacks
+// rewind it; re-executed work is charged to the wall clock, not to program
+// progress. The Outputs field is the committed output-log watermark: an
+// output emitted after the checkpoint is not committed until its trailing
+// checkpoint lands, so a rollback must truncate the log back to this mark
+// or the re-executed store would emit the word twice (the output-commit
+// problem, paper section 3.3). The Suppress field carries the degraded-boot
+// output-deduplication count across power cycles.
 type Machine struct {
 	cpu  *armsim.CPU
 	mem  *armsim.Memory
@@ -167,13 +195,30 @@ type Machine struct {
 	opts Options
 
 	// Non-volatile runtime state (conceptually in the ccc reserved region):
-	// the double-buffered checkpoint slots, the checkpoint pointer, and the
-	// Write-back scratchpad journal. Power failures never clear these.
-	slots   [2]checkpointSlot
-	active  int // committed slot index: the checkpoint-pointer word
-	journal *armsim.WordJournal
+	// the A/B checkpoint slot records and the Write-back scratchpad
+	// journal, each a raw NV word region carrying one CRC-sealed record
+	// (clank/nvformat.go). Power failures never clear these; every commit-
+	// protocol write into them may be torn mid-word by an injected fault.
+	slotNV [2]*armsim.NVRegion
+	jnlNV  *armsim.NVRegion
 
-	commitWrites   int // run-global commit-protocol NV write counter
+	// Volatile mirror of the boot-time record decode: the best valid slot
+	// and its sequence number, and the sequence the next commit will seal
+	// with. Re-derived from NV at every reboot (powerFail), so a torn
+	// commit can never leave them pointing at a record that does not
+	// validate.
+	active    int
+	activeSeq uint32
+	nextSeq   uint32
+
+	// outSuppress counts re-emitted outputs still to swallow after a
+	// degraded (fresh-semantics) boot: the committed output log survives
+	// the degradation, and the re-executed program's first outSuppress
+	// emissions are duplicates of its preserved prefix.
+	outSuppress int
+
+	slotEnc [clank.SlotRecWords]uint32 // staged record of the in-flight commit
+
 	cyclesThisBoot uint64
 	sinceCkpt      uint64 // wall cycles since last committed checkpoint
 	powerLeft      uint64
@@ -273,13 +318,15 @@ func newMachine(img *ccc.Image, opts Options, prog *armsim.SharedProgram) (*Mach
 		cfg.TextStart, cfg.TextEnd = img.TextStart, img.TextEnd
 	}
 	m := &Machine{
-		mem:     armsim.NewMemory(),
-		k:       clank.New(cfg),
-		journal: armsim.NewWordJournal(),
-		opts:    opts,
-		img:     img,
-		shared:  prog,
+		mem:    armsim.NewMemory(),
+		k:      clank.New(cfg),
+		jnlNV:  armsim.NewNVRegion(clank.JournalHeaderWords),
+		opts:   opts,
+		img:    img,
+		shared: prog,
 	}
+	m.slotNV[0] = armsim.NewNVRegion(clank.SlotRecWords)
+	m.slotNV[1] = armsim.NewNVRegion(clank.SlotRecWords)
 	if opts.Verify {
 		m.mon = refmon.New()
 	}
@@ -329,9 +376,25 @@ func newMachine(img *ccc.Image, opts Options, prog *armsim.SharedProgram) (*Mach
 	// The compiler pre-creates checkpoint 0: boot state entering main
 	// (paper section 4.2), so the start-up routine never special-cases
 	// the first boot.
-	m.active = 0
-	m.slots[0] = checkpointSlot{regs: m.cpu.Regs(), psr: m.cpu.PSR(), cycle: m.cpu.Cycle}
+	m.seedCheckpointZero()
 	return m, nil
+}
+
+// seedCheckpointZero writes the compiler's pre-created checkpoint record
+// into slot A with sequence 1 (sequence 0 is reserved for "no valid slot").
+// These are image-load writes, not commit-protocol writes: the fault
+// injector never sees them.
+func (m *Machine) seedCheckpointZero() {
+	clank.EncodeSlot(m.slotEnc[:], clank.SlotRecord{
+		Regs: m.cpu.Regs(), PSR: m.cpu.PSR(), Cycle: m.cpu.Cycle, Seq: 1,
+	})
+	for i, v := range m.slotEnc {
+		m.slotNV[0].SetWord(i, v)
+	}
+	m.active = 0
+	m.activeSeq = 1
+	m.nextSeq = 2
+	m.outSuppress = 0
 }
 
 // Reboot re-arms the machine for a fresh run of a new image, reusing the
@@ -414,17 +477,16 @@ func (m *Machine) resetRuntime() {
 	m.forceCkptAfter = false
 	m.cutPower = false
 	m.consecutiveBarren = 0
-	m.journal.Reset()
-	m.commitWrites = 0
-	m.active = 0
-	m.slots[0] = checkpointSlot{regs: m.cpu.Regs(), psr: m.cpu.PSR(), cycle: m.cpu.Cycle}
-	m.slots[1] = checkpointSlot{}
+	m.jnlNV.Reset()
+	m.slotNV[0].Reset()
+	m.slotNV[1].Reset()
+	m.seedCheckpointZero()
 }
 
 // Footprint estimates this machine's resident bytes: the per-device cost a
 // fleet pays for every concurrently live device. The dominant term is the
-// 256 KB non-volatile memory; the detector, journal, and commit scratch
-// follow; the decode cache counts only when private (on a shared-program
+// 256 KB non-volatile memory; the detector, slot/journal NV regions, and
+// commit scratch follow; the decode cache counts only when private (on a shared-program
 // machine it is amortized across the fleet — armsim.SharedProgram
 // .FootprintBytes — and a device re-owns it only after self-modifying
 // code forces a copy-on-write clone). The reference monitor (Verify) is
@@ -433,7 +495,7 @@ func (m *Machine) resetRuntime() {
 func (m *Machine) Footprint() uint64 {
 	f := uint64(armsim.MemSize)
 	f += m.k.Footprint()
-	f += m.journal.Footprint()
+	f += m.jnlNV.Footprint() + m.slotNV[0].Footprint() + m.slotNV[1].Footprint()
 	f += uint64(cap(m.dirtyScratch))*uint64(unsafe.Sizeof(clank.WBEntry{})) +
 		uint64(cap(m.stepScratch))*uint64(unsafe.Sizeof(clank.CommitStep{}))
 	f += m.cpu.DecodeFootprint()
@@ -443,6 +505,11 @@ func (m *Machine) Footprint() uint64 {
 // MemWord reads an aligned word of non-volatile memory without access
 // tracking (final-state inspection by the differential harness).
 func (m *Machine) MemWord(addr uint32) uint32 { return m.mem.ReadWord(addr) }
+
+// SetNVFault installs (or clears) the torn-write fault injector after
+// construction: the fleet engine derives a fresh deterministic fault stream
+// per device between ResetDevice and Run.
+func (m *Machine) SetNVFault(f func(write int) (bool, uint32)) { m.opts.NVFault = f }
 
 // Insns returns the CPU's monotonic retired-instruction counter, including
 // re-executed instructions (throughput benchmarks divide wall time by it).
@@ -535,8 +602,18 @@ func (m *Machine) store(addr uint32, size uint8, value uint32, pc uint32) error 
 			m.pendingReason = clank.ReasonOutput
 			return errCheckpoint
 		}
+		nOut := len(m.mem.Outputs)
 		if err := m.mem.Store(addr, size, value, pc); err != nil {
 			return err
+		}
+		if m.outSuppress > 0 && len(m.mem.Outputs) > nOut {
+			// Degraded-boot replay dedup: this emission is the re-execution
+			// of an output already committed in the preserved log prefix, so
+			// it must not land twice. The bracketing above still applies —
+			// the runtime checkpoints around the output exactly as if it
+			// were live, it only skips the append.
+			m.mem.Outputs = m.mem.Outputs[:nOut]
+			m.outSuppress--
 		}
 		m.forceCkptAfter = true
 		return nil

@@ -232,7 +232,12 @@ func (c *colSim) checkpoint(reason clank.Reason) bool {
 			return false
 		}
 		switch st.Kind {
-		case clank.StepFlip:
+		case clank.StepSeal:
+			// Linearization is the slot-seal CRC write (see the scalar
+			// engine's checkpoint for the full commentary).
+			if st.Sub != clank.RecSealWords-1 {
+				continue
+			}
 			for _, e := range dirty {
 				c.setShadow(e.Word, e.Value)
 			}

@@ -433,8 +433,8 @@ func (s *simulator) spendOverhead(cost uint64, counter *uint64) bool {
 // checkpoint models the checkpoint routine as the same sequence of NV word
 // writes the full-system machine walks (clank.AppendCommitSteps), so the
 // two engines die at the same cycle boundaries and agree on what a
-// mid-routine power failure committed: a death before the pointer flip
-// committed nothing, a death after it committed the checkpoint — the
+// mid-routine power failure committed: a death before the slot-seal CRC
+// write committed nothing, a death after it committed the checkpoint — the
 // replay resumes from the new position and the reboot pays to drain the
 // armed journal. Returns false when power died anywhere in the routine.
 func (s *simulator) checkpoint(reason clank.Reason) bool {
@@ -458,11 +458,15 @@ func (s *simulator) checkpoint(reason clank.Reason) bool {
 			return false
 		}
 		switch st.Kind {
-		case clank.StepFlip:
-			// The linearization point: the values the journal carries are
-			// committed from here on (the shadow store models the final NV
-			// state, so the not-yet-applied entries land now; a post-flip
-			// death replays them at reboot, charged there).
+		case clank.StepSeal:
+			if st.Sub != clank.RecSealWords-1 {
+				continue
+			}
+			// The slot-seal CRC write is the linearization point: the values
+			// the journal carries are committed from here on (the shadow
+			// store models the final NV state, so the not-yet-applied
+			// entries land now; a post-seal death replays them at reboot,
+			// charged there).
 			for _, e := range dirty {
 				s.setShadow(e.Word, e.Value)
 			}

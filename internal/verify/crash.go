@@ -10,29 +10,50 @@ import (
 
 // Crash-consistency mode: where the differential harness places power
 // failures at committed data accesses, this harness places them inside the
-// checkpoint routine itself — before every individual non-volatile word
-// write of the two-phase commit (journal entries, slot writes, the pointer
-// flip, home-location applies, the phase-2 checkpoint, the journal clear)
-// and of the reboot-time recovery replay. For each (pattern, configuration)
-// it first runs the lowered program on continuous power to count the
-// protocol's NV writes, then re-runs the full armsim+intermittent pipeline
-// once per possible cut position, demanding oracle-exact reads, outputs,
-// and final NV image every time.
+// checkpoint routine itself — at every individual non-volatile word write
+// of the two-phase commit (journal entries and seal, slot record and seal,
+// home-location applies, the phase-2 checkpoint, the journal clear) and of
+// the reboot-time recovery replay. Failures are bit-granular: each cut
+// position is crossed with a set of tear masks, and the failing write lands
+// exactly the masked bits (mask 0: a cut before the cell changed; ^0: a cut
+// immediately after a complete write; anything else: a mid-word blend of
+// old and new bits). For each (pattern, configuration) the harness first
+// runs the lowered program on continuous power to count the protocol's NV
+// writes, then re-runs the full armsim+intermittent pipeline once per
+// (cut position × mask), demanding oracle-exact reads, outputs, and final
+// NV image every time — and that no single fault ever forces the degraded
+// fresh-boot path.
 //
 // Exhaustiveness: on continuous power the pipeline is deterministic, so a
 // run cut at write n is identical to the baseline up to that write — the
 // baseline's Stats.CommitWrites therefore enumerates every reachable
 // single-cut boundary, including the recovery writes a cut itself induces
 // (they get indices above the baseline's count and are covered by the
-// dedicated double-cut tests at the intermittent layer).
+// dedicated double-cut tests at the intermittent layer). The mask set is
+// adversarial, not exhaustive: 2^32 masks per position is unreachable, so
+// the defaults target the protocol's weak points — byte and half-word
+// lanes, and the alternating patterns that can blend two sequence numbers
+// into a larger one.
 type CrashHarness struct {
 	// Bug injects a deliberately broken commit protocol (meta-tests: the
 	// sweep must catch it). Production sweeps leave it at BugNone.
 	Bug intermittent.CommitBug
+	// Masks is the tear-mask set crossed with every cut position; nil
+	// selects DefaultTearMasks. A word-granular sweep (the old atomic
+	// model) is Masks = []uint32{0}.
+	Masks []uint32
 
 	maxOps   int
 	machines map[string]*intermittent.Machine
-	cut      int // commit write to cut power at; -1 = baseline (no cut)
+	cut      int    // commit write to fail at; -1 = baseline (no fault)
+	mask     uint32 // bits that land at the failing write
+}
+
+// DefaultTearMasks is the standard adversarial tear set: clean cut-before,
+// clean cut-after, a byte lane, a half-word lane, and the two alternating
+// blends.
+var DefaultTearMasks = []uint32{
+	0, 0xFFFFFFFF, 0x000000FF, 0xFFFF0000, 0x55555555, 0xAAAAAAAA,
 }
 
 // NewCrashHarness returns a harness for patterns of up to maxOps ops. Like
@@ -42,9 +63,16 @@ func NewCrashHarness(maxOps int) *CrashHarness {
 	return &CrashHarness{maxOps: maxOps, machines: make(map[string]*intermittent.Machine), cut: -1}
 }
 
-func (h *CrashHarness) commitHook(w int) bool { return w == h.cut }
+func (h *CrashHarness) faultHook(w int) (bool, uint32) { return w == h.cut, h.mask }
 
-// Check runs the full cut-point sweep for one (pattern, configuration).
+func (h *CrashHarness) masks() []uint32 {
+	if h.Masks != nil {
+		return h.Masks
+	}
+	return DefaultTearMasks
+}
+
+// Check runs the full (cut × mask) sweep for one (pattern, configuration).
 // The schedule argument exists to satisfy CheckFunc and is ignored: the
 // harness generates its own failure placements.
 func (h *CrashHarness) Check(p Pattern, words int, cfg clank.Config, _ Schedule) error {
@@ -56,25 +84,34 @@ func (h *CrashHarness) Check(p Pattern, words int, cfg clank.Config, _ Schedule)
 	if err != nil {
 		return err
 	}
-	base, err := h.runCut(m, img, p, words, cfg, -1)
+	base, err := h.runCut(m, img, p, words, cfg, -1, 0)
 	if err != nil {
 		return err
 	}
 	for n := 0; n < base.CommitWrites; n++ {
-		if err := m.Reboot(img); err != nil {
-			return err
-		}
-		if _, err := h.runCut(m, img, p, words, cfg, n); err != nil {
-			return err
+		for _, mask := range h.masks() {
+			if err := m.Reboot(img); err != nil {
+				return err
+			}
+			if _, err := h.runCut(m, img, p, words, cfg, n, mask); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-// CheckCut runs a single cut position (or none, if the position exceeds the
-// run's commit-write count) — the fuzzing entry point, where the cut index
-// comes from the fuzzer rather than an exhaustive loop.
+// CheckCut runs a single word-granular cut position (or none, if the
+// position exceeds the run's commit-write count) — kept for the original
+// commit-recovery fuzz corpus; CheckTear is the bit-granular entry point.
 func (h *CrashHarness) CheckCut(p Pattern, words int, cfg clank.Config, cut int) error {
+	return h.CheckTear(p, words, cfg, cut, 0)
+}
+
+// CheckTear runs a single (cut position, tear mask) — the fuzzing entry
+// point, where both the position and the landed-bits mask come from the
+// fuzzer rather than an exhaustive loop.
+func (h *CrashHarness) CheckTear(p Pattern, words int, cfg clank.Config, cut int, mask uint32) error {
 	if err := h.lowerable(p, words); err != nil {
 		return err
 	}
@@ -83,7 +120,7 @@ func (h *CrashHarness) CheckCut(p Pattern, words int, cfg clank.Config, cut int)
 	if err != nil {
 		return err
 	}
-	_, err = h.runCut(m, img, p, words, cfg, cut)
+	_, err = h.runCut(m, img, p, words, cfg, cut, mask)
 	return err
 }
 
@@ -102,13 +139,17 @@ func (h *CrashHarness) lowerable(p Pattern, words int) error {
 	return nil
 }
 
-// runCut executes one pipeline run with power cut before commit write n
-// (n < 0: no cut) and compares it against the continuous oracle.
-func (h *CrashHarness) runCut(m *intermittent.Machine, img *ccc.Image, p Pattern, words int, cfg clank.Config, n int) (intermittent.Stats, error) {
-	h.cut = n
+// runCut executes one pipeline run with the fault injector tearing commit
+// write n with the given mask (n < 0: no fault) and compares it against the
+// continuous oracle. A single injected fault must never force the degraded
+// fresh-boot path: the retiring slot record is intact until the new one has
+// sealed, so detect-and-recover always has a valid checkpoint to fall back
+// on.
+func (h *CrashHarness) runCut(m *intermittent.Machine, img *ccc.Image, p Pattern, words int, cfg clank.Config, n int, mask uint32) (intermittent.Stats, error) {
+	h.cut, h.mask = n, mask
 	stats, err := m.Run()
-	h.cut = -1
-	desc := fmt.Sprintf("crash config %s cut %d/%d", cfg, n, stats.CommitWrites)
+	h.cut, h.mask = -1, 0
+	desc := fmt.Sprintf("crash config %s cut %d/%d mask %#x", cfg, n, stats.CommitWrites, mask)
 	if err != nil {
 		return stats, fmt.Errorf("%s: %w", desc, err)
 	}
@@ -117,6 +158,9 @@ func (h *CrashHarness) runCut(m *intermittent.Machine, img *ccc.Image, p Pattern
 	}
 	if n >= 0 && n < stats.CommitWrites && stats.TornCommits == 0 {
 		return stats, fmt.Errorf("%s: cut did not fire", desc)
+	}
+	if stats.DegradedBoots != 0 {
+		return stats, fmt.Errorf("%s: single fault forced %d degraded boots", desc, stats.DegradedBoots)
 	}
 	return stats, compareAgainstOracle(desc, stats, m, p, words)
 }
@@ -132,10 +176,10 @@ func (h *CrashHarness) machine(cfg clank.Config, img *ccc.Image) (*intermittent.
 		return nil, err
 	}
 	m, err := intermittent.NewMachine(img, intermittent.Options{
-		Config:            tcfg,
-		Verify:            true,
-		FailAtCommitWrite: h.commitHook,
-		CommitBug:         h.Bug,
+		Config:    tcfg,
+		Verify:    true,
+		NVFault:   h.faultHook,
+		CommitBug: h.Bug,
 	})
 	if err != nil {
 		return nil, err
