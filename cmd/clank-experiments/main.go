@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	clank-experiments [-quick] [-mean-on N] table1|table2|table3|table4|fig5|fig6|fig7|fig8|ablation|powersweep|all
+//	clank-experiments [-quick] [-mean-on N] table1|table2|table3|table4|fig5|fig6|fig7|fig8|ablation|powersweep|crossscheme|all
 package main
 
 import (
@@ -22,26 +22,27 @@ func main() {
 	noVerify := flag.Bool("no-verify", false, "skip the reference monitor (faster sweeps)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: clank-experiments [-quick] table1|table2|table3|table4|fig5|fig6|fig7|fig8|ablation|powersweep|all")
+		fmt.Fprintln(os.Stderr, "usage: clank-experiments [-quick] table1|table2|table3|table4|fig5|fig6|fig7|fig8|ablation|powersweep|crossscheme|all")
 		os.Exit(2)
 	}
 	o := experiments.Options{Quick: *quick, MeanOn: *meanOn, Verify: !*noVerify}
 
 	runners := map[string]func() (formatter, error){
-		"table1":     func() (formatter, error) { return experiments.Table1() },
-		"table2":     func() (formatter, error) { return experiments.Table2(o) },
-		"table3":     func() (formatter, error) { return experiments.Table3(o) },
-		"table4":     func() (formatter, error) { return experiments.Table4(o) },
-		"fig5":       func() (formatter, error) { return experiments.Figure5(o) },
-		"fig6":       func() (formatter, error) { return experiments.Figure6(o) },
-		"fig7":       func() (formatter, error) { return experiments.Figure7(o) },
-		"fig8":       func() (formatter, error) { return experiments.Figure8(o) },
-		"ablation":   func() (formatter, error) { return experiments.Ablation(o) },
-		"powersweep": func() (formatter, error) { return experiments.PowerSweep(o) },
+		"table1":      func() (formatter, error) { return experiments.Table1() },
+		"table2":      func() (formatter, error) { return experiments.Table2(o) },
+		"table3":      func() (formatter, error) { return experiments.Table3(o) },
+		"table4":      func() (formatter, error) { return experiments.Table4(o) },
+		"fig5":        func() (formatter, error) { return experiments.Figure5(o) },
+		"fig6":        func() (formatter, error) { return experiments.Figure6(o) },
+		"fig7":        func() (formatter, error) { return experiments.Figure7(o) },
+		"fig8":        func() (formatter, error) { return experiments.Figure8(o) },
+		"ablation":    func() (formatter, error) { return experiments.Ablation(o) },
+		"powersweep":  func() (formatter, error) { return experiments.PowerSweep(o) },
+		"crossscheme": func() (formatter, error) { return experiments.CrossScheme(o) },
 	}
 	names := []string{flag.Arg(0)}
 	if flag.Arg(0) == "all" {
-		names = []string{"table1", "fig5", "fig6", "table2", "fig7", "fig8", "table3", "table4"}
+		names = []string{"table1", "fig5", "fig6", "table2", "fig7", "fig8", "table3", "table4", "crossscheme"}
 	}
 	for _, name := range names {
 		run, ok := runners[name]

@@ -20,8 +20,11 @@ import (
 	"repro/internal/armsim"
 	"repro/internal/ccc"
 	"repro/internal/clank"
+	"repro/internal/intermittent"
 	"repro/internal/mibench"
 	"repro/internal/policysim"
+	"repro/internal/power"
+	"repro/internal/scheme"
 )
 
 func main() {
@@ -30,7 +33,13 @@ func main() {
 	saveTrace := flag.String("save-trace", "", "write the collected access log to this file")
 	loadTrace := flag.String("load-trace", "", "replay a previously saved access log instead of re-simulating")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS; results are identical at any count)")
+	schemeSpec := flag.String("scheme", "clank", "runtime scheme to explore: clank sweeps buffer sizes, alpaca[:tasklen] and dica[:interval] sweep the commit-granularity parameter")
 	flag.Parse()
+
+	fac, err := scheme.Parse(*schemeSpec)
+	if err != nil {
+		fatal(err)
+	}
 
 	var src, name string
 	if flag.NArg() == 1 {
@@ -104,6 +113,11 @@ func main() {
 	fmt.Printf("%s: %d cycles, %d memory accesses, %d Program Idempotent PCs\n\n",
 		name, cycles, len(trace), len(exempt))
 
+	if fac.Name() != "clank" {
+		exploreScheme(img, fac, exempt)
+		return
+	}
+
 	var cfgs []clank.Config
 	for rf := 1; rf <= *maxRF; rf *= 2 {
 		for _, wf := range []int{0, rf / 2} {
@@ -158,6 +172,89 @@ func main() {
 			mark = "*"
 		}
 		fmt.Printf("%-14s %6d %9.2f%%  %s\n", p.cfg, p.bits, p.ovr*100, mark)
+	}
+}
+
+// exploreScheme is the non-Clank design-space axis: where the detector
+// trades buffer bits against checkpoint count, the scheduled schemes trade
+// commit granularity (task length / interval) and privatization-buffer
+// capacity against checkpoint count. Each grid point runs the program once
+// on continuous power, so the printed overhead is pure checkpoint cost —
+// the same quantity the buffer sweep reports.
+func exploreScheme(img *ccc.Image, fac scheme.Factory, exempt map[uint32]bool) {
+	var base uint64
+	var build func(param uint64, bufWords int) scheme.Factory
+	switch f := fac.(type) {
+	case scheme.AlpacaFactory:
+		base = f.TaskLen
+		if base == 0 {
+			base = scheme.DefaultTaskLen
+		}
+		build = func(p uint64, bw int) scheme.Factory { return scheme.AlpacaFactory{TaskLen: p, BufWords: bw} }
+	case scheme.DiCAFactory:
+		base = f.Interval
+		if base == 0 {
+			base = scheme.DefaultInterval
+		}
+		build = func(p uint64, bw int) scheme.Factory { return scheme.DiCAFactory{Interval: p, BufWords: bw} }
+	default:
+		fatal(fmt.Errorf("scheme %s has no exploration axis", fac.Name()))
+	}
+
+	// The scheduled schemes never consult the detector buffers, but the
+	// machine still validates the hardware configuration — pass the
+	// smallest legal one.
+	cfg := clank.Config{ReadFirst: 1, Opts: clank.OptAll,
+		TextStart: img.TextStart, TextEnd: img.TextEnd, ExemptPCs: exempt}
+	fmt.Printf("%-10s %10s %10s %12s %10s  %s\n",
+		"scheme", fac.Name()+"-len", "buf-words", "checkpoints", "overhead", "pareto")
+
+	type point struct {
+		param     uint64
+		bufWords  int
+		footprint uint64
+		ckpts     int
+		ovr       float64
+	}
+	var pts []point
+	for _, param := range []uint64{base / 4, base / 2, base, base * 2, base * 4} {
+		if param == 0 {
+			continue
+		}
+		for _, bw := range []int{16, 64, 256} {
+			m, err := intermittent.NewMachine(img, intermittent.Options{
+				Config: cfg,
+				Scheme: build(param, bw),
+				Supply: power.Always{},
+			})
+			if err != nil {
+				fatal(err)
+			}
+			st, err := m.Run()
+			if err != nil {
+				fatal(err)
+			}
+			if !st.Completed {
+				fatal(fmt.Errorf("%s param %d buf %d: run did not complete", fac.Name(), param, bw))
+			}
+			pts = append(pts, point{param, bw, m.Footprint(), st.Checkpoints, st.Overhead()})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].footprint != pts[j].footprint {
+			return pts[i].footprint < pts[j].footprint
+		}
+		return pts[i].ovr < pts[j].ovr
+	})
+	best := 1e18
+	for _, p := range pts {
+		mark := ""
+		if p.ovr < best {
+			best = p.ovr
+			mark = "*"
+		}
+		fmt.Printf("%-10s %10d %10d %12d %9.2f%%  %s\n",
+			fac.Name(), p.param, p.bufWords, p.ckpts, p.ovr*100, mark)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/mibench"
 	"repro/internal/power"
+	"repro/internal/scheme"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 	nvFaultRate := flag.Float64("nv-fault-rate", 0, "per-NV-write torn-write probability (0 = pristine cells)")
 	nvFaultSeed := flag.Uint64("nv-fault-seed", 1, "base seed for per-device torn-write streams")
 	opts := flag.String("opts", "all", "policy optimizations: all or none")
+	schemeSpec := flag.String("scheme", "clank", "runtime scheme every device runs: clank, alpaca[:tasklen], dica[:interval]")
 	exempt := flag.Bool("exempt", false, "profile Program Idempotent PCs first (requires -bench)")
 	verify := flag.Bool("verify", false, "run the reference monitor inside every device (slow)")
 	outJSONL := flag.String("out", "", "write per-device results as JSON lines to this file")
@@ -53,6 +55,10 @@ func main() {
 	cfg := clank.Config{ReadFirst: *rf, WriteFirst: *wf, WriteBack: *wb, AddrPrefix: *ap, PrefixLowBits: 6}
 	if *opts == "all" {
 		cfg.Opts = clank.OptAll
+	}
+	fac, err := scheme.Parse(*schemeSpec)
+	if err != nil {
+		fatal(err)
 	}
 
 	var img *ccc.Image
@@ -101,6 +107,7 @@ func main() {
 		Workers:         *workers,
 		Seed:            *seed,
 		Config:          cfg,
+		Scheme:          fac,
 		MeanOn:          *meanOn,
 		MinOn:           *minOn,
 		PerfWatchdog:    *watchdog,
@@ -147,8 +154,8 @@ func main() {
 	}
 
 	a := &rep.Agg
-	fmt.Printf("fleet: %d devices of %s, config %s (%d buffer bits)\n",
-		a.Devices, progName, cfg, cfg.BufferBits())
+	fmt.Printf("fleet: %d devices of %s, scheme %s, config %s (%d buffer bits)\n",
+		a.Devices, progName, fac.Name(), cfg, cfg.BufferBits())
 	fmt.Printf("supply: %s\n", supplyDesc)
 	fmt.Printf("completed %d/%d devices (%d errors), %d boots, %d checkpoints, %d barren boots\n",
 		a.Completed, a.Devices, a.Errors, a.Boots, a.Checkpoints, a.BarrenBoots)

@@ -21,6 +21,7 @@ import (
 	"repro/internal/intermittent"
 	"repro/internal/mibench"
 	"repro/internal/power"
+	"repro/internal/scheme"
 )
 
 func main() {
@@ -36,7 +37,13 @@ func main() {
 	nvFaultRate := flag.Float64("nv-fault-rate", 0, "per-NV-write torn-write probability (0 = pristine cells)")
 	nvFaultSeed := flag.Uint64("nv-fault-seed", 1, "torn-write stream seed")
 	opts := flag.String("opts", "all", "policy optimizations: all or none")
+	schemeSpec := flag.String("scheme", "clank", "runtime scheme: clank, alpaca[:tasklen], dica[:interval]")
 	flag.Parse()
+
+	fac, err := scheme.Parse(*schemeSpec)
+	if err != nil {
+		fatal(err)
+	}
 
 	var src string
 	switch {
@@ -95,6 +102,7 @@ func main() {
 
 	m, err := intermittent.NewMachine(img, intermittent.Options{
 		Config:          cfg,
+		Scheme:          fac,
 		Supply:          supply,
 		PerfWatchdog:    *watchdog,
 		ProgressDefault: progDefault,
@@ -112,7 +120,7 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("config %s (%d buffer bits), %s\n", cfg, cfg.BufferBits(), supplyDesc)
+	fmt.Printf("scheme %s, config %s (%d buffer bits), %s\n", fac.Name(), cfg, cfg.BufferBits(), supplyDesc)
 	fmt.Printf("continuous run:    %d cycles, %d outputs\n", baseCycles, len(cont.Mem.Outputs))
 	fmt.Printf("intermittent run:  %d wall cycles across %d power cycles\n", st.WallCycles, st.Restarts+1)
 	fmt.Printf("  checkpoints:     %d (%v)\n", st.Checkpoints, st.Reasons)

@@ -33,6 +33,11 @@ type Result struct {
 	ReexecCycles  uint64
 	Checkpoints   int
 	Restarts      int
+	// Completed is false when the model could make no forward progress
+	// (e.g. an EnergyTax that consumes every on-period) and Simulate gave
+	// up rather than loop forever; UsefulCycles then reports the work that
+	// actually committed, not the requested total.
+	Completed bool
 }
 
 // Overhead is total run-time overhead versus continuous execution,
@@ -110,21 +115,47 @@ func Ratchet(sectionCycles uint64) Model {
 	}
 }
 
+// maxBarrenBoots bounds how many consecutive boots Simulate tolerates with
+// zero committed progress before declaring the model stuck. Real boot
+// sequences commit something within a handful of boots; the bound only
+// trips for degenerate parameters (EnergyTax >= 1, restore cost above the
+// longest on-period).
+const maxBarrenBoots = 100_000
+
 // Simulate runs the model over a program of totalCycles useful work under
 // the supply (seeded). Power-on durations are shrunk by the energy tax, and
 // progress is checkpoint-granular: work since the last checkpoint is lost
-// at a power failure.
+// at a power failure. If the model can never commit work, Simulate returns
+// early with Completed=false instead of looping forever.
 func Simulate(m Model, totalCycles uint64, meanOn uint64, seed int64) Result {
 	supply := power.NewSupply(power.Exponential{Mean: meanOn, Min: 500}, seed)
-	res := Result{Name: m.Name, UsefulCycles: totalCycles}
+	res := Result{Name: m.Name, UsefulCycles: totalCycles, Completed: true}
 
 	committed := uint64(0) // useful cycles durably saved
+	last := uint64(0)      // committed after the previous boot
+	barren := 0            // consecutive boots with no new committed work
 	for committed < totalCycles {
+		// A model whose tax (or supply) leaves no usable energy makes no
+		// forward progress on any boot; give up instead of spinning.
+		if committed > last {
+			barren = 0
+		} else if barren++; barren > maxBarrenBoots {
+			res.Completed = false
+			res.UsefulCycles = committed
+			return res
+		}
+		last = committed
+
 		on := supply.NextOn()
 		if m.EnergyTax > 0 {
 			// Energy burned by the measurement hardware counts toward
 			// total overhead (it would otherwise have powered cycles).
+			// A tax at or above 1.0 consumes the whole on-period; clamp
+			// so the subtraction cannot wrap.
 			taxed := uint64(float64(on) * m.EnergyTax)
+			if taxed > on {
+				taxed = on
+			}
 			res.WallCycles += taxed
 			on -= taxed
 		}

@@ -19,6 +19,17 @@ func TestOrderingMatchesLiterature(t *testing.T) {
 	if hpp.Overhead() >= hib.Overhead() {
 		t.Errorf("Hibernus++ (%.3f) not better than Hibernus (%.3f)", hpp.Overhead(), hib.Overhead())
 	}
+	// The Hibernus++ improvement must hold across supplies, not just at
+	// one lucky seed: the tuned threshold and partial-RAM snapshot beat
+	// stock Hibernus whatever the boot sequence looks like.
+	for seed := int64(2); seed <= 6; seed++ {
+		h := Simulate(Hibernus(5600), testCycles, meanOn, seed)
+		hp := Simulate(HibernusPP(5200), testCycles, meanOn, seed)
+		if hp.Overhead() >= h.Overhead() {
+			t.Errorf("seed %d: Hibernus++ (%.3f) not better than Hibernus (%.3f)",
+				seed, hp.Overhead(), h.Overhead())
+		}
+	}
 	// Bands from the cited papers at 100 ms (paper Table 3).
 	if mem.Overhead() < 0.8 || mem.Overhead() > 2.0 {
 		t.Errorf("Mementos overhead %.3f outside the 117-145%% band's neighborhood", mem.Overhead())
@@ -72,6 +83,55 @@ func TestRatchetSectionLengthTradeoff(t *testing.T) {
 	if short.CkptCycles <= long.CkptCycles {
 		t.Errorf("shorter sections must checkpoint more: %d vs %d cycles",
 			short.CkptCycles, long.CkptCycles)
+	}
+}
+
+// TestEnergyTaxBoundary pins the degenerate on-period edge of the tax
+// accounting: a tax at (or numerically above) 1.0 consumes the whole boot.
+// Before the clamp, `on -= taxed` wrapped for EnergyTax > 1 — the model
+// "completed" instantly with a garbage wall-cycle total — and EnergyTax ==
+// 1.0 span forever because every boot was barren.
+func TestEnergyTaxBoundary(t *testing.T) {
+	const total, mean = 10_000, 5_000
+	model := func(tax float64) Model {
+		return Model{Name: "taxed", Interval: 1000, CkptCost: 10, RestoreCost: 10, EnergyTax: tax}
+	}
+	cases := []struct {
+		name      string
+		tax       float64
+		completes bool
+	}{
+		{"untaxed", 0, true},
+		{"mementos-grade tax", 0.40, true},
+		{"tax leaves less than the restore cost", 0.999, false},
+		{"tax consumes the whole boot", 1.0, false},
+		{"tax above 1 must clamp, not wrap", 1.5, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := Simulate(model(tc.tax), total, mean, 1)
+			if r.Completed != tc.completes {
+				t.Fatalf("Completed = %v, want %v (result %+v)", r.Completed, tc.completes, r)
+			}
+			if r.UsefulCycles > total {
+				t.Errorf("useful cycles %d exceed the requested %d", r.UsefulCycles, total)
+			}
+			// A wrapped on-period inflates WallCycles by ~2^64; any sane
+			// run of this size stays far below 2^40.
+			if r.WallCycles > 1<<40 {
+				t.Errorf("wall cycles %d look wrapped", r.WallCycles)
+			}
+			if tc.completes {
+				if r.UsefulCycles != total {
+					t.Errorf("completed run committed %d of %d cycles", r.UsefulCycles, total)
+				}
+				if r.Overhead() < 0 {
+					t.Errorf("negative overhead %.3f", r.Overhead())
+				}
+			} else if r.UsefulCycles != 0 {
+				t.Errorf("a never-progressing model committed %d cycles", r.UsefulCycles)
+			}
+		})
 	}
 }
 

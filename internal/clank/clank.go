@@ -392,14 +392,15 @@ func (k *Clank) Footprint() uint64 {
 // initInto initializes *k for cfg, carving linear CAM backing from the
 // pools when they are non-nil (see NewArena).
 func (k *Clank) initInto(cfg Config, wordPool *[]uint32, slotPool *[]wbSlot) {
+	textLo, textHi, _ := cfg.TextWords()
 	*k = Clank{
 		cfg:        cfg,
 		rf:         newAddrCAM(cfg.ReadFirst, wordPool),
 		wf:         newAddrCAM(cfg.WriteFirst, wordPool),
 		wb:         newWBCAM(cfg.WriteBack, slotPool),
 		apb:        newAddrCAM(cfg.AddrPrefix, wordPool),
-		textStartW: cfg.TextStart >> 2,
-		textEndW:   (cfg.TextEnd + 3) >> 2,
+		textStartW: textLo,
+		textEndW:   textHi,
 		fltOn:      !cfg.DisableFilter,
 	}
 	k.fltRead = fltEmpty
@@ -700,6 +701,13 @@ func (k *Clank) DirtyEntries(dst []WBEntry) []WBEntry {
 			dst = append(dst, WBEntry{Word: e.word, Value: e.val})
 		}
 	}
+	return sortWBEntries(dst)
+}
+
+// sortWBEntries orders a drained dirty set by ascending word address:
+// insertion sort for the typical handful of entries, the library sort for
+// large privatization buffers.
+func sortWBEntries(dst []WBEntry) []WBEntry {
 	n := len(dst)
 	if n > 32 {
 		slices.SortFunc(dst, func(a, b WBEntry) int {

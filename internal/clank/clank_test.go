@@ -293,13 +293,19 @@ func TestQuickCapacityInvariants(t *testing.T) {
 }
 
 func TestReasonStrings(t *testing.T) {
-	for r := ReasonNone; r <= ReasonProgWatchdog; r++ {
+	for r := ReasonNone; int(r) < NumReasons; r++ {
 		if r.String() == "unknown" {
 			t.Errorf("reason %d has no name", r)
 		}
 	}
-	if (Reason(99)).String() != "unknown" {
+	if (Reason(NumReasons)).String() != "unknown" {
 		t.Error("out-of-range reason should be unknown")
+	}
+	// Appending a Reason without growing NumReasons silently truncates
+	// policysim's ReasonCounts array, and growing it without a name makes
+	// counters render as "unknown"; pin the correspondence.
+	if NumReasons != len(reasonNames) {
+		t.Errorf("NumReasons = %d but %d reasons are named", NumReasons, len(reasonNames))
 	}
 }
 

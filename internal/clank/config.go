@@ -119,6 +119,15 @@ func (c Config) String() string {
 	return fmt.Sprintf("%s,%s,%s,%s", n(c.ReadFirst), n(c.WriteFirst), n(c.WriteBack), n(c.AddrPrefix))
 }
 
+// TextWords returns the TEXT segment bounds as word addresses — lo
+// inclusive, hi exclusive — and whether TEXT-segment special-casing is
+// active (OptIgnoreText). Every runtime scheme derives its TEXT window
+// from this one formula so shared decode images see identical bounds
+// regardless of which scheme a device runs.
+func (c Config) TextWords() (lo, hi uint32, active bool) {
+	return c.TextStart >> 2, (c.TextEnd + 3) >> 2, c.Opts&OptIgnoreText != 0
+}
+
 // Word-address width used in the paper's hardware accounting: 32-bit byte
 // addresses tracked at word granularity.
 const wordAddrBits = 30
@@ -164,15 +173,21 @@ const (
 	ReasonPerfWatchdog // Performance Watchdog expiry
 	ReasonProgWatchdog // Progress Watchdog expiry
 
+	// Reasons raised by the non-Clank runtime schemes
+	// (internal/scheme); the Clank detector never emits them.
+
+	ReasonTaskBoundary   // Alpaca-style task boundary reached
+	ReasonCommitInterval // DiCA-style differential-checkpoint interval expiry
+
 	// NumReasons is the number of Reason values; fixed-size per-reason
 	// counters (policysim.ReasonCounts) are indexed by Reason.
-	NumReasons = int(ReasonProgWatchdog) + 1
+	NumReasons = int(ReasonCommitInterval) + 1
 )
 
 var reasonNames = [...]string{
 	"none", "rf-overflow", "wf-overflow", "ap-overflow", "wb-overflow",
 	"violation", "text-write", "write-in-fill", "output", "perf-watchdog",
-	"progress-watchdog",
+	"progress-watchdog", "task-boundary", "commit-interval",
 }
 
 func (r Reason) String() string {

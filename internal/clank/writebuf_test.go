@@ -1,0 +1,67 @@
+package clank
+
+import "testing"
+
+func testWriteBufBasics(t *testing.T, capacity int) {
+	t.Helper()
+	wb := NewWriteBuf(capacity)
+	if wb.Cap() != capacity {
+		t.Fatalf("Cap() = %d, want %d", wb.Cap(), capacity)
+	}
+	if _, ok := wb.Get(1); ok {
+		t.Fatal("empty buffer claims to hold word 1")
+	}
+
+	// Fill to capacity with descending addresses (exercises the sort).
+	for i := 0; i < capacity; i++ {
+		w := uint32(capacity - i)
+		if !wb.Put(w, w*10) {
+			t.Fatalf("Put(%d) failed below capacity", w)
+		}
+	}
+	if wb.Len() != capacity {
+		t.Fatalf("Len() = %d, want %d", wb.Len(), capacity)
+	}
+	// Full + absent word: refused.
+	if wb.Put(uint32(capacity+7), 1) {
+		t.Fatal("Put of a new word succeeded on a full buffer")
+	}
+	// Full + resident word: updates in place.
+	if !wb.Put(3, 99) {
+		t.Fatal("Put of a resident word failed on a full buffer")
+	}
+	if v, ok := wb.Get(3); !ok || v != 99 {
+		t.Fatalf("Get(3) = %d, %v after update", v, ok)
+	}
+
+	ents := wb.DirtyEntries(nil)
+	if len(ents) != capacity {
+		t.Fatalf("DirtyEntries returned %d entries, want %d", len(ents), capacity)
+	}
+	for i := 1; i < len(ents); i++ {
+		if ents[i-1].Word >= ents[i].Word {
+			t.Fatalf("DirtyEntries not in ascending address order at %d: %d >= %d",
+				i, ents[i-1].Word, ents[i].Word)
+		}
+	}
+
+	if wb.Footprint() == 0 {
+		t.Error("Footprint() = 0")
+	}
+	wb.Reset()
+	if wb.Len() != 0 {
+		t.Errorf("Len() = %d after Reset", wb.Len())
+	}
+	if _, ok := wb.Get(3); ok {
+		t.Error("Get(3) succeeded after Reset")
+	}
+	if !wb.Put(3, 1) {
+		t.Error("Put failed after Reset")
+	}
+}
+
+func TestWriteBufLinear(t *testing.T) { testWriteBufBasics(t, 16) }
+
+// TestWriteBufMap exercises the same contract past camLinearMax, where the
+// CAM switches to its map-backed representation.
+func TestWriteBufMap(t *testing.T) { testWriteBufBasics(t, camLinearMax+32) }

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/clank"
+	"repro/internal/intermittent"
+	"repro/internal/mibench"
+	"repro/internal/scheme"
+)
+
+// crossSchemeBenchmarks is the MiBench trio the cross-scheme axis runs:
+// small enough that every (scheme, benchmark, seed) cell simulates the
+// full intermittent pipeline with the reference monitor on, varied enough
+// (bit-twiddling, FFT butterflies, block hashing) that the schemes'
+// checkpoint-placement differences show.
+var crossSchemeBenchmarks = []string{"crc", "fft", "sha"}
+
+// CrossSchemeRow is one runtime scheme's overhead summary across the trio.
+type CrossSchemeRow struct {
+	Scheme string
+	// Overhead[i] is mean total run-time overhead on crossSchemeBenchmarks[i]
+	// across the option seeds; Ckpts[i] the mean checkpoint count.
+	Overhead []float64
+	Ckpts    []float64
+	// Footprint is one device's resident bytes (memory image plus the
+	// scheme's tracking state) — the cross-scheme analogue of Table 2's
+	// hardware column.
+	Footprint uint64
+	Avg       float64
+}
+
+// CrossSchemeData is the cross-scheme extension of Table 2: the same
+// software-overhead axis, but varied over the runtime scheme instead of
+// the detector's buffer sizes. Every cell runs the full intermittent
+// pipeline (not the trace replayer) under a failing supply, and every run
+// is checked against the continuous oracle — exact outputs and exact
+// useful-cycle count — so a row only prints if the scheme executed the
+// benchmark with zero divergences.
+type CrossSchemeData struct {
+	Benchmarks []string
+	Rows       []CrossSchemeRow
+}
+
+// crossSchemeConfigs pairs each registered scheme with the hardware
+// configuration it is billed for: Clank carries the paper's 16,8,4,4
+// detector; the scheduled schemes carry no detector, only their
+// privatization buffer.
+func crossSchemeConfigs() []struct {
+	fac scheme.Factory
+	cfg clank.Config
+} {
+	full := clank.Config{ReadFirst: 16, WriteFirst: 8, WriteBack: 4,
+		AddrPrefix: 4, PrefixLowBits: 6, Opts: clank.OptAll}
+	minimal := clank.Config{ReadFirst: 1, Opts: clank.OptAll}
+	return []struct {
+		fac scheme.Factory
+		cfg clank.Config
+	}{
+		{scheme.ClankFactory{}, full},
+		{scheme.AlpacaFactory{}, minimal},
+		{scheme.DiCAFactory{}, minimal},
+	}
+}
+
+// CrossScheme measures every registered runtime scheme over the MiBench
+// trio under the failing supply.
+func CrossScheme(o Options) (*CrossSchemeData, error) {
+	o = o.withDefaults()
+	benches := crossSchemeBenchmarks
+	if o.Quick {
+		benches = benches[:1]
+	}
+	compiled := make([]*mibench.Compiled, len(benches))
+	for i, name := range benches {
+		b, ok := mibench.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("crossscheme: unknown benchmark %q", name)
+		}
+		c, err := mibench.Build(b)
+		if err != nil {
+			return nil, err
+		}
+		compiled[i] = c
+	}
+
+	entries := crossSchemeConfigs()
+	d := &CrossSchemeData{Benchmarks: benches, Rows: make([]CrossSchemeRow, len(entries))}
+	for i, e := range entries {
+		d.Rows[i] = CrossSchemeRow{
+			Scheme:   e.fac.Name(),
+			Overhead: make([]float64, len(benches)),
+			Ckpts:    make([]float64, len(benches)),
+		}
+	}
+	err := parallelFor(len(entries)*len(benches), func(k int) error {
+		ei, bi := k/len(benches), k%len(benches)
+		e, c := entries[ei], compiled[bi]
+		cfg := e.cfg
+		cfg.TextStart, cfg.TextEnd = c.Image.TextStart, c.Image.TextEnd
+		var sumOvr, sumCkpt float64
+		for _, seed := range o.Seeds {
+			m, err := intermittent.NewMachine(c.Image, intermittent.Options{
+				Config:          cfg,
+				Scheme:          e.fac,
+				Supply:          newSupply(o.MeanOn, seed),
+				PerfWatchdog:    o.MeanOn / 4,
+				ProgressDefault: o.MeanOn / 4,
+				Verify:          o.Verify,
+			})
+			if err != nil {
+				return fmt.Errorf("crossscheme %s/%s: %w", e.fac.Name(), c.Bench.Name, err)
+			}
+			st, err := m.Run()
+			if err != nil {
+				return fmt.Errorf("crossscheme %s/%s seed %d: %w", e.fac.Name(), c.Bench.Name, seed, err)
+			}
+			if !st.Completed {
+				return fmt.Errorf("crossscheme %s/%s seed %d: did not complete", e.fac.Name(), c.Bench.Name, seed)
+			}
+			if st.UsefulCycles != c.Cycles {
+				return fmt.Errorf("crossscheme %s/%s seed %d: useful cycles %d diverge from continuous %d",
+					e.fac.Name(), c.Bench.Name, seed, st.UsefulCycles, c.Cycles)
+			}
+			if len(st.Outputs) != len(c.Outputs) {
+				return fmt.Errorf("crossscheme %s/%s seed %d: %d outputs, continuous produced %d",
+					e.fac.Name(), c.Bench.Name, seed, len(st.Outputs), len(c.Outputs))
+			}
+			for i, v := range c.Outputs {
+				if st.Outputs[i] != v {
+					return fmt.Errorf("crossscheme %s/%s seed %d: output %d is %#x, continuous %#x",
+						e.fac.Name(), c.Bench.Name, seed, i, st.Outputs[i], v)
+				}
+			}
+			sumOvr += st.Overhead()
+			sumCkpt += float64(st.Checkpoints)
+			if bi == 0 {
+				d.Rows[ei].Footprint = m.Footprint()
+			}
+		}
+		d.Rows[ei].Overhead[bi] = sumOvr / float64(len(o.Seeds))
+		d.Rows[ei].Ckpts[bi] = sumCkpt / float64(len(o.Seeds))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range d.Rows {
+		var sum float64
+		for _, ov := range d.Rows[i].Overhead {
+			sum += ov
+		}
+		d.Rows[i].Avg = sum / float64(len(benches))
+	}
+	return d, nil
+}
+
+// Format renders the cross-scheme table.
+func (d *CrossSchemeData) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cross-scheme: run-time overhead per runtime scheme (oracle-exact runs)\n")
+	fmt.Fprintf(&b, "%-8s %10s", "scheme", "state B")
+	for _, name := range d.Benchmarks {
+		fmt.Fprintf(&b, " %12s %10s", name, "ckpts")
+	}
+	fmt.Fprintf(&b, " %10s\n", "avg")
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "%-8s %10d", r.Scheme, r.Footprint)
+		for i := range d.Benchmarks {
+			fmt.Fprintf(&b, " %11.2f%% %10.0f", r.Overhead[i]*100, r.Ckpts[i])
+		}
+		fmt.Fprintf(&b, " %9.2f%%\n", r.Avg*100)
+	}
+	return b.String()
+}

@@ -314,3 +314,35 @@ func TestPowerSweepShape(t *testing.T) {
 	}
 	t.Log("\n" + d.Format())
 }
+
+func TestCrossSchemeShape(t *testing.T) {
+	d, err := CrossScheme(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Benchmarks) != 1 || len(d.Rows) != 3 {
+		t.Fatalf("quick cross-scheme: %d benchmarks, %d rows", len(d.Benchmarks), len(d.Rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range d.Rows {
+		seen[r.Scheme] = true
+		if r.Avg <= 0 {
+			t.Errorf("%s: non-positive overhead %.4f", r.Scheme, r.Avg)
+		}
+		if r.Ckpts[0] <= 0 {
+			t.Errorf("%s: no checkpoints", r.Scheme)
+		}
+		if r.Footprint == 0 {
+			t.Errorf("%s: zero footprint", r.Scheme)
+		}
+	}
+	for _, name := range []string{"clank", "alpaca", "dica"} {
+		if !seen[name] {
+			t.Errorf("missing scheme row %q", name)
+		}
+	}
+	if !strings.Contains(d.Format(), "alpaca") {
+		t.Error("format missing scheme rows")
+	}
+	t.Log("\n" + d.Format())
+}

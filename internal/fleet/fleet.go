@@ -30,6 +30,7 @@ import (
 	"repro/internal/clank"
 	"repro/internal/intermittent"
 	"repro/internal/power"
+	"repro/internal/scheme"
 )
 
 // Options configures a fleet run.
@@ -50,6 +51,11 @@ type Options struct {
 
 	// Config is the Clank hardware configuration every device carries.
 	Config clank.Config
+	// Scheme is the runtime scheme every device runs under (nil = Clank).
+	// Workers build one scheme instance per machine and ResetDevice
+	// restores it to factory state between devices, so — like the supply —
+	// a device's scheme behavior is a pure function of the options.
+	Scheme scheme.Factory
 	// Costs is the runtime cost model (zero value = DefaultCosts).
 	Costs intermittent.CostModel
 
@@ -147,6 +153,7 @@ func (o *Options) nvFaultFor(dev int) func(int) (bool, uint32) {
 func (o *Options) intermittentOptions() intermittent.Options {
 	return intermittent.Options{
 		Config:          o.Config,
+		Scheme:          o.Scheme,
 		Costs:           o.Costs,
 		PerfWatchdog:    o.PerfWatchdog,
 		ProgressDefault: o.ProgressDefault,

@@ -11,6 +11,7 @@ import (
 	"repro/internal/ccc"
 	"repro/internal/clank"
 	"repro/internal/power"
+	"repro/internal/scheme"
 )
 
 // fleetProgram is small enough that one device simulates in well under a
@@ -122,6 +123,58 @@ func TestWorkerCountInvariance(t *testing.T) {
 		if csv != refCSV {
 			t.Errorf("%s: CSV stream diverged", c.name)
 		}
+	}
+}
+
+// TestSchemeFleetInvariance extends the determinism battery across runtime
+// schemes: each scheme's fleet must complete, produce byte-identical
+// telemetry at different worker counts and shard sizes (which also proves
+// ResetDevice fully restores scheme state between devices), and the three
+// schemes must not collapse onto one another's numbers — their checkpoint
+// placements differ, so the aggregates must too.
+func TestSchemeFleetInvariance(t *testing.T) {
+	img := fleetImage(t)
+	const devices = 64
+
+	aggs := make(map[string]Aggregate)
+	for _, name := range scheme.Names() {
+		fac, _ := scheme.ByName(name)
+		withScheme := func(workers, shard int) Options {
+			o := baseOptions(devices, workers)
+			o.Scheme = fac
+			o.ShardSize = shard
+			return o
+		}
+		ref, err := Run(img, withScheme(1, 0))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		refAgg, refJSONL, refCSV := deterministicView(t, ref)
+		if refAgg.Completed != devices {
+			t.Fatalf("%s: only %d/%d devices completed", name, refAgg.Completed, devices)
+		}
+		rep, err := Run(img, withScheme(4, 7))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		agg, jsonl, csv := deterministicView(t, rep)
+		if !reflect.DeepEqual(agg, refAgg) {
+			t.Errorf("%s: aggregate diverged across worker counts:\n  ref: %+v\n  got: %+v", name, refAgg, agg)
+		}
+		if jsonl != refJSONL || csv != refCSV {
+			t.Errorf("%s: device stream diverged across worker counts", name)
+		}
+		aggs[name] = refAgg
+	}
+
+	// Clank's reactive checkpoints and the scheduled schemes place commits
+	// differently; identical aggregates would mean the Scheme option never
+	// reached the devices.
+	if reflect.DeepEqual(aggs["clank"], aggs["alpaca"]) {
+		t.Error("clank and alpaca fleets produced identical aggregates")
+	}
+	if reflect.DeepEqual(aggs["alpaca"], aggs["dica"]) {
+		t.Error("alpaca and dica fleets produced identical aggregates")
 	}
 }
 

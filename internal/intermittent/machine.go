@@ -18,6 +18,7 @@ import (
 	"repro/internal/clank"
 	"repro/internal/power"
 	"repro/internal/refmon"
+	"repro/internal/scheme"
 )
 
 // errCheckpoint is the bus veto: the current instruction must abort, a
@@ -35,6 +36,12 @@ type Options struct {
 	Config clank.Config
 	Costs  CostModel
 	Supply power.Source
+
+	// Scheme selects the runtime scheme deciding which accesses are
+	// buffered and when execution commits (nil = scheme.ClankFactory{},
+	// the paper's detector). All schemes share the machine's CRC-sealed
+	// two-phase commit program, reboot recovery, and fault injection.
+	Scheme scheme.Factory
 
 	// PerfWatchdog, when non-zero, checkpoints whenever this many cycles
 	// elapse without one (paper's Performance Watchdog).
@@ -188,9 +195,22 @@ func (s Stats) Overhead() float64 {
 // problem, paper section 3.3). The Suppress field carries the degraded-boot
 // output-deduplication count across power cycles.
 type Machine struct {
-	cpu  *armsim.CPU
-	mem  *armsim.Memory
-	k    *clank.Clank
+	cpu *armsim.CPU
+	mem *armsim.Memory
+
+	// sch is the runtime scheme on the memory path; every cold-path
+	// consultation (commit drains, reboots, footprints, the run loop's
+	// will-commit predicate) goes through it.
+	//
+	// k is the devirtualized fast path: when the scheme is Clank, k holds
+	// its concrete detector and load/store run the monomorphic path where
+	// clank.Read/Write inline (the io.Copy idiom — interface callers get
+	// correctness, the dominant concrete type keeps its speed). For every
+	// other scheme k is nil and the bus routes through loadGeneric/
+	// storeGeneric on sch.
+	sch scheme.Scheme
+	k   *clank.Clank
+
 	mon  *refmon.Monitor
 	opts Options
 
@@ -291,7 +311,7 @@ func BuildSharedProgram(img *ccc.Image, opts Options) (*armsim.SharedProgram, er
 		cfg.TextStart, cfg.TextEnd = img.TextStart, img.TextEnd
 	}
 	var winLo, winHi uint32
-	if lo, hi, ok := clank.New(cfg).TextWords(); ok && hi > lo {
+	if lo, hi, ok := cfg.TextWords(); ok && hi > lo {
 		winLo, winHi = lo, hi
 	}
 	return armsim.NewSharedProgram(img.Bytes, img.InitialSP, img.Entry, cfg.TextEnd, winLo, winHi)
@@ -317,13 +337,22 @@ func newMachine(img *ccc.Image, opts Options, prog *armsim.SharedProgram) (*Mach
 	if cfg.TextEnd == 0 {
 		cfg.TextStart, cfg.TextEnd = img.TextStart, img.TextEnd
 	}
+	fac := opts.Scheme
+	if fac == nil {
+		fac = scheme.ClankFactory{}
+	}
 	m := &Machine{
 		mem:    armsim.NewMemory(),
-		k:      clank.New(cfg),
+		sch:    fac.New(cfg),
 		jnlNV:  armsim.NewNVRegion(clank.JournalHeaderWords),
 		opts:   opts,
 		img:    img,
 		shared: prog,
+	}
+	// Devirtualize the Clank fast path: the scheme exposing its concrete
+	// detector is the signal that load/store may run monomorphically.
+	if ck, ok := m.sch.(interface{ Detector() *clank.Clank }); ok {
+		m.k = ck.Detector()
 	}
 	m.slotNV[0] = armsim.NewNVRegion(clank.SlotRecWords)
 	m.slotNV[1] = armsim.NewNVRegion(clank.SlotRecWords)
@@ -336,11 +365,11 @@ func newMachine(img *ccc.Image, opts Options, prog *armsim.SharedProgram) (*Mach
 	}
 	m.cpu = armsim.NewCPU(busAdapter{m})
 	// Both TEXT fast paths — the dynamic window in load and the predecode
-	// literal pre-classifier — take their word bounds from the detector so
-	// all three classifiers agree at an unaligned TextEnd (the detector
+	// literal pre-classifier — take their word bounds from the scheme so
+	// all three classifiers agree at an unaligned TextEnd (the window
 	// rounds up to cover the straddling word).
 	var winLo, winHi uint32
-	if lo, hi, ok := m.k.TextWords(); ok && hi > lo {
+	if lo, hi, ok := m.sch.TextWords(); ok && hi > lo {
 		winLo, winHi = lo, hi
 		m.textLoW, m.textSpanW = lo, hi-lo
 	}
@@ -461,7 +490,7 @@ func (m *Machine) ResetDevice(supply power.Source) {
 // compiler-pre-created checkpoint 0. Memory and m.stats are the caller's
 // responsibility (Reboot and ResetDevice differ on both).
 func (m *Machine) resetRuntime() {
-	m.k.Reset()
+	m.sch.Reboot(0)
 	if m.mon != nil {
 		m.mon.Reset()
 	}
@@ -494,7 +523,7 @@ func (m *Machine) resetRuntime() {
 // fleet-scale runs leave it off.
 func (m *Machine) Footprint() uint64 {
 	f := uint64(armsim.MemSize)
-	f += m.k.Footprint()
+	f += m.sch.Footprint()
 	f += m.jnlNV.Footprint() + m.slotNV[0].Footprint() + m.slotNV[1].Footprint()
 	f += uint64(cap(m.dirtyScratch))*uint64(unsafe.Sizeof(clank.WBEntry{})) +
 		uint64(cap(m.stepScratch))*uint64(unsafe.Sizeof(clank.CommitStep{}))
@@ -538,7 +567,11 @@ func (b busAdapter) Store(addr uint32, size uint8, value uint32, pc uint32) erro
 // exactly what the generic path would.
 func (b busAdapter) LoadTextLit(addr, pc uint32) (uint32, error) {
 	m := b.m
-	m.k.NoteIgnoredAccess()
+	if m.k != nil {
+		m.k.NoteIgnoredAccess()
+	} else {
+		m.sch.NoteIgnoredAccess()
+	}
 	memWord := m.mem.ReadWord(addr)
 	if m.mon != nil {
 		m.mon.ReadNV(addr>>2, memWord)
@@ -553,6 +586,9 @@ func (m *Machine) load(addr uint32, size uint8, pc uint32) (uint32, error) {
 	if addr >= armsim.MemSize {
 		// Reads of the output region are not tracked state.
 		return m.mem.Load(addr, size, pc)
+	}
+	if m.k == nil {
+		return m.loadGeneric(addr, size, pc)
 	}
 	word := addr >> 2
 	if word-m.textLoW < m.textSpanW {
@@ -598,7 +634,7 @@ func (m *Machine) store(addr uint32, size uint8, value uint32, pc uint32) error 
 		// checkpoint. The condition mirrors the policy simulator's
 		// bracketing exactly so the two engines count the same
 		// checkpoints on the same access stream.
-		if m.sinceCkpt > 0 || m.k.SectionAccesses() > 0 {
+		if m.sinceCkpt > 0 || m.sectionAccesses() > 0 {
 			m.pendingReason = clank.ReasonOutput
 			return errCheckpoint
 		}
@@ -618,6 +654,9 @@ func (m *Machine) store(addr uint32, size uint8, value uint32, pc uint32) error 
 		m.forceCkptAfter = true
 		return nil
 	}
+	if m.k == nil {
+		return m.storeGeneric(addr, size, value, pc)
+	}
 	word := addr >> 2
 	memWord := m.mem.ReadWord(addr)
 	// The effective current word folds in a shadowing Write-back entry.
@@ -636,6 +675,89 @@ func (m *Machine) store(addr uint32, size uint8, value uint32, pc uint32) error 
 			m.cutPower = true
 		}
 		return nil // absorbed by the Write-back Buffer
+	}
+	if m.mon != nil {
+		if v := m.mon.WriteNV(word, newWord, pc); v != nil {
+			return fmt.Errorf("dynamic verification failed: %w", v)
+		}
+	}
+	if err := m.mem.Store(addr, size, value, pc); err != nil {
+		return err
+	}
+	if m.opts.FailAfterAccess != nil && m.opts.FailAfterAccess(addr, true) {
+		m.cutPower = true
+	}
+	return nil
+}
+
+// sectionAccesses reads the access-since-commit count through the fast
+// detector when present, the scheme interface otherwise.
+func (m *Machine) sectionAccesses() int {
+	if m.k != nil {
+		return m.k.SectionAccesses()
+	}
+	return m.sch.SectionAccesses()
+}
+
+// loadGeneric is load for non-Clank schemes: the same classification
+// sequence routed through the Scheme interface instead of the
+// devirtualized detector. The duplication with load is deliberate — the
+// acceptance bar for the scheme seam was that Clank's inlined fast path
+// must not grow an interface call per access.
+func (m *Machine) loadGeneric(addr uint32, size uint8, pc uint32) (uint32, error) {
+	word := addr >> 2
+	if word-m.textLoW < m.textSpanW {
+		// TEXT read under OptIgnoreText: statically-known verdict, only
+		// the section access count advances.
+		m.sch.NoteIgnoredAccess()
+		memWord := m.mem.ReadWord(addr)
+		if m.mon != nil {
+			m.mon.ReadNV(word, memWord)
+		}
+		if m.opts.FailAfterAccess != nil && m.opts.FailAfterAccess(addr, false) {
+			m.cutPower = true
+		}
+		return extract(memWord, addr, size), nil
+	}
+	memWord := m.mem.ReadWord(addr)
+	out := m.sch.Read(word, memWord, pc)
+	if out.NeedCheckpoint {
+		m.pendingReason = out.Reason
+		return 0, errCheckpoint
+	}
+	wordVal := memWord
+	if out.FromWB {
+		wordVal = out.ReadValue
+	} else if m.mon != nil {
+		m.mon.ReadNV(word, memWord)
+	}
+	if m.opts.FailAfterAccess != nil && m.opts.FailAfterAccess(addr, false) {
+		m.cutPower = true
+	}
+	return extract(wordVal, addr, size), nil
+}
+
+// storeGeneric is store's scheme-interface twin for non-Clank schemes;
+// see loadGeneric. The caller already handled the output region.
+func (m *Machine) storeGeneric(addr uint32, size uint8, value uint32, pc uint32) error {
+	word := addr >> 2
+	memWord := m.mem.ReadWord(addr)
+	// The effective current word folds in a shadowing buffered entry.
+	cur := memWord
+	if v, ok := m.sch.Lookup(word); ok {
+		cur = v
+	}
+	newWord := merge(cur, addr, size, value)
+	out := m.sch.Write(word, newWord, memWord, pc)
+	if out.NeedCheckpoint {
+		m.pendingReason = out.Reason
+		return errCheckpoint
+	}
+	if out.Buffered {
+		if m.opts.FailAfterAccess != nil && m.opts.FailAfterAccess(addr, true) {
+			m.cutPower = true
+		}
+		return nil // absorbed by the scheme's buffer
 	}
 	if m.mon != nil {
 		if v := m.mon.WriteNV(word, newWord, pc); v != nil {

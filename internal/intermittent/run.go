@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/armsim"
 	"repro/internal/clank"
+	"repro/internal/scheme"
 )
 
 // Run executes the program to completion (BKPT) across power failures and
@@ -51,6 +52,17 @@ func (m *Machine) Run() (Stats, error) {
 			m.checkpoint(clank.ReasonProgWatchdog)
 			continue
 		}
+		// The scheme's own commit schedule (task boundaries, differential
+		// intervals). Clank never schedules commits, and its devirtualized
+		// machines skip the interface call entirely.
+		schedIn := uint64(scheme.Never)
+		if m.k == nil {
+			var reason clank.Reason
+			if schedIn, reason = m.sch.NextCommitIn(m.cpu.Cycle, m.sinceCkpt); schedIn == 0 {
+				m.checkpoint(reason)
+				continue
+			}
+		}
 
 		// Fused execution retires whole basic blocks per call — but only
 		// blocks whose worst-case cycle cost fits the budget, which is the
@@ -69,6 +81,9 @@ func (m *Machine) Run() (Stats, error) {
 		}
 		if m.progEnabled && m.progLoad-m.cyclesThisBoot < budget {
 			budget = m.progLoad - m.cyclesThisBoot
+		}
+		if schedIn < budget {
+			budget = schedIn
 		}
 		if left := m.opts.MaxWallCycles + 1 - m.stats.WallCycles; left < budget {
 			budget = left
@@ -274,7 +289,7 @@ func (m *Machine) commitWrite(cost uint64, counter *uint64) (ok, torn bool, mask
 // early naturally seals whatever garbage the region holds — exactly how the
 // real runtime would fail.
 func (m *Machine) checkpoint(reason clank.Reason) bool {
-	m.dirtyScratch = m.k.DirtyEntries(m.dirtyScratch[:0])
+	m.dirtyScratch = m.sch.DirtyEntries(m.dirtyScratch[:0])
 	dirty := m.dirtyScratch
 	m.stepScratch = clank.AppendCommitSteps(m.stepScratch[:0], m.opts.Costs, len(dirty))
 	steps := m.stepScratch
@@ -363,8 +378,9 @@ func (m *Machine) checkpoint(reason clank.Reason) bool {
 			m.commitBookkeeping(reason)
 		}
 	}
-	// Fully drained: the volatile detector state is dead weight now.
-	m.k.Reset()
+	// Fully drained: the scheme's buffered state is persistent now, and
+	// progress-relative schedules (task boundaries) re-base here.
+	m.sch.Committed(m.cpu.Cycle)
 	if m.mon != nil {
 		m.mon.Reset()
 	}
@@ -516,7 +532,6 @@ func (m *Machine) degradedRestore() {
 // Progress Watchdog bookkeeping runs.
 func (m *Machine) powerFail() {
 	m.stats.Restarts++
-	m.k.Reset()
 	if m.mon != nil {
 		m.mon.Reset()
 	}
@@ -564,6 +579,9 @@ func (m *Machine) powerFail() {
 		m.mem.Outputs = m.mem.Outputs[:w]
 		m.outSuppress = int(rec.Suppress)
 	}
+	// All volatile scheme state died with the power; schedules re-derive
+	// from the restored progress clock (0 on a degraded boot).
+	m.sch.Reboot(m.cpu.Cycle)
 	m.forceCkptAfter = false
 
 	madeProgress := m.ckptThisBoot

@@ -6,6 +6,7 @@ import (
 	"repro/internal/ccc"
 	"repro/internal/clank"
 	"repro/internal/intermittent"
+	"repro/internal/scheme"
 )
 
 // Crash-consistency mode: where the differential harness places power
@@ -42,6 +43,10 @@ type CrashHarness struct {
 	// selects DefaultTearMasks. A word-granular sweep (the old atomic
 	// model) is Masks = []uint32{0}.
 	Masks []uint32
+	// Scheme selects the runtime scheme the machines run under (nil =
+	// Clank). All schemes share the commit program, so the sweep's fault
+	// injector exercises the same torn-write space for each.
+	Scheme scheme.Factory
 
 	maxOps   int
 	machines map[string]*intermittent.Machine
@@ -168,6 +173,9 @@ func (h *CrashHarness) runCut(m *intermittent.Machine, img *ccc.Image, p Pattern
 // machine returns the cached per-configuration machine rebooted into img.
 func (h *CrashHarness) machine(cfg clank.Config, img *ccc.Image) (*intermittent.Machine, error) {
 	key := fmt.Sprintf("%+v", cfg)
+	if h.Scheme != nil {
+		key = h.Scheme.Name() + " " + key
+	}
 	if m, ok := h.machines[key]; ok {
 		return m, m.Reboot(img)
 	}
@@ -177,6 +185,7 @@ func (h *CrashHarness) machine(cfg clank.Config, img *ccc.Image) (*intermittent.
 	}
 	m, err := intermittent.NewMachine(img, intermittent.Options{
 		Config:    tcfg,
+		Scheme:    h.Scheme,
 		Verify:    true,
 		NVFault:   h.faultHook,
 		CommitBug: h.Bug,

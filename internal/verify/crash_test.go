@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/clank"
 	"repro/internal/intermittent"
+	"repro/internal/scheme"
 )
 
 // TestCrashHarnessBasic drives handpicked patterns with interesting
@@ -78,6 +79,50 @@ func TestCrashConsistencySweepBounded(t *testing.T) {
 	}
 	t.Logf("crash sweep: %d patterns, %d (cut x mask) sweeps over %d masks",
 		stats.Patterns, stats.Runs, len(masks))
+}
+
+// TestCrashConsistencyCrossScheme runs the bounded (cut × mask) sweep under
+// the non-Clank runtime schemes: Alpaca and DiCA reuse the same two-phase
+// commit program, so every torn-write cut that the Clank sweep covers must
+// recover identically when the dirty set comes from a privatization buffer
+// and the commits fire on task boundaries or wall-clock intervals. The
+// scheme parameters are tuned down so the scheme-specific triggers actually
+// fire inside the tiny lowered programs (output-bracketing commits re-base
+// the schedules, so defaults would never be reached).
+func TestCrashConsistencyCrossScheme(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("skipping exhaustive (cut × mask) sweep under the race detector")
+	}
+	n := 3
+	masks := []uint32{0, 0xFFFFFFFF, 0x55555555}
+	if os.Getenv("CLANK_VERIFY_DEEP") != "" {
+		masks = DefaultTearMasks
+	}
+	for _, fac := range []scheme.Factory{
+		scheme.AlpacaFactory{TaskLen: 64},
+		scheme.DiCAFactory{Interval: 96},
+	} {
+		fac := fac
+		t.Run(fac.Name(), func(t *testing.T) {
+			s := &Sweep{
+				N: n, Words: 2, Vals: 2,
+				Configs:   diffConfigs(),
+				Schedules: []Schedule{FailAt(-1)},
+				MakeCheck: func() CheckFunc {
+					h := NewCrashHarness(n)
+					h.Masks = masks
+					h.Scheme = fac
+					return h.Check
+				},
+			}
+			stats, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s crash sweep: %d patterns, %d (cut x mask) sweeps over %d masks",
+				fac.Name(), stats.Patterns, stats.Runs, len(masks))
+		})
+	}
 }
 
 // TestCrashSweepCatchesEarlyFlipBug is the regression meta-test demanded by
